@@ -1,0 +1,74 @@
+// Ablation: router pipeline depth vs logic-error recovery cost (§4).
+//
+// Two views:
+//  1. The analytical recovery-penalty table (logic_error_model) for every
+//     component x pipeline depth — the paper's §4.1-4.3 numbers.
+//  2. Whole-network simulations at each pipeline depth with RT+SA logic
+//     faults injected, showing baseline latency (pipeline depth dominates)
+//     and that the recovery overhead stays in the noise at realistic error
+//     rates.
+
+#include "bench_common.hpp"
+#include "core/logic_error_model.hpp"
+
+namespace ftnoc::bench {
+namespace {
+
+void penalty_table(benchmark::State& state, int stages) {
+  int total = 0;
+  for (auto _ : state) {
+    total = va_recovery_penalty(stages) + sa_recovery_penalty(stages) +
+            rt_recovery_penalty(stages, stages <= 2,
+                                RtMisrouteKind::kBlockedOrInvalid) +
+            rt_recovery_penalty(stages, stages <= 2,
+                                RtMisrouteKind::kFunctionalDeterministic);
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["va_penalty"] = va_recovery_penalty(stages);
+  state.counters["sa_penalty"] = sa_recovery_penalty(stages);
+  state.counters["rt_blocked_penalty"] = rt_recovery_penalty(
+      stages, stages <= 2, RtMisrouteKind::kBlockedOrInvalid);
+  state.counters["rt_functional_penalty"] = rt_recovery_penalty(
+      stages, stages <= 2, RtMisrouteKind::kFunctionalDeterministic);
+  state.counters["needs_neighbor_nack"] =
+      ac_requires_neighbor_nack(stages) ? 1.0 : 0.0;
+}
+
+void sim_at_depth(benchmark::State& state, int stages, double err) {
+  SimConfig cfg = paper_config();
+  cfg.pipeline_stages = stages;
+  cfg.retransmission_depth = 4;  // 4-stage routers need a deeper barrel.
+  cfg.faults.rt_error_rate = err;
+  cfg.faults.sa_error_rate = err;
+  const SimResults r = run_point(state, cfg);
+  state.counters["rt_recovered"] = static_cast<double>(r.rt_errors_recovered);
+  state.counters["sa_recovered"] = static_cast<double>(r.sa_errors_recovered);
+}
+
+void register_all() {
+  for (int stages : {1, 2, 3, 4}) {
+    const std::string tname =
+        "AblPipeline/penalties/stages=" + std::to_string(stages);
+    benchmark::RegisterBenchmark(
+        tname.c_str(),
+        [stages](benchmark::State& st) { penalty_table(st, stages); })
+        ->Iterations(1);
+    for (double err : {0.0, 1e-3}) {
+      const std::string sname = "AblPipeline/sim/stages=" +
+                                std::to_string(stages) +
+                                "/logic_err=" + rate_label(err);
+      benchmark::RegisterBenchmark(
+          sname.c_str(),
+          [stages, err](benchmark::State& st) { sim_at_depth(st, stages, err); })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace ftnoc::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Ablation: retransmission-buffer depth.
+//
+// The paper argues 3 slots per VC is the minimum: a flit must survive in
+// the barrel shifter for link(1) + check(1) + NACK(1) cycles. This bench
+// sweeps deeper buffers at a high error rate to show that extra depth buys
+// nothing (latency and retransmission behaviour are unchanged) — i.e. the
+// paper's minimal sizing is the right design point, and any additional
+// area spent on the barrel would be wasted.
+
+#include "bench_common.hpp"
+
+namespace ftnoc::bench {
+namespace {
+
+void run_depth(benchmark::State& state, int depth) {
+  SimConfig cfg = paper_config();
+  cfg.protection = LinkProtection::kHbh;
+  cfg.retransmission_depth = depth;
+  cfg.faults.link_error_rate = 0.05;  // Stress the retransmission path.
+  const SimResults r = run_point(state, cfg);
+  state.counters["retx_events"] =
+      static_cast<double>(r.link_retransmission_events);
+  state.counters["rtx_util"] = r.rtx_buffer_utilization;
+}
+
+void register_all() {
+  for (int depth : {3, 4, 6, 8}) {
+    const std::string name = "AblRtxDepth/depth=" + std::to_string(depth);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [depth](benchmark::State& st) { run_depth(st, depth); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace ftnoc::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+#pragma once
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper: every
+// registered benchmark is one data point (one simulator run), and the
+// paper's metric is exported through google-benchmark counters, so the
+// printed table *is* the figure's series.
+//
+// Scale: the paper runs 300k ejected messages (100k warm-up) per point.
+// The default here is 30k/10k so the full harness finishes in minutes on a
+// laptop; the shapes are insensitive to this. Set FTNOC_BENCH_MESSAGES /
+// FTNOC_BENCH_WARMUP to reproduce at full scale.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/config.hpp"
+#include "noc/simulator.hpp"
+
+namespace ftnoc::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+/// The paper's evaluation platform (§2.2): 8x8 mesh, 3-stage routers,
+/// 5 PCs, 3 VCs/PC, 4-flit packets, uniform injection.
+inline SimConfig paper_config() {
+  SimConfig cfg;
+  cfg.mesh_width = 8;
+  cfg.mesh_height = 8;
+  cfg.num_vcs = 3;
+  cfg.pipeline_stages = 3;
+  cfg.packet_length = 4;
+  cfg.injection_rate = 0.25;
+  cfg.total_messages = env_u64("FTNOC_BENCH_MESSAGES", 30'000);
+  cfg.warmup_messages = env_u64("FTNOC_BENCH_WARMUP", 10'000);
+  cfg.max_cycles = env_u64("FTNOC_BENCH_MAX_CYCLES", 1'500'000);
+  return cfg;
+}
+
+/// Runs one simulation inside the benchmark loop and exports the standard
+/// counter set.
+inline SimResults run_point(benchmark::State& state, const SimConfig& cfg) {
+  SimResults r;
+  for (auto _ : state) {
+    r = run_simulation(cfg);
+  }
+  state.counters["latency_cyc"] = r.avg_latency_cycles;
+  state.counters["energy_nJ"] = r.energy_per_message_nj;
+  state.counters["messages"] = static_cast<double>(r.measured_messages);
+  state.counters["completed"] = r.completed ? 1.0 : 0.0;
+  return r;
+}
+
+/// The error-rate sweep used by Figures 5-7 and 13.
+inline const std::vector<double>& error_rates() {
+  static const std::vector<double> rates = {1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
+  return rates;
+}
+
+inline std::string rate_label(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", r);
+  return buf;
+}
+
+}  // namespace ftnoc::bench

@@ -1,0 +1,59 @@
+// Figure 9: retransmission-buffer utilization vs injection rate for the
+// adaptive (AD) and deterministic (DT) routing algorithms.
+//
+// Expected shape (paper): much lower than the transmission buffers
+// (peaking below ~0.2): a retransmission-buffer slot is only occupied for
+// the 3-cycle NACK window after each flit transmission, so its occupancy
+// tracks *link throughput*, not blocking. It rises with offered load up to
+// saturation and then flattens/declines as blocking throttles flit
+// transmissions — the paper's motivation for reusing these mostly-idle
+// buffers for deadlock recovery.
+
+#include "bench_common.hpp"
+
+namespace ftnoc::bench {
+namespace {
+
+void run_util(benchmark::State& state, RoutingAlgorithm algo,
+              double injection_rate) {
+  SimConfig cfg = paper_config();
+  cfg.routing = algo;
+  cfg.injection_rate = injection_rate;
+  cfg.max_cycles = env_u64("FTNOC_BENCH_MAX_CYCLES", 60'000);
+  cfg.deadlock.enable_recovery = algo == RoutingAlgorithm::kMinimalAdaptive;
+  // Early detection is protective under heavy load (see DESIGN.md 4.4):
+  // an aggressive Cthres keeps the deep-saturation points drainable.
+  cfg.deadlock.probe_threshold = 16;
+  cfg.deadlock.probe_backoff = 9;
+  const SimResults r = run_point(state, cfg);
+  state.counters["rtx_util"] = r.rtx_buffer_utilization;
+  state.counters["tx_util"] = r.tx_buffer_utilization;
+}
+
+void register_all() {
+  struct Algo {
+    const char* name;
+    RoutingAlgorithm a;
+  };
+  const Algo algos[] = {{"AD", RoutingAlgorithm::kMinimalAdaptive},
+                        {"DT", RoutingAlgorithm::kXY}};
+  for (const auto& algo : algos) {
+    for (int i = 1; i <= 10; ++i) {
+      const double rate = 0.1 * i;
+      const std::string name = std::string("Fig9/") + algo.name +
+                               "/inj=" + rate_label(rate);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [a = algo.a, rate](benchmark::State& st) { run_util(st, a, rate); })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace ftnoc::bench
+
+BENCHMARK_MAIN();

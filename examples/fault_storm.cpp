@@ -1,0 +1,95 @@
+// fault_storm: an SoC interconnect riding out every fault class at once.
+//
+// Models a noisy deep-sub-micron die: link upsets from crosstalk, logic
+// upsets in the routing unit and both allocators, retransmission-buffer
+// upsets and handshake-line glitches — all active simultaneously, swept
+// over increasing severity. The full protection stack (SEC/DED + HBH
+// retransmission, Allocation Comparator, duplicate retransmission buffers,
+// TMR handshaking) keeps every message intact; the final sweep step
+// re-runs the harshest level with all protection stripped to show the
+// contrast.
+//
+//   ./fault_storm [key=value ...]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "noc/simulator.hpp"
+
+namespace {
+
+ftnoc::SimResults run_level(ftnoc::SimConfig cfg, double severity,
+                            bool protect) {
+  cfg.faults.link_error_rate = severity;
+  cfg.faults.rt_error_rate = severity / 10;
+  cfg.faults.va_error_rate = severity / 10;
+  cfg.faults.sa_error_rate = severity / 10;
+  cfg.faults.rtx_error_rate = severity / 10;
+  cfg.faults.handshake_error_rate = severity / 10;
+  if (protect) {
+    cfg.protection = ftnoc::LinkProtection::kHbh;
+    cfg.enable_ac = true;
+    cfg.duplicate_rtx_buffers = true;
+    cfg.tmr_handshaking = true;
+  } else {
+    cfg.protection = ftnoc::LinkProtection::kNone;
+    cfg.enable_ac = false;
+    cfg.duplicate_rtx_buffers = false;
+    cfg.tmr_handshaking = false;
+  }
+  return ftnoc::run_simulation(cfg);
+}
+
+void print_row(const char* label, double severity, const ftnoc::SimResults& r) {
+  std::printf("%-12s %8.0e %10.2f %11.4f %9llu %9llu %9llu %10llu  %s\n",
+              label, severity, r.avg_latency_cycles, r.energy_per_message_nj,
+              static_cast<unsigned long long>(r.link_errors_corrected),
+              static_cast<unsigned long long>(r.rt_errors_recovered +
+                                              r.va_errors_recovered +
+                                              r.sa_errors_recovered),
+              static_cast<unsigned long long>(r.rtx_errors_corrected +
+                                              r.handshake_errors_corrected),
+              static_cast<unsigned long long>(r.corrupted_delivered),
+              r.completed ? "ok" : "WEDGED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftnoc::SimConfig cfg;
+  cfg.injection_rate = 0.2;
+  cfg.warmup_messages = 2'000;
+  cfg.total_messages = 12'000;
+  cfg.max_cycles = 500'000;
+
+  std::vector<std::string> overrides(argv + 1, argv + argc);
+  if (auto err = ftnoc::apply_overrides(cfg, overrides)) {
+    std::fprintf(stderr, "config error: %s\n", err->c_str());
+    return 1;
+  }
+  if (auto err = cfg.validate()) {
+    std::fprintf(stderr, "invalid config: %s\n", err->c_str());
+    return 1;
+  }
+
+  std::printf("fault storm on a %dx%d mesh, inj=%.2f flits/node/cycle\n",
+              cfg.mesh_width, cfg.mesh_height, cfg.injection_rate);
+  std::printf("%-12s %8s %10s %11s %9s %9s %9s %10s\n", "mode", "severity",
+              "latency", "nJ/msg", "link_fix", "logic_fix", "hw_fix",
+              "corrupted");
+
+  for (double severity : {1e-4, 1e-3, 1e-2, 5e-2}) {
+    print_row("protected", severity, run_level(cfg, severity, true));
+  }
+  // The unprotected contrast at the harshest level.
+  ftnoc::SimConfig naked = cfg;
+  naked.total_messages = 6'000;
+  naked.max_cycles = 200'000;
+  print_row("unprotected", 5e-2, run_level(naked, 5e-2, false));
+
+  std::printf("\nThe protected stack corrects every fault class in flight; "
+              "the unprotected run delivers corrupt packets (or wedges).\n");
+  return 0;
+}

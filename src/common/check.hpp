@@ -1,0 +1,34 @@
+#pragma once
+// Lightweight runtime checking macros.
+//
+// FTNOC_CHECK is always on (simulation correctness depends on these
+// invariants; the cost is negligible relative to the allocators).
+// FTNOC_DCHECK compiles away in NDEBUG builds.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ftnoc::detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr) {
+  std::fprintf(stderr, "FTNOC_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace ftnoc::detail
+
+#define FTNOC_CHECK(expr)                                      \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::ftnoc::detail::check_failed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (false)
+
+#ifdef NDEBUG
+#define FTNOC_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define FTNOC_DCHECK(expr) FTNOC_CHECK(expr)
+#endif

@@ -1,0 +1,169 @@
+#pragma once
+// Simulation configuration. One flat struct keeps every knob in one place;
+// components receive const references (or copies of the sub-struct they
+// need) at construction and never consult globals.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ftnoc {
+
+/// Which routing algorithm the routers run.
+enum class RoutingAlgorithm : std::uint8_t {
+  kXY,              ///< Deterministic dimension-ordered (paper's "DT").
+  kMinimalAdaptive, ///< Minimal fully-adaptive (paper's "AD"); deadlock-prone.
+  /// Duato-style deadlock *avoidance*: adaptive VCs plus a reserved escape
+  /// VC (VC 0) driven by deadlock-free XY. The alternative the paper
+  /// argues against in §3.2 — it needs no recovery, but "the flits in
+  /// these escape VCs are managed by a deadlock-free deterministic routing
+  /// algorithm, thereby limiting adaptivity".
+  kAdaptiveEscape,
+};
+
+/// Link-level protection scheme (paper §3).
+enum class LinkProtection : std::uint8_t {
+  kNone,  ///< No protection; errors silently corrupt flits.
+  kFec,   ///< Forward error correction only (SEC); double errors undetected
+          ///< at the link, caught (but not recoverable) at the destination.
+  kE2e,   ///< End-to-end retransmission with SEC/DED at the destination.
+  kHbh,   ///< Paper's flit-based hop-by-hop retransmission (SEC/DED + NACK).
+};
+
+/// Destination distribution of synthetic traffic (paper §2.2).
+enum class TrafficPattern : std::uint8_t {
+  kUniformRandom,   ///< "NR": uniform over all other nodes.
+  kBitComplement,   ///< "BC": dest = bitwise complement of source index.
+  kTornado,         ///< "TN": dest = (x + X/2 - 1) mod X in each dimension.
+};
+
+const char* to_string(RoutingAlgorithm a);
+const char* to_string(LinkProtection p);
+const char* to_string(TrafficPattern t);
+
+/// Fault process rates. All are per-opportunity Bernoulli probabilities.
+struct FaultConfig {
+  /// Probability a flit is hit by an error during one link traversal.
+  double link_error_rate = 0.0;
+  /// Given a link error, probability it is a ≥2-bit upset (SEC cannot
+  /// correct it; SEC/DED detects it). Single-bit otherwise.
+  double multi_bit_fraction = 0.05;
+  /// Probability a routing computation (per header flit, per hop) is upset.
+  double rt_error_rate = 0.0;
+  /// Probability a VA allocation (per granted output VC) is upset.
+  double va_error_rate = 0.0;
+  /// Probability an SA grant (per granted crossbar passage) is upset.
+  double sa_error_rate = 0.0;
+  /// Probability a retransmission-buffer copy is upset (per replay read).
+  /// §4.5: without duplicate buffers this causes an endless
+  /// retransmission loop.
+  double rtx_error_rate = 0.0;
+  /// Probability a handshake signal (credit / NACK line) is upset per
+  /// transfer. §4.6: TMR on the handshake lines votes these away.
+  double handshake_error_rate = 0.0;
+};
+
+/// Deadlock detection/recovery knobs (paper §3.2).
+struct DeadlockConfig {
+  bool enable_recovery = false;
+  /// Blocked-cycle threshold before a probe is launched (paper's Cthres).
+  Cycle probe_threshold = 64;
+  /// Minimum gap between successive probes from the same VC.
+  Cycle probe_backoff = 32;
+  /// A probe that neither returned nor was superseded by an activation
+  /// within this many cycles is considered lost (it was discarded at a
+  /// non-blocked node); the router may probe again. Must comfortably
+  /// exceed the largest possible cycle length (a few network diameters).
+  Cycle probe_timeout = 128;
+  /// Probes are dropped after this many hops so they cannot circulate
+  /// forever inside a dependency cycle that does not contain their origin.
+  /// 0 = auto (4x the node count).
+  std::uint32_t probe_ttl = 0;
+  /// Fallback self-recovery: a router whose probes expired this many times
+  /// in a row with *zero local progress* in between enters recovery mode
+  /// unilaterally. Handles dense multi-cycle saturation knots where a
+  /// blocked packet's dependency chain ends in a cycle it is not part of
+  /// (its probe can then never return). 0 disables the fallback.
+  int fallback_probe_failures = 4;
+  /// A router stays in recovery while any of its VCs has made no progress
+  /// for more than this many cycles (independent of probe_threshold, so
+  /// aggressive probing cannot livelock the exit); while any router is in
+  /// recovery, the chip-wide injection gate stays asserted.
+  Cycle exit_block_window = 512;
+};
+
+struct SimConfig {
+  // --- Topology (paper §2.2: 8x8 mesh) ---
+  int mesh_width = 8;
+  int mesh_height = 8;
+  bool torus = false;  ///< Wrap-around links (used by tornado traffic study).
+
+  // --- Router microarchitecture ---
+  int num_vcs = 3;            ///< VCs per physical channel (paper: 3).
+  int vc_buffer_depth = 4;    ///< Flits per VC transmission buffer.
+  int pipeline_stages = 3;    ///< 1..4 (paper evaluates 3-stage).
+  int retransmission_depth = 3;  ///< Barrel-shifter depth (paper: 3).
+
+  // --- Traffic ---
+  double injection_rate = 0.1;  ///< flits/node/cycle.
+  int packet_length = 4;        ///< flits per packet (paper: 4).
+  TrafficPattern pattern = TrafficPattern::kUniformRandom;
+
+  // --- Protection / routing ---
+  RoutingAlgorithm routing = RoutingAlgorithm::kXY;
+  LinkProtection protection = LinkProtection::kHbh;
+  /// Hard faults: links dead from the start of the run (both directions of
+  /// the physical channel). The paper models link outages as static state
+  /// in the VA's link-state table (§4.2); adaptive routing detours around
+  /// them, deterministic routing cannot. Override syntax: "dead_link=5:E"
+  /// (node 5's East link), repeatable.
+  std::vector<std::pair<NodeId, Direction>> dead_links;
+  /// Allocation Comparator present (§4). Off = logic upsets go unprotected
+  /// (ablation baseline).
+  bool enable_ac = true;
+  /// Detection-only link code: the receiver retransmits on *any* detected
+  /// error instead of correcting single-bit upsets in place. Models the
+  /// pure-retransmission baselines of the Figure 5 comparison; the paper's
+  /// proposed scheme is the hybrid (false).
+  bool ecc_detect_only = false;
+  /// §4.5's fool-proof option: duplicate retransmission buffers. A
+  /// corrupted barrel copy is recovered from the duplicate instead of
+  /// looping forever; costs double rtx area/power.
+  bool duplicate_rtx_buffers = false;
+  /// §4.6: Triple Module Redundancy on the handshaking lines (credits and
+  /// NACKs). On by default, as the paper proposes; disabling it exposes
+  /// handshake upsets (credit leaks / lost NACKs).
+  bool tmr_handshaking = true;
+  FaultConfig faults;
+  DeadlockConfig deadlock;
+
+  // --- Run control ---
+  std::uint64_t seed = 1;
+  std::uint64_t warmup_messages = 100'000;  ///< Paper: 100k warm-up.
+  std::uint64_t total_messages = 300'000;   ///< Paper: 300k ejected total.
+  Cycle max_cycles = 10'000'000;  ///< Hard stop (diverged/saturated runs).
+
+  int num_nodes() const { return mesh_width * mesh_height; }
+
+  /// Validates invariants (positive sizes, rates in [0,1], ...).
+  /// Returns an error description, or nullopt if the config is valid.
+  std::optional<std::string> validate() const;
+};
+
+/// Parses `key=value` overrides (e.g. from argv) into `cfg`.
+/// Recognized keys mirror the field names, e.g. "mesh_width=4",
+/// "protection=hbh", "pattern=bc", "routing=adaptive",
+/// "link_error_rate=0.001". Returns an error message on unknown key or
+/// malformed value.
+std::optional<std::string> apply_override(SimConfig& cfg,
+                                          const std::string& assignment);
+
+/// Applies a whole argv-style list of overrides; stops at the first error.
+std::optional<std::string> apply_overrides(
+    SimConfig& cfg, const std::vector<std::string>& assignments);
+
+}  // namespace ftnoc

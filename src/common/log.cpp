@@ -1,0 +1,33 @@
+#include "common/log.hpp"
+
+namespace ftnoc {
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kTrace: return "T";
+    case LogLevel::kOff: return "-";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() {
+  return g_level;
+}
+
+void set_log_level(LogLevel level) {
+  g_level = level;
+}
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[ftnoc %s] %s\n", level_tag(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace ftnoc

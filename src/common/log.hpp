@@ -1,0 +1,40 @@
+#pragma once
+// Minimal leveled logging. Off by default; enabled per-run for debugging
+// (e.g. tracing a deadlock recovery episode in an example binary).
+
+#include <cstdio>
+#include <string>
+
+namespace ftnoc {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kTrace = 4,
+};
+
+/// Global log threshold. Not thread-safe by design: the simulator is
+/// single-threaded and benches set this once at startup.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+}  // namespace ftnoc
+
+#define FTNOC_LOG(level, msg)                                     \
+  do {                                                            \
+    if (static_cast<int>(level) <=                                \
+        static_cast<int>(::ftnoc::log_level())) {                 \
+      ::ftnoc::detail::log_line((level), (msg));                  \
+    }                                                             \
+  } while (false)
+
+#define FTNOC_TRACE(msg) FTNOC_LOG(::ftnoc::LogLevel::kTrace, (msg))
+#define FTNOC_INFO(msg) FTNOC_LOG(::ftnoc::LogLevel::kInfo, (msg))
+#define FTNOC_WARN(msg) FTNOC_LOG(::ftnoc::LogLevel::kWarn, (msg))
+#define FTNOC_ERROR(msg) FTNOC_LOG(::ftnoc::LogLevel::kError, (msg))

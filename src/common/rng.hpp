@@ -1,0 +1,38 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Simulations must be reproducible per seed: every stochastic decision
+// (injection, destination choice, fault arrival, bit positions) draws from
+// an Rng instance owned by the component making the decision, so adding a
+// component never perturbs another component's stream.
+
+#include <cstdint>
+
+namespace ftnoc {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, 2^256-1 period.
+/// Seeded through splitmix64 so that nearby seeds give unrelated streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ftnoc

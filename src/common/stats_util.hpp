@@ -1,0 +1,73 @@
+#pragma once
+// Small statistics helpers used by the metric collectors.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ftnoc {
+
+/// Streaming mean/min/max/variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [0, bucket_width * num_buckets); values past
+/// the end land in the overflow bucket. Used for latency distributions.
+class Histogram {
+ public:
+  Histogram(double bucket_width, std::size_t num_buckets);
+
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return total_; }
+  std::size_t bucket(std::size_t i) const { return buckets_.at(i); }
+  std::size_t num_buckets() const { return buckets_.size(); }
+  std::size_t overflow() const { return overflow_; }
+  double bucket_width() const { return width_; }
+
+  /// Value below which `q` (in [0,1]) of the samples fall, estimated from
+  /// bucket boundaries. Returns 0 for an empty histogram.
+  double quantile(double q) const;
+
+ private:
+  double width_;
+  std::vector<std::size_t> buckets_;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// A simple saturating event counter keyed by small enum-like indices.
+class CounterSet {
+ public:
+  explicit CounterSet(std::size_t n) : counts_(n, 0) {}
+
+  void inc(std::size_t i, std::uint64_t by = 1) { counts_.at(i) += by; }
+  std::uint64_t get(std::size_t i) const { return counts_.at(i); }
+  std::size_t size() const { return counts_.size(); }
+  void reset();
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace ftnoc

@@ -1,0 +1,92 @@
+#include "core/allocation_comparator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ftnoc {
+
+AllocationComparator::AllocationComparator(int num_ports, int num_vcs)
+    : num_ports_(num_ports), num_vcs_(num_vcs) {
+  FTNOC_CHECK(num_ports >= 1 && num_ports <= 8);
+  FTNOC_CHECK(num_vcs >= 1 && num_vcs <= 16);
+}
+
+AcReport AllocationComparator::check(
+    const std::vector<RoutingStateEntry>& routing,
+    const std::vector<VaStateEntry>& va,
+    const std::vector<SaStateEntry>& sa) const {
+  AcReport report;
+  auto note = [&report](AcErrorKind k) {
+    ++report.kind_counts[static_cast<int>(k)];
+  };
+  auto flag_va = [&](std::size_t i, AcErrorKind k) {
+    if (std::find(report.bad_va_entries.begin(), report.bad_va_entries.end(),
+                  i) == report.bad_va_entries.end()) {
+      report.bad_va_entries.push_back(i);
+    }
+    note(k);
+  };
+  auto flag_sa = [&](std::size_t i, AcErrorKind k) {
+    if (std::find(report.bad_sa_entries.begin(), report.bad_sa_entries.end(),
+                  i) == report.bad_sa_entries.end()) {
+      report.bad_sa_entries.push_back(i);
+    }
+    note(k);
+  };
+
+  // --- Check (2): invalid output VC / output port ids. ---
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    if (va[i].out_port >= num_ports_ || va[i].out_vc >= num_vcs_) {
+      flag_va(i, AcErrorKind::kVaInvalidVc);
+    }
+  }
+
+  // --- Check (1): VA assignment must agree with the routing function. ---
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    if (va[i].out_port >= num_ports_) continue;  // Already flagged above.
+    auto rt = std::find_if(routing.begin(), routing.end(),
+                           [&](const RoutingStateEntry& r) {
+                             return r.input_vc == va[i].input_vc;
+                           });
+    // An allocation with no routing row at all is itself erroneous: the VA
+    // acted on a request the RT never produced.
+    if (rt == routing.end() ||
+        (rt->valid_ports & (1u << va[i].out_port)) == 0) {
+      flag_va(i, AcErrorKind::kVaRoutingMismatch);
+    }
+  }
+
+  // --- Check (2), duplicates: one output VC paired with two input VCs. ---
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    if (va[i].out_port >= num_ports_ || va[i].out_vc >= num_vcs_) continue;
+    for (std::size_t j = i + 1; j < va.size(); ++j) {
+      if (va[i].out_port == va[j].out_port && va[i].out_vc == va[j].out_vc) {
+        flag_va(i, AcErrorKind::kVaDuplicateVc);
+        flag_va(j, AcErrorKind::kVaDuplicateVc);
+      }
+    }
+  }
+
+  // --- Check (3): SA duplicate outputs and multicast. ---
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].out_port >= num_ports_ || sa[i].in_port >= num_ports_) {
+      flag_sa(i, AcErrorKind::kSaDuplicateOutput);
+      continue;
+    }
+    for (std::size_t j = i + 1; j < sa.size(); ++j) {
+      if (sa[i].out_port == sa[j].out_port) {
+        flag_sa(i, AcErrorKind::kSaDuplicateOutput);
+        flag_sa(j, AcErrorKind::kSaDuplicateOutput);
+      }
+      if (sa[i].in_port == sa[j].in_port) {
+        flag_sa(i, AcErrorKind::kSaMulticast);
+        flag_sa(j, AcErrorKind::kSaMulticast);
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace ftnoc

@@ -1,0 +1,90 @@
+#pragma once
+// The Allocation Comparator (AC) unit — Figure 12 of the paper.
+//
+// A purely combinational checker that cross-compares the state tables of
+// the Routing unit (RT), VC Allocator (VA) and Switch Allocator (SA) once
+// per cycle and flags logic soft errors:
+//
+//   (1) a VA-assigned output VC whose physical channel disagrees with the
+//       routing function's valid set            -> scenario 4(b), §4.1
+//   (2) invalid or duplicate output-VC assignments in the VA state
+//       -> scenarios (1)-(3), §4.1
+//   (3) invalid / duplicate / multicast grants in the SA state -> §4.3
+//
+// All three comparisons happen "in parallel, within one clock cycle"; a
+// raised flag invalidates the previous cycle's allocation, costing exactly
+// one cycle of re-arbitration. The unit never corrects — it detects, and
+// the allocators redo the work.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ftnoc {
+
+/// One row of the routing-unit state: the set of output ports the routing
+/// function returned for a given input VC (the paper assumes the routing
+/// function returns all VCs of one or more PCs, R => P).
+struct RoutingStateEntry {
+  std::uint16_t input_vc = 0;     ///< Global input VC id (port * V + vc).
+  std::uint8_t valid_ports = 0;   ///< Bitmask of permitted output ports.
+};
+
+/// One row of the VA state: a wormhole pairing input VC -> output VC.
+struct VaStateEntry {
+  std::uint16_t input_vc = 0;  ///< Global input VC id.
+  PortId out_port = kInvalidPort;
+  VcId out_vc = kInvalidVc;
+};
+
+/// One row of the SA state: a crossbar grant for this cycle.
+struct SaStateEntry {
+  PortId in_port = kInvalidPort;
+  PortId out_port = kInvalidPort;
+};
+
+/// Which check fired, for accounting.
+enum class AcErrorKind : std::uint8_t {
+  kVaRoutingMismatch = 0,  ///< Check (1).
+  kVaInvalidVc,            ///< Check (2): out_vc >= V or out_port >= P.
+  kVaDuplicateVc,          ///< Check (2): same output VC assigned twice.
+  kSaDuplicateOutput,      ///< Check (3): two inputs granted one output.
+  kSaMulticast,            ///< Check (3): one input granted many outputs.
+  kCount,
+};
+
+struct AcReport {
+  /// Indices into the checked VA vector that must be invalidated.
+  std::vector<std::size_t> bad_va_entries;
+  /// Indices into the checked SA vector that must be invalidated.
+  std::vector<std::size_t> bad_sa_entries;
+  std::uint64_t kind_counts[static_cast<int>(AcErrorKind::kCount)] = {};
+
+  bool any_error() const {
+    return !bad_va_entries.empty() || !bad_sa_entries.empty();
+  }
+};
+
+class AllocationComparator {
+ public:
+  /// @param num_ports  P — physical channels per router.
+  /// @param num_vcs    V — virtual channels per physical channel.
+  AllocationComparator(int num_ports, int num_vcs);
+
+  /// Runs the three parallel comparisons over this cycle's state tables.
+  /// `routing` must contain one entry per VA entry's input VC (entries for
+  /// other VCs are permitted and ignored).
+  AcReport check(const std::vector<RoutingStateEntry>& routing,
+                 const std::vector<VaStateEntry>& va,
+                 const std::vector<SaStateEntry>& sa) const;
+
+  int num_ports() const { return num_ports_; }
+  int num_vcs() const { return num_vcs_; }
+
+ private:
+  int num_ports_;
+  int num_vcs_;
+};
+
+}  // namespace ftnoc

@@ -1,0 +1,41 @@
+#pragma once
+// Receiver-side Error Detection/Correction unit (Figure 1). Wraps the
+// SEC/DED codec and classifies each arriving flit; the link-protection
+// policy decides what to do with the classification (accept / correct /
+// NACK-and-drop).
+
+#include <cstdint>
+
+#include "core/flit.hpp"
+#include "ecc/hamming.hpp"
+
+namespace ftnoc {
+
+enum class FlitCheck : std::uint8_t {
+  kClean = 0,        ///< Codeword intact.
+  kCorrected,        ///< Single-bit upset fixed in place (FEC).
+  kUncorrectable,    ///< Multi-bit upset detected; flit must be dropped /
+                     ///< retransmitted.
+};
+
+class ErrorCheckUnit {
+ public:
+  /// Decodes the flit's codeword. On kCorrected the flit's codeword is
+  /// rewritten with the repaired word (so downstream hops see clean data).
+  /// Counters accumulate per-classification totals.
+  FlitCheck check(Flit& f);
+
+  std::uint64_t clean_count() const { return clean_; }
+  std::uint64_t corrected_count() const { return corrected_; }
+  std::uint64_t uncorrectable_count() const { return uncorrectable_; }
+  std::uint64_t checks() const { return clean_ + corrected_ + uncorrectable_; }
+
+  void reset_counters();
+
+ private:
+  std::uint64_t clean_ = 0;
+  std::uint64_t corrected_ = 0;
+  std::uint64_t uncorrectable_ = 0;
+};
+
+}  // namespace ftnoc

@@ -1,0 +1,66 @@
+#pragma once
+// Bernoulli fault processes — the simulation-side stand-in for real SEU /
+// crosstalk events ("various soft faults were randomly generated both
+// within the routers and on the inter-router links", paper §2.2).
+//
+// Link faults physically flip bits in the flit's SEC/DED codeword so the
+// whole detection/correction path is exercised for real; logic faults are
+// delivered as upset decisions that the router applies to its RT/VA/SA
+// results (the AC unit then has to catch them).
+
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "core/flit.hpp"
+
+namespace ftnoc {
+
+enum class LinkFault : std::uint8_t {
+  kNone = 0,
+  kSingleBit,  ///< Correctable by SEC.
+  kMultiBit,   ///< Detected by DED, not correctable.
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& cfg, Rng rng);
+
+  /// Possibly corrupts a flit during one link traversal: flips one random
+  /// codeword bit (single) or two distinct bits (multi).
+  LinkFault maybe_corrupt_link(Flit& f);
+
+  /// Logic-upset decisions, one draw per protected operation.
+  bool upset_routing();        ///< Per routing computation (head flits).
+  bool upset_va_allocation();  ///< Per successful VA grant.
+  bool upset_sa_grant();       ///< Per successful SA grant.
+  bool upset_rtx_copy();       ///< Per retransmission-buffer replay (§4.5).
+  bool upset_handshake();      ///< Per credit/NACK transfer (§4.6).
+
+  /// Uniform random value for choosing *how* an upset manifests (which
+  /// wrong port/VC); exposed so the router's corruption is reproducible.
+  std::uint64_t random_below(std::uint64_t bound);
+
+  // Injection counters (ground truth of what was injected, as opposed to
+  // what was detected).
+  std::uint64_t link_single_injected() const { return link_single_; }
+  std::uint64_t link_multi_injected() const { return link_multi_; }
+  std::uint64_t rt_injected() const { return rt_; }
+  std::uint64_t va_injected() const { return va_; }
+  std::uint64_t sa_injected() const { return sa_; }
+  std::uint64_t rtx_injected() const { return rtx_; }
+  std::uint64_t handshake_injected() const { return handshake_; }
+
+ private:
+  FaultConfig cfg_;
+  Rng rng_;
+  std::uint64_t link_single_ = 0;
+  std::uint64_t link_multi_ = 0;
+  std::uint64_t rt_ = 0;
+  std::uint64_t va_ = 0;
+  std::uint64_t sa_ = 0;
+  std::uint64_t rtx_ = 0;
+  std::uint64_t handshake_ = 0;
+};
+
+}  // namespace ftnoc

@@ -1,0 +1,63 @@
+#include "core/logic_error_model.hpp"
+
+#include "common/check.hpp"
+
+namespace ftnoc {
+
+namespace {
+void check_stages(int n) {
+  FTNOC_CHECK(n >= 1 && n <= 4);
+}
+}  // namespace
+
+int va_recovery_penalty(int pipeline_stages) {
+  check_stages(pipeline_stages);
+  // The AC comparison runs in parallel with the following stage; detection
+  // invalidates the previous allocation and the VA re-arbitrates: 1 cycle,
+  // regardless of depth (§4.1).
+  return 1;
+}
+
+int sa_recovery_penalty(int pipeline_stages) {
+  check_stages(pipeline_stages);
+  return 1;  // Same argument as the VA case (§4.3).
+}
+
+int sa_collision_retransmit_penalty() {
+  return 2;  // NACK (1) + retransmission (1), §4.3 case (c).
+}
+
+int rt_recovery_penalty(int pipeline_stages, bool lookahead,
+                        RtMisrouteKind kind) {
+  check_stages(pipeline_stages);
+  switch (kind) {
+    case RtMisrouteKind::kBlockedOrInvalid:
+      if (!lookahead) {
+        // Current-node routing (4-/3-stage): the local VA catches the bad
+        // direction before transmission; one cycle to re-route (§4.2).
+        return 1;
+      }
+      // Look-ahead routing: the *next* router's VA catches it and NACKs.
+      // 2-stage: NACK(1) + re-route(1) + retransmission(1) = 3 cycles.
+      // 1-stage: NACK(1) + re-route-and-retransmit(1)      = 2 cycles.
+      return pipeline_stages >= 2 ? 3 : 2;
+    case RtMisrouteKind::kFunctionalDeterministic:
+      // Receiving router detects the DOR violation and NACKs: the penalty
+      // is 1 (NACK) + n (full re-route + retransmission through the pipe)
+      // where n is the pipeline depth (§4.2).
+      return 1 + pipeline_stages;
+    case RtMisrouteKind::kFunctionalAdaptive:
+      return 0;  // Undetected; cost appears as organic extra hops.
+  }
+  return 0;
+}
+
+bool ac_requires_neighbor_nack(int pipeline_stages) {
+  check_stages(pipeline_stages);
+  // In a 4-stage router the AC concludes before crossbar traversal, so no
+  // erroneous flit ever leaves; in 1-/2-/3-stage routers the check overlaps
+  // the crossbar stage (§4.1).
+  return pipeline_stages != 4;
+}
+
+}  // namespace ftnoc

@@ -1,0 +1,114 @@
+#include "core/retransmission_buffer.hpp"
+
+#include "common/check.hpp"
+
+namespace ftnoc {
+
+RetransmissionBuffer::RetransmissionBuffer(int depth, Cycle nack_window)
+    : depth_(depth), nack_window_(nack_window) {
+  FTNOC_CHECK(depth >= 1);
+  FTNOC_CHECK(nack_window >= 1);
+}
+
+void RetransmissionBuffer::record_transmission(const Flit& f, Cycle now) {
+  // If the transmitted flit is the front of the pending region, this
+  // transmission consumes it (replay or absorbed-flit send).
+  if (!pending_.empty() && pending_.front().flit.packet_id == f.packet_id &&
+      pending_.front().flit.seq == f.seq) {
+    pending_.pop_front();
+  }
+  if (occupancy() >= depth_) {
+    // Barrel-shifter retirement: the oldest sent flit falls off. Callers
+    // process NACKs before transmitting, so its NACK window has passed.
+    FTNOC_CHECK(!sent_.empty());
+    FTNOC_DCHECK(now - sent_.front().sent_at >= nack_window_);
+    sent_.pop_front();
+  }
+  sent_.push_back({f, now});
+}
+
+void RetransmissionBuffer::retire_expired(Cycle now) {
+  while (!sent_.empty() && now - sent_.front().sent_at > nack_window_) {
+    sent_.pop_front();
+  }
+}
+
+int RetransmissionBuffer::on_nack() {
+  const int n = static_cast<int>(sent_.size());
+  // Preserve order: sent flits are older than anything already pending.
+  while (!sent_.empty()) {
+    pending_.push_front({sent_.back().flit, /*credit_held=*/true});
+    sent_.pop_back();
+  }
+  return n;
+}
+
+const Flit& RetransmissionBuffer::front_pending() const {
+  FTNOC_CHECK(!pending_.empty());
+  return pending_.front().flit;
+}
+
+bool RetransmissionBuffer::front_pending_credit_held() const {
+  FTNOC_CHECK(!pending_.empty());
+  return pending_.front().credit_held;
+}
+
+Flit RetransmissionBuffer::pop_pending() {
+  FTNOC_CHECK(!pending_.empty());
+  Flit f = pending_.front().flit;
+  pending_.pop_front();
+  return f;
+}
+
+void RetransmissionBuffer::absorb(const Flit& f) {
+  FTNOC_CHECK(free_slots() > 0);
+  pending_.push_back({f, /*credit_held=*/false});
+}
+
+void RetransmissionBuffer::push_pending_back(const Flit& f) {
+  FTNOC_CHECK(free_slots() > 0);
+  pending_.push_back({f, /*credit_held=*/true});
+}
+
+void RetransmissionBuffer::absorb_as_owner(const Flit& f,
+                                           PacketId owner_pid) {
+  FTNOC_CHECK(free_slots() > 0);
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->flit.packet_id == owner_pid) ++it;
+  pending_.insert(it, {f, /*credit_held=*/false});
+}
+
+bool RetransmissionBuffer::contains_packet(PacketId pid) const {
+  for (const auto& e : sent_) {
+    if (e.flit.packet_id == pid) return true;
+  }
+  for (const auto& e : pending_) {
+    if (e.flit.packet_id == pid) return true;
+  }
+  return false;
+}
+
+bool RetransmissionBuffer::has_pending_for(PacketId pid) const {
+  for (const auto& e : pending_) {
+    if (e.flit.packet_id == pid) return true;
+  }
+  return false;
+}
+
+void RetransmissionBuffer::clear() {
+  sent_.clear();
+  pending_.clear();
+}
+
+void RetransmissionBuffer::tick_utilization() {
+  ++util_cycles_;
+  util_occupied_slot_cycles_ += static_cast<std::uint64_t>(occupancy());
+}
+
+double RetransmissionBuffer::mean_utilization() const {
+  if (util_cycles_ == 0) return 0.0;
+  return static_cast<double>(util_occupied_slot_cycles_) /
+         (static_cast<double>(util_cycles_) * static_cast<double>(depth_));
+}
+
+}  // namespace ftnoc

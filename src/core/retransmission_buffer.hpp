@@ -1,0 +1,139 @@
+#pragma once
+// The paper's transmission/retransmission buffer (Figure 3): a barrel-shift
+// register of depth R (default 3) attached to each output VC.
+//
+// Normal operation: every flit copied onto the link is also pushed into the
+// "sent" region; when the buffer is full the oldest sent flit falls off the
+// end and retires — by then any NACK for it has already been processed,
+// since the NACK loop is link(1) + check(1) + NACK(1) = 3 cycles and NACKs
+// are processed before transmissions within a cycle. Idle periods retire
+// sent flits by age instead (retire_expired), so a later NACK can never
+// roll back flits whose NACK window has passed.
+//
+// On a NACK the whole sent region — the errored flit plus the (up to R-1)
+// flits the receiver dropped behind it — rolls back into the "pending"
+// region and is replayed in order, oldest first (Figure 4). Replayed flits
+// still own their downstream buffer slot (the credit was consumed at first
+// transmission), which `credit_held` records.
+//
+// Deadlock recovery (paper §3.2) reuses the same storage: a blocked router
+// absorbs flits from its transmission buffer into the pending region
+// ("direct input" in Figure 3) with credit_held = false — they compete for
+// a downstream credit when they are finally transmitted.
+
+#include <cstddef>
+#include <deque>
+
+#include "common/types.hpp"
+#include "core/flit.hpp"
+
+namespace ftnoc {
+
+class RetransmissionBuffer {
+ public:
+  /// Default NACK window: link (1) + error check (1) + NACK
+  /// propagation (1). A router with a dedicated switch-traversal stage
+  /// (4-stage pipeline) adds one more in-flight cycle.
+  static constexpr Cycle kDefaultNackWindow = 3;
+
+  /// @param nack_window  cycles a flit can still be NACKed after its
+  ///                     transmission was recorded.
+  explicit RetransmissionBuffer(int depth,
+                                Cycle nack_window = kDefaultNackWindow);
+
+  int depth() const { return depth_; }
+  int occupancy() const {
+    return static_cast<int>(sent_.size() + pending_.size());
+  }
+  int free_slots() const { return depth_ - occupancy(); }
+
+  bool has_pending() const { return !pending_.empty(); }
+  int pending_count() const { return static_cast<int>(pending_.size()); }
+  int sent_count() const { return static_cast<int>(sent_.size()); }
+
+  /// Records that `f` was just transmitted on the link at cycle `now`.
+  /// If `f` is the front pending flit this is a replay (or the transmission
+  /// of an absorbed flit) and it moves from pending to sent. When the
+  /// buffer is full the oldest sent flit retires (barrel-shifter semantics).
+  void record_transmission(const Flit& f, Cycle now);
+
+  /// Retires sent flits whose NACK window has passed (now - sent_at >
+  /// nack_window). Call once per cycle, before processing incoming NACKs.
+  void retire_expired(Cycle now);
+
+  /// True if a transmission can be recorded at `now`: either a slot is
+  /// free, or the oldest sent flit's NACK window has closed so the barrel
+  /// shift retires it in the same cycle (back-to-back streaming never
+  /// stalls on a depth-3 buffer).
+  bool can_accept(Cycle now) const {
+    if (free_slots() > 0) return true;
+    return !sent_.empty() && now - sent_.front().sent_at >= nack_window_;
+  }
+
+  /// A NACK arrived: every sent-but-unretired flit must be replayed.
+  /// Rolls the sent region into the front of the pending region, preserving
+  /// transmission order; all rolled-back entries keep their credit.
+  /// Returns the number of flits scheduled for replay.
+  int on_nack();
+
+  /// Next flit to (re)transmit.
+  const Flit& front_pending() const;
+  /// Whether the front pending flit already owns a downstream buffer slot.
+  bool front_pending_credit_held() const;
+
+  /// Pops the front pending flit without transmitting it (used when an
+  /// absorbed flit is consumed locally, e.g. ejected at its destination).
+  Flit pop_pending();
+
+  /// Deadlock recovery: absorb a flit from the transmission buffer into the
+  /// pending region (paper Figure 10, step 2). Requires a free slot.
+  void absorb(const Flit& f);
+
+  /// Absorbs a flit of the output VC's *current owner*, inserting it after
+  /// the owner's existing pending flits but before any queued waiter's
+  /// (the owner's wormhole completes first on the wire). Requires a free
+  /// slot.
+  void absorb_as_owner(const Flit& f, PacketId owner_pid);
+
+  /// Appends a flit to the back of the pending region with its credit
+  /// already held — used when a NACK squashes the 4-stage router's staged
+  /// switch-traversal register (the flit consumed its credit at allocation
+  /// and must still be transmitted, after the rolled-back sent flits).
+  void push_pending_back(const Flit& f);
+
+  /// True if any held flit (sent or pending) belongs to `pid` — used to
+  /// keep an output VC reserved until a packet's tail can no longer be
+  /// replayed.
+  bool contains_packet(PacketId pid) const;
+
+  /// True if any *pending* flit belongs to `pid`. New transmissions of a
+  /// packet must wait while that packet still has pending (older) flits;
+  /// pending flits of a *different* packet (a deadlock-recovery waiter
+  /// queued behind the current owner) do not block the owner.
+  bool has_pending_for(PacketId pid) const;
+
+  void clear();
+
+  /// Lifetime utilization accounting: call once per cycle.
+  void tick_utilization();
+  double mean_utilization() const;
+
+ private:
+  struct SentEntry {
+    Flit flit;
+    Cycle sent_at;
+  };
+  struct PendingEntry {
+    Flit flit;
+    bool credit_held;
+  };
+
+  int depth_;
+  Cycle nack_window_;
+  std::deque<SentEntry> sent_;        ///< Oldest at front.
+  std::deque<PendingEntry> pending_;  ///< Next to transmit at front.
+  std::uint64_t util_cycles_ = 0;
+  std::uint64_t util_occupied_slot_cycles_ = 0;
+};
+
+}  // namespace ftnoc

@@ -1,0 +1,129 @@
+#include "ecc/hamming.hpp"
+
+#include <array>
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace ftnoc::ecc {
+namespace {
+
+constexpr bool is_power_of_two(int x) {
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+struct Masks {
+  // For each of the 7 Hamming check groups: the set of codeword positions
+  // participating in that parity group, split into lo (0..63) / hi (64..71).
+  std::array<std::uint64_t, kCheckBits> lo{};
+  std::array<std::uint8_t, kCheckBits> hi{};
+  // Position (1..71) of the i-th data bit within the codeword.
+  std::array<std::uint8_t, kDataBits> data_pos{};
+};
+
+constexpr Masks build_masks() {
+  Masks m{};
+  int data_index = 0;
+  for (int pos = 1; pos < kCodewordBits; ++pos) {
+    if (!is_power_of_two(pos)) {
+      m.data_pos[data_index++] = static_cast<std::uint8_t>(pos);
+    }
+    for (int g = 0; g < kCheckBits; ++g) {
+      if (pos & (1 << g)) {
+        if (pos < 64) {
+          m.lo[g] |= (1ULL << pos);
+        } else {
+          m.hi[g] = static_cast<std::uint8_t>(m.hi[g] | (1u << (pos - 64)));
+        }
+      }
+    }
+  }
+  return m;
+}
+
+constexpr Masks kMasks = build_masks();
+
+int group_parity(const Codeword& cw, int g) {
+  const int p = std::popcount(cw.lo & kMasks.lo[g]) +
+                std::popcount(static_cast<unsigned>(cw.hi & kMasks.hi[g]));
+  return p & 1;
+}
+
+int overall_parity(const Codeword& cw) {
+  return (std::popcount(cw.lo) + std::popcount(static_cast<unsigned>(cw.hi))) &
+         1;
+}
+
+}  // namespace
+
+bool Codeword::bit(int pos) const {
+  FTNOC_DCHECK(pos >= 0 && pos < kCodewordBits);
+  if (pos < 64) return (lo >> pos) & 1;
+  return (hi >> (pos - 64)) & 1;
+}
+
+void Codeword::flip(int pos) {
+  FTNOC_DCHECK(pos >= 0 && pos < kCodewordBits);
+  if (pos < 64) {
+    lo ^= (1ULL << pos);
+  } else {
+    hi = static_cast<std::uint8_t>(hi ^ (1u << (pos - 64)));
+  }
+}
+
+Codeword encode(std::uint64_t data) {
+  Codeword cw;
+  // Scatter data bits into their codeword positions.
+  for (int i = 0; i < kDataBits; ++i) {
+    if ((data >> i) & 1) cw.flip(kMasks.data_pos[i]);
+  }
+  // Set each check bit so its group's parity is even. The check bit at
+  // position 2^g participates in group g, so flipping it fixes exactly that
+  // group.
+  for (int g = 0; g < kCheckBits; ++g) {
+    if (group_parity(cw, g)) cw.flip(1 << g);
+  }
+  // Overall parity bit (position 0) makes the full codeword even-parity.
+  if (overall_parity(cw)) cw.flip(0);
+  return cw;
+}
+
+std::uint64_t extract_data(const Codeword& cw) {
+  std::uint64_t data = 0;
+  for (int i = 0; i < kDataBits; ++i) {
+    if (cw.bit(kMasks.data_pos[i])) data |= (1ULL << i);
+  }
+  return data;
+}
+
+DecodeResult decode(const Codeword& cw) {
+  int syndrome = 0;
+  for (int g = 0; g < kCheckBits; ++g) {
+    syndrome |= group_parity(cw, g) << g;
+  }
+  const int parity = overall_parity(cw);
+
+  if (syndrome == 0 && parity == 0) {
+    return {DecodeStatus::kClean, extract_data(cw)};
+  }
+  if (syndrome == 0 && parity == 1) {
+    // The overall parity bit itself flipped; data is intact.
+    return {DecodeStatus::kCorrected, extract_data(cw)};
+  }
+  if (parity == 1) {
+    // Odd number of flips with a non-zero syndrome: a single-bit error at
+    // position `syndrome` — unless the syndrome points outside the
+    // codeword, which can only result from >= 3 flips.
+    if (syndrome >= kCodewordBits) {
+      return {DecodeStatus::kUncorrectable, 0};
+    }
+    Codeword fixed = cw;
+    fixed.flip(syndrome);
+    return {DecodeStatus::kCorrected, extract_data(fixed)};
+  }
+  // Non-zero syndrome with even parity: double-bit error. Detected, not
+  // correctable.
+  return {DecodeStatus::kUncorrectable, 0};
+}
+
+}  // namespace ftnoc::ecc

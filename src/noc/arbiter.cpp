@@ -1,0 +1,40 @@
+#include "noc/arbiter.hpp"
+
+#include "common/check.hpp"
+
+namespace ftnoc {
+
+RoundRobinArbiter::RoundRobinArbiter(int num_requesters)
+    : n_(num_requesters) {
+  FTNOC_CHECK(num_requesters >= 1 && num_requesters <= 32);
+}
+
+int RoundRobinArbiter::pick(std::uint32_t requests) const {
+  if (requests == 0) return -1;
+  // Scan from last_grant_+1 wrapping around: oldest-priority-first.
+  for (int off = 1; off <= n_; ++off) {
+    const int i = (last_grant_ + off) % n_;
+    if (requests & (1u << i)) return i;
+  }
+  return -1;
+}
+
+int RoundRobinArbiter::arbitrate(std::uint32_t requests) {
+  const int g = pick(requests);
+  if (g >= 0) last_grant_ = g;
+  return g;
+}
+
+int RoundRobinArbiter::peek(std::uint32_t requests) const {
+  return pick(requests);
+}
+
+ArbiterBank::ArbiterBank(int num_arbiters, int num_requesters) {
+  FTNOC_CHECK(num_arbiters >= 1);
+  arbiters_.reserve(static_cast<std::size_t>(num_arbiters));
+  for (int i = 0; i < num_arbiters; ++i) {
+    arbiters_.emplace_back(num_requesters);
+  }
+}
+
+}  // namespace ftnoc

@@ -1,0 +1,48 @@
+#pragma once
+// Round-robin arbiter — the building block of the separable VA and SA
+// allocators. Grants rotate so the last winner becomes the lowest priority,
+// giving strong local fairness (no starvation among persistent requesters).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ftnoc {
+
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(int num_requesters);
+
+  /// Picks one set bit of `requests` (bit i = requester i), favouring the
+  /// requester after the previous winner. Returns -1 if no requests.
+  /// Updates the rotation state on a grant.
+  int arbitrate(std::uint32_t requests);
+
+  /// As `arbitrate` but leaves rotation state untouched (used for
+  /// "what-if" queries by the deadlock probing logic).
+  int peek(std::uint32_t requests) const;
+
+  int size() const { return n_; }
+
+ private:
+  int pick(std::uint32_t requests) const;
+
+  int n_;
+  int last_grant_ = -1;
+};
+
+/// A bank of independent round-robin arbiters (one per output resource).
+class ArbiterBank {
+ public:
+  ArbiterBank(int num_arbiters, int num_requesters);
+
+  RoundRobinArbiter& at(int i) { return arbiters_.at(i); }
+  const RoundRobinArbiter& at(int i) const { return arbiters_.at(i); }
+  int size() const { return static_cast<int>(arbiters_.size()); }
+
+ private:
+  std::vector<RoundRobinArbiter> arbiters_;
+};
+
+}  // namespace ftnoc

@@ -1,0 +1,74 @@
+#pragma once
+// One-cycle pipeline registers modelling wires between routers.
+//
+// A value written during cycle t becomes readable during cycle t+1 (after
+// Network::tick_channels()). Routers communicate *only* through channels,
+// which makes the sequential router update order within a cycle
+// unobservable — the simulation behaves as if all routers stepped in
+// lockstep.
+
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ftnoc {
+
+template <typename T>
+class Channel {
+ public:
+  /// Writes the value to appear on the wire next cycle. At most one write
+  /// per cycle (the wire has no buffering).
+  void write(const T& v) {
+    FTNOC_CHECK(!next_.has_value());
+    next_ = v;
+  }
+
+  bool can_write() const { return !next_.has_value(); }
+
+  /// Reads and consumes this cycle's value, if any.
+  std::optional<T> read() {
+    std::optional<T> v = std::move(cur_);
+    cur_.reset();
+    return v;
+  }
+
+  const std::optional<T>& peek() const { return cur_; }
+
+  /// Advances the register: next-cycle value becomes current.
+  /// An unconsumed current value is dropped — wires don't hold state.
+  void tick() {
+    cur_ = std::move(next_);
+    next_.reset();
+  }
+
+ private:
+  std::optional<T> cur_;
+  std::optional<T> next_;
+};
+
+/// A channel that can carry several independent values per cycle (used for
+/// credits: distinct VCs may each return a credit in the same cycle).
+template <typename T>
+class MultiChannel {
+ public:
+  void write(const T& v) { next_.push_back(v); }
+
+  /// Reads and consumes all of this cycle's values.
+  std::vector<T> read() {
+    std::vector<T> v = std::move(cur_);
+    cur_.clear();
+    return v;
+  }
+
+  void tick() {
+    cur_ = std::move(next_);
+    next_.clear();
+  }
+
+ private:
+  std::vector<T> cur_;
+  std::vector<T> next_;
+};
+
+}  // namespace ftnoc

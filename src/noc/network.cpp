@@ -1,0 +1,342 @@
+#include "noc/network.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace ftnoc {
+namespace {
+constexpr PortId kLocalPort = static_cast<PortId>(Direction::kLocal);
+}
+
+// ---------------------------------------------------------------------------
+// ProcessingElement
+// ---------------------------------------------------------------------------
+
+ProcessingElement::ProcessingElement(NodeId self, const SimConfig& cfg,
+                                     const Topology& topo, Wire* to_router,
+                                     StatsCollector* stats, Rng rng)
+    : self_(self), cfg_(cfg), wire_(to_router), stats_(stats) {
+  if (cfg.injection_rate > 0.0) {
+    source_.emplace(topo, self, cfg.pattern, cfg.injection_rate,
+                    cfg.packet_length, rng);
+  }
+  lanes_.resize(static_cast<std::size_t>(cfg.num_vcs));
+  for (auto& lane : lanes_) lane.credits = cfg.vc_buffer_depth;
+}
+
+void ProcessingElement::enqueue_packet(std::vector<Flit> flits, bool front) {
+  FTNOC_CHECK(!flits.empty());
+  if (front) {
+    pending_.push_front(std::move(flits));
+  } else {
+    pending_.push_back(std::move(flits));
+  }
+}
+
+void ProcessingElement::hold_for_e2e(const std::vector<Flit>& flits) {
+  e2e_buffer_.emplace(flits.front().packet_id, flits);
+}
+
+void ProcessingElement::e2e_ack(PacketId pid) {
+  e2e_buffer_.erase(pid);
+}
+
+void ProcessingElement::e2e_nack(PacketId pid) {
+  const auto it = e2e_buffer_.find(pid);
+  if (it == e2e_buffer_.end()) return;  // Already acknowledged (stale NACK).
+  // Retransmit a clean copy: re-encode every codeword from the ground-truth
+  // payload and inject ahead of new traffic. The original birth cycle is
+  // preserved so the measured latency includes the full recovery.
+  std::vector<Flit> copy = it->second;
+  for (auto& f : copy) f.codeword = ecc::encode(f.payload);
+  if (stats_) stats_->on_e2e_retransmit();
+  enqueue_packet(std::move(copy), /*front=*/true);
+}
+
+void ProcessingElement::step(Cycle now, PacketId& next_packet_id,
+                             bool router_in_recovery) {
+  // Credits returned by the router's local input buffers.
+  for (const Credit& c : wire_->credit.read()) {
+    auto& lane = lanes_.at(c.vc);
+    ++lane.credits;
+    FTNOC_CHECK(lane.credits <= cfg_.vc_buffer_depth);
+  }
+
+  // Generate new traffic.
+  if (source_) {
+    if (auto pkt = source_->maybe_generate(now, next_packet_id)) {
+      if (stats_) stats_->on_packet_created();
+      if (cfg_.protection == LinkProtection::kE2e) hold_for_e2e(*pkt);
+      pending_.push_back(std::move(*pkt));
+    }
+  }
+
+  // Move waiting packets into free lanes (one wormhole per local VC) —
+  // unless the router is recovering from a deadlock, which admits no new
+  // packets.
+  for (std::size_t v = 0; !router_in_recovery && v < lanes_.size(); ++v) {
+    if (pending_.empty()) break;
+    auto& lane = lanes_[v];
+    if (lane.busy || !lane.flits.empty()) continue;
+    auto pkt = std::move(pending_.front());
+    pending_.pop_front();
+    lane.busy = true;
+    for (auto& f : pkt) {
+      f.vc = static_cast<VcId>(v);
+      lane.flits.push_back(std::move(f));
+    }
+  }
+
+  // Send at most one flit per cycle over the PE-to-router channel.
+  if (!wire_->flit.can_write()) return;
+  const int nv = static_cast<int>(lanes_.size());
+  for (int off = 0; off < nv; ++off) {
+    const int v = (send_rotation_ + off) % nv;
+    auto& lane = lanes_[static_cast<std::size_t>(v)];
+    if (lane.flits.empty() || lane.credits <= 0) continue;
+    Flit f = lane.flits.front();
+    lane.flits.pop_front();
+    --lane.credits;
+    // Stamp the network-injection time on the whole packet the moment its
+    // header enters the network (the wire delivers it next cycle, hence
+    // now + 1 — which also keeps 0 available as the "not injected yet"
+    // sentinel). An E2E retransmission keeps the first attempt's stamp.
+    if (is_head(f.type) && f.inject_cycle == 0) {
+      const Cycle stamp = now + 1;
+      for (auto& rest : lane.flits) rest.inject_cycle = stamp;
+      f.inject_cycle = stamp;
+      const auto held = e2e_buffer_.find(f.packet_id);
+      if (held != e2e_buffer_.end()) {
+        for (auto& h : held->second) h.inject_cycle = stamp;
+      }
+    }
+    wire_->flit.write(f);
+    if (stats_) stats_->on_flit_injected();
+    if (lane.flits.empty()) lane.busy = false;
+    send_rotation_ = (v + 1) % nv;
+    break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+Network::Network(const SimConfig& cfg)
+    : cfg_(cfg),
+      topo_(cfg.mesh_width, cfg.mesh_height, cfg.torus),
+      root_rng_(cfg.seed),
+      faults_(cfg.faults, Rng(cfg.seed ^ 0xFA017EC7ULL)) {
+  if (auto err = cfg_.validate()) {
+    FTNOC_ERROR("invalid SimConfig: " + *err);
+    FTNOC_CHECK(false && "invalid SimConfig");
+  }
+  const int n = topo_.num_nodes();
+  eject_state_.resize(static_cast<std::size_t>(n));
+
+  routers_.reserve(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    routers_.push_back(std::make_unique<Router>(i, cfg_, topo_, &faults_,
+                                                &meter_, &stats_));
+  }
+
+  // Wires. link_wires_[node*4 + d] is the directed wire leaving `node`
+  // through direction d (flit/probe/activation forward; credit/NACK back).
+  link_wires_.resize(static_cast<std::size_t>(n) * 4);
+  local_wires_.resize(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    for (int d = 0; d < 4; ++d) {
+      if (topo_.has_neighbor(i, static_cast<Direction>(d))) {
+        link_wires_[static_cast<std::size_t>(i) * 4 + d] =
+            std::make_unique<Wire>();
+      }
+    }
+    local_wires_[i] = std::make_unique<Wire>();
+  }
+
+  for (NodeId i = 0; i < n; ++i) {
+    for (int d = 0; d < 4; ++d) {
+      const auto dir = static_cast<Direction>(d);
+      Wire* out = link_wires_[static_cast<std::size_t>(i) * 4 + d].get();
+      Wire* in = nullptr;
+      if (auto nb = topo_.neighbor(i, dir)) {
+        const int back = static_cast<int>(opposite(dir));
+        in = link_wires_[static_cast<std::size_t>(*nb) * 4 + back].get();
+      }
+      routers_[i]->connect(static_cast<PortId>(d), in, out);
+    }
+    routers_[i]->connect(kLocalPort, local_wires_[i].get(), nullptr);
+    routers_[i]->set_eject_fn([this, i](const Flit& f, Cycle now) {
+      on_eject(i, f, now);
+    });
+  }
+
+  pes_.reserve(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    pes_.push_back(std::make_unique<ProcessingElement>(
+        i, cfg_, topo_, local_wires_[i].get(), &stats_, root_rng_.fork()));
+  }
+
+  // Hard faults: kill both directions of each configured physical link
+  // (static outages, pre-programmed in the VA link-state tables per §4.2).
+  for (const auto& [node, dir] : cfg_.dead_links) {
+    const auto nb = topo_.neighbor(node, dir);
+    if (!nb) continue;  // Already a mesh edge; nothing to fail.
+    routers_[node]->fail_link(static_cast<PortId>(dir));
+    routers_[*nb]->fail_link(static_cast<PortId>(opposite(dir)));
+  }
+}
+
+int Network::hop_distance(NodeId a, NodeId b) const {
+  const Coord ca = topo_.coord_of(a);
+  const Coord cb = topo_.coord_of(b);
+  // Manhattan distance; for a torus the wrap-around path may be shorter,
+  // but the E2E control path is routed minimally either way.
+  int dx = std::abs(ca.x - cb.x);
+  int dy = std::abs(ca.y - cb.y);
+  if (topo_.torus()) {
+    dx = std::min(dx, topo_.width() - dx);
+    dy = std::min(dy, topo_.height() - dy);
+  }
+  return dx + dy;
+}
+
+void Network::on_eject(NodeId dest, const Flit& f, Cycle now) {
+  auto& state = eject_state_[dest];
+  EjectRecord& rec = state[f.packet_id];
+  ++rec.flits;
+
+  // Payload oracle: decode what is actually on the wires and compare with
+  // the ground truth the source encoded.
+  if (cfg_.protection == LinkProtection::kE2e) {
+    meter_.charge(power::EnergyEvent::kEccCheck);
+  }
+  const ecc::DecodeResult r = ecc::decode(f.codeword);
+  const bool flit_bad =
+      r.status == ecc::DecodeStatus::kUncorrectable || r.data != f.payload ||
+      (cfg_.ecc_detect_only && r.status != ecc::DecodeStatus::kClean);
+  if (flit_bad) rec.bad = true;
+  if (r.status == ecc::DecodeStatus::kCorrected &&
+      cfg_.protection == LinkProtection::kE2e) {
+    stats_.on_link_single_corrected();
+  }
+
+  if (!is_tail(f.type)) return;
+
+  // An incomplete message (dropped flits that were never replayed, e.g.
+  // after a lost NACK) is corrupt even if every delivered flit is clean.
+  const bool packet_bad = rec.bad || rec.flits != cfg_.packet_length;
+  state.erase(f.packet_id);
+
+  if (cfg_.protection == LinkProtection::kE2e) {
+    const Cycle delay = static_cast<Cycle>(hop_distance(dest, f.src)) + 1;
+    if (packet_bad) {
+      // Request a retransmission from the source; the message is not
+      // delivered yet.
+      edge_events_.emplace(now + delay,
+                           EdgeEvent{f.src, f.packet_id, /*is_nack=*/true});
+      return;
+    }
+    edge_events_.emplace(now + delay,
+                         EdgeEvent{f.src, f.packet_id, /*is_nack=*/false});
+  }
+
+  if (packet_bad) stats_.on_unprotected_error();
+  stats_.on_message_ejected(now, f.birth_cycle, f.inject_cycle, packet_bad);
+  if (delivery_listener_) delivery_listener_(dest, f, now);
+}
+
+void Network::fire_due_events() {
+  while (!edge_events_.empty() && edge_events_.begin()->first <= now_) {
+    const EdgeEvent ev = edge_events_.begin()->second;
+    edge_events_.erase(edge_events_.begin());
+    if (ev.is_nack) {
+      pes_[ev.target]->e2e_nack(ev.pid);
+    } else {
+      pes_[ev.target]->e2e_ack(ev.pid);
+    }
+  }
+}
+
+PacketId Network::inject_packet(NodeId src, NodeId dest, int length) {
+  const PacketId pid = next_packet_id_++;
+  auto flits =
+      TrafficSource::build_packet(pid, src, dest, length, now_, nullptr);
+  stats_.on_packet_created();
+  if (cfg_.protection == LinkProtection::kE2e) pes_[src]->hold_for_e2e(flits);
+  pes_[src]->enqueue_packet(std::move(flits));
+  return pid;
+}
+
+void Network::load_trace(std::vector<TraceRecord> records) {
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    FTNOC_CHECK(records[i].cycle >= now_);
+    FTNOC_CHECK(i == 0 || records[i].cycle >= records[i - 1].cycle);
+    FTNOC_CHECK(records[i].src < topo_.num_nodes());
+    FTNOC_CHECK(records[i].dest < topo_.num_nodes());
+  }
+  trace_ = std::move(records);
+  trace_next_ = 0;
+}
+
+double Network::tx_buffer_fraction() const {
+  long long occ = 0;
+  long long slots = 0;
+  for (const auto& r : routers_) {
+    occ += r->tx_buffer_occupancy();
+    slots += r->tx_buffer_slots();
+  }
+  return slots ? static_cast<double>(occ) / static_cast<double>(slots) : 0.0;
+}
+
+double Network::rtx_buffer_fraction() const {
+  long long occ = 0;
+  long long slots = 0;
+  for (const auto& r : routers_) {
+    occ += r->rtx_buffer_occupancy();
+    slots += r->rtx_buffer_slots();
+  }
+  return slots ? static_cast<double>(occ) / static_cast<double>(slots) : 0.0;
+}
+
+void Network::step() {
+  fire_due_events();
+  // Trace replay: release the records due this cycle into their source
+  // PEs' queues (injection still obeys local-port credit flow control).
+  while (trace_next_ < trace_.size() &&
+         trace_[trace_next_].cycle <= now_) {
+    const TraceRecord& r = trace_[trace_next_++];
+    inject_packet(r.src, r.dest, r.length);
+  }
+  // "No new packets are allowed to enter the transmission buffers that are
+  // involved in the deadlock recovery" (§3.2.1), enforced transitively
+  // with a chip-wide wired-OR "recovery in progress" line: while ANY
+  // router recovers, every PE stops *starting* packets (in-flight packets
+  // keep streaming). Without it, sources far from the deadlock keep
+  // refilling the slack that absorption creates and a saturated region
+  // gridlocks at population == capacity, where Eq. (1) no longer holds.
+  for (NodeId i = 0; i < static_cast<NodeId>(pes_.size()); ++i) {
+    pes_[i]->step(now_, next_packet_id_,
+                  recovery_line_ || routers_[i]->in_recovery());
+  }
+  for (auto& r : routers_) r->step(now_);
+  stats_.sample_buffers(tx_buffer_fraction(), rtx_buffer_fraction());
+
+  recovery_line_ = false;
+  for (const auto& r : routers_) {
+    if (r->in_recovery()) {
+      recovery_line_ = true;
+      break;
+    }
+  }
+
+  for (auto& w : link_wires_) {
+    if (w) w->tick();
+  }
+  for (auto& w : local_wires_) w->tick();
+  ++now_;
+}
+
+}  // namespace ftnoc

@@ -1,0 +1,171 @@
+#pragma once
+// The assembled on-chip network: routers, inter-router wires, processing
+// elements (traffic sources/sinks), the shared fault injector and energy
+// meter, and the end-to-end (E2E) retransmission machinery that lives at
+// the network edge.
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/fault_injector.hpp"
+#include "core/flit.hpp"
+#include "noc/router.hpp"
+#include "noc/stats.hpp"
+#include "noc/topology.hpp"
+#include "noc/trace.hpp"
+#include "noc/traffic.hpp"
+#include "power/energy_model.hpp"
+
+namespace ftnoc {
+
+/// A processing element: generates packets, injects flits into its router's
+/// local port under credit flow control, and (for E2E) buffers sent packets
+/// until the destination acknowledges them.
+class ProcessingElement {
+ public:
+  ProcessingElement(NodeId self, const SimConfig& cfg, const Topology& topo,
+                    Wire* to_router, StatsCollector* stats, Rng rng);
+
+  /// One cycle: read credits, maybe generate a packet, move packets into
+  /// free local-VC lanes, send at most one flit. `router_in_recovery`
+  /// back-pressures *new* packets while the attached router runs deadlock
+  /// recovery ("no new packets are allowed to enter the transmission
+  /// buffers involved in the deadlock recovery", §3.2.1); flits of packets
+  /// already in flight keep streaming.
+  void step(Cycle now, PacketId& next_packet_id, bool router_in_recovery);
+
+  /// Queues a pre-built packet for injection (tests / examples). Front
+  /// insertion is used by the E2E retransmission path.
+  void enqueue_packet(std::vector<Flit> flits, bool front = false);
+
+  /// E2E: hold a clean copy of the packet until acknowledged.
+  void hold_for_e2e(const std::vector<Flit>& flits);
+  /// E2E: destination acknowledged — drop the copy.
+  void e2e_ack(PacketId pid);
+  /// E2E: destination reported corruption — retransmit a clean copy.
+  void e2e_nack(PacketId pid);
+
+  std::size_t pending_packets() const { return pending_.size(); }
+  std::size_t e2e_buffer_occupancy() const { return e2e_buffer_.size(); }
+
+ private:
+  struct Lane {
+    bool busy = false;
+    int credits;
+    std::deque<Flit> flits;
+  };
+
+  NodeId self_;
+  const SimConfig& cfg_;
+  Wire* wire_;
+  StatsCollector* stats_;
+  std::optional<TrafficSource> source_;
+  std::deque<std::vector<Flit>> pending_;
+  std::vector<Lane> lanes_;
+  int send_rotation_ = 0;
+  std::unordered_map<PacketId, std::vector<Flit>> e2e_buffer_;
+};
+
+/// Observer invoked for every delivered (clean) message:
+/// (dest, tail flit, delivery cycle).
+using DeliveryListener =
+    std::function<void(NodeId, const Flit&, Cycle)>;
+
+class Network {
+ public:
+  explicit Network(const SimConfig& cfg);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Advances the whole network one clock cycle.
+  void step();
+
+  Cycle now() const { return now_; }
+  const Topology& topology() const { return topo_; }
+  const SimConfig& config() const { return cfg_; }
+
+  StatsCollector& stats() { return stats_; }
+  const StatsCollector& stats() const { return stats_; }
+  power::EnergyMeter& meter() { return meter_; }
+  FaultInjector& faults() { return faults_; }
+
+  Router& router(NodeId n) { return *routers_.at(n); }
+  const Router& router(NodeId n) const { return *routers_.at(n); }
+  ProcessingElement& pe(NodeId n) { return *pes_.at(n); }
+
+  /// Builds and queues a packet for injection at `src` (tests/examples).
+  PacketId inject_packet(NodeId src, NodeId dest, int length);
+
+  /// Schedules a packet trace for replay: each record is injected at its
+  /// cycle (on top of any synthetic sources; set injection_rate = 0 for a
+  /// pure trace-driven run). Records must be sorted by cycle and at or
+  /// after the current cycle.
+  void load_trace(std::vector<TraceRecord> records);
+
+  void set_delivery_listener(DeliveryListener fn) {
+    delivery_listener_ = std::move(fn);
+  }
+
+  /// Network-wide buffer occupancy fractions this instant (Figures 8/9).
+  double tx_buffer_fraction() const;
+  double rtx_buffer_fraction() const;
+
+ private:
+  void on_eject(NodeId dest, const Flit& f, Cycle now);
+  void fire_due_events();
+  int hop_distance(NodeId a, NodeId b) const;
+
+  struct EdgeEvent {
+    NodeId target;      ///< PE that receives the control message (source).
+    PacketId pid;
+    bool is_nack;       ///< NACK = retransmit request; otherwise ACK.
+  };
+
+  SimConfig cfg_;
+  Topology topo_;
+  StatsCollector stats_;
+  power::EnergyMeter meter_;
+  Rng root_rng_;
+  FaultInjector faults_;
+  Cycle now_ = 0;
+  PacketId next_packet_id_ = 1;
+
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<ProcessingElement>> pes_;
+  // Directed inter-router wires: index = node * 4 + direction.
+  std::vector<std::unique_ptr<Wire>> link_wires_;
+  // PE -> router wires (local injection channel), one per node.
+  std::vector<std::unique_ptr<Wire>> local_wires_;
+
+  // Per-destination, per-packet delivery record maintained between head
+  // and tail ejection: corruption flag + flit count (a lost NACK or
+  // dropped flit shows up as an incomplete message).
+  struct EjectRecord {
+    bool bad = false;
+    int flits = 0;
+  };
+  std::vector<std::unordered_map<PacketId, EjectRecord>> eject_state_;
+
+  // Delayed E2E control messages (ACK/NACK back to the source PE).
+  std::multimap<Cycle, EdgeEvent> edge_events_;
+
+  // Trace replay: sorted records not yet injected.
+  std::vector<TraceRecord> trace_;
+  std::size_t trace_next_ = 0;
+
+  DeliveryListener delivery_listener_;
+  /// Chip-wide wired-OR "deadlock recovery in progress" line (sampled at
+  /// the end of each cycle; gates new-packet injection the next cycle).
+  bool recovery_line_ = false;
+};
+
+}  // namespace ftnoc

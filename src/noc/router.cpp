@@ -1,0 +1,1269 @@
+#include "noc/router.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "core/logic_error_model.hpp"
+
+namespace ftnoc {
+namespace {
+constexpr PortId kLocalPort = static_cast<PortId>(Direction::kLocal);
+
+// Deadlock-protocol event tracing, enabled by setting FTNOC_DBG in the
+// environment (used by the deadlock_rescue example and for debugging).
+bool trace_enabled() {
+  static const bool enabled = std::getenv("FTNOC_DBG") != nullptr;
+  return enabled;
+}
+}
+
+Router::Router(NodeId id, const SimConfig& cfg, const Topology& topo,
+               FaultInjector* faults, power::EnergyMeter* meter,
+               StatsCollector* stats)
+    : id_(id),
+      cfg_(cfg),
+      topo_(topo),
+      num_vcs_(cfg.num_vcs),
+      faults_(faults),
+      meter_(meter),
+      stats_(stats),
+      ac_(kNumDirections, cfg.num_vcs),
+      agent_(id, cfg.deadlock.probe_threshold, cfg.deadlock.probe_backoff,
+             cfg.deadlock.probe_timeout),
+      va_arbs_(kNumDirections * cfg.num_vcs, kNumDirections * cfg.num_vcs),
+      sa_in_arbs_(kNumDirections, cfg.num_vcs),
+      sa_out_arbs_(kNumDirections, kNumDirections),
+      replay_arbs_(kNumDirections, cfg.num_vcs) {
+  const int pv = num_ports_ * num_vcs_;
+  inputs_.resize(static_cast<std::size_t>(pv));
+  outputs_.resize(static_cast<std::size_t>(pv));
+  drop_until_.assign(static_cast<std::size_t>(pv), 0);
+  va_rotation_.assign(static_cast<std::size_t>(pv), 0);
+
+  // Retransmission buffers exist on network output VCs when the link
+  // protection scheme is HBH or when deadlock recovery (which reuses them)
+  // is enabled — mirroring the paper's observation that forgoing deadlock
+  // recovery support needs only the 3-deep link-error buffers.
+  const bool use_rtx =
+      cfg_.protection == LinkProtection::kHbh || cfg_.deadlock.enable_recovery;
+  for (PortId p = 0; p < num_ports_; ++p) {
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      auto& out = ovc(p, v);
+      if (p == kLocalPort) {
+        // Ejection channel: the PE always sinks flits; model as unbounded
+        // credit and no retransmission buffer.
+        out.credits = 1 << 28;
+      } else {
+        out.credits = cfg_.vc_buffer_depth;
+        if (use_rtx) out.rtx.emplace(cfg_.retransmission_depth);
+      }
+    }
+  }
+  probe_ttl_ = cfg_.deadlock.probe_ttl
+                   ? cfg_.deadlock.probe_ttl
+                   : static_cast<std::uint32_t>(4 * topo_.num_nodes());
+}
+
+void Router::connect(PortId p, Wire* in, Wire* out) {
+  FTNOC_CHECK(p < num_ports_);
+  in_wires_[p] = in;
+  out_wires_[p] = out;
+}
+
+bool Router::port_has_neighbor(PortId p) const {
+  if (p == kLocalPort) return false;
+  return topo_.has_neighbor(id_, static_cast<Direction>(p));
+}
+
+bool Router::port_usable(PortId p) const {
+  return port_has_neighbor(p) && !link_dead_[p];
+}
+
+void Router::fail_link(PortId p) {
+  FTNOC_CHECK(p < num_ports_ && p != kLocalPort);
+  link_dead_[p] = true;
+}
+
+void Router::charge(power::EnergyEvent e, std::uint64_t times) {
+  if (meter_) meter_->charge(e, times);
+}
+
+void Router::step(Cycle now) {
+  std::fill(port_busy_.begin(), port_busy_.end(), false);
+  phase_maintenance(now);
+  phase_receive(now);
+  switch (cfg_.pipeline_stages) {
+    case 1:
+      // Single-stage router: RT, VA, SA and ST all collapse into one cycle.
+      phase_rt(now);
+      phase_va(now);
+      phase_replay_and_switch(now);
+      break;
+    case 2:
+      // Look-ahead + speculation: RT and VA share a stage.
+      phase_replay_and_switch(now);
+      phase_rt(now);
+      phase_va(now);
+      break;
+    default:
+      // 3-/4-stage: one stage per atomic module (Figure 2). Phase order
+      // SA -> VA -> RT gives each module its own cycle.
+      phase_replay_and_switch(now);
+      phase_va(now);
+      phase_rt(now);
+      break;
+  }
+  phase_deadlock(now);
+  maybe_release_outputs(now);
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance: staged output register, control retries, retransmission
+// buffer aging, credits and NACKs.
+// ---------------------------------------------------------------------------
+
+void Router::phase_maintenance(Cycle now) {
+  flush_outbox();
+
+  for (PortId p = 0; p < num_ports_; ++p) {
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      auto& out = ovc(p, v);
+      if (out.rtx) out.rtx->retire_expired(now);
+    }
+  }
+
+  for (PortId p = 0; p < num_ports_; ++p) {
+    Wire* w = out_wires_[p];
+    if (w == nullptr) continue;
+    for (const Credit& c : w->credit.read()) {
+      // §4.6: transient fault on a handshake line. With TMR the voter
+      // recovers the credit; without it the credit pulse is lost and the
+      // sender's view of the downstream buffer leaks a slot forever.
+      if (faults_ && faults_->upset_handshake()) {
+        if (cfg_.tmr_handshaking) {
+          if (stats_) stats_->on_handshake_error_corrected();
+        } else {
+          if (stats_) stats_->on_unprotected_error();
+          continue;
+        }
+      }
+      auto& out = ovc(p, c.vc);
+      ++out.credits;
+      FTNOC_CHECK(out.credits <= cfg_.vc_buffer_depth);
+    }
+    if (auto nack = w->nack.read()) {
+      if (faults_ && faults_->upset_handshake()) {
+        if (cfg_.tmr_handshaking) {
+          if (stats_) stats_->on_handshake_error_corrected();
+        } else {
+          // Lost NACK: the receiver dropped flits that will never be
+          // replayed — the packet arrives incomplete.
+          if (stats_) stats_->on_unprotected_error();
+          nack.reset();
+        }
+      }
+      if (nack) {
+        auto& out = ovc(p, nack->vc);
+        FTNOC_CHECK(out.rtx.has_value());
+        const int n = out.rtx->on_nack();
+        // 4-stage: a flit of this VC sitting in the switch-traversal
+        // register is squashed — it is in flight inside our own pipe and
+        // must be replayed after the rolled-back flits, not transmitted
+        // stale ahead of them. (A staged *replay* was never consumed from
+        // the pending region, so it simply stays queued.)
+        if (staged_[p] && staged_[p]->vc == nack->vc) {
+          const Flit& s = staged_[p]->stored;
+          const bool still_pending =
+              out.rtx->has_pending() &&
+              out.rtx->front_pending().packet_id == s.packet_id &&
+              out.rtx->front_pending().seq == s.seq;
+          if (!still_pending) out.rtx->push_pending_back(s);
+          staged_[p].reset();
+        }
+        if (stats_) {
+          stats_->on_link_retransmission(static_cast<std::uint64_t>(n));
+        }
+      }
+    }
+  }
+
+  // 4-stage: flush the switch-traversal register onto the links, taking
+  // the retransmission-barrel copy now so a flit's NACK window starts when
+  // it actually hits the wires. Runs after NACK processing: a squashed
+  // register never reaches the link.
+  for (PortId p = 0; p < num_ports_; ++p) {
+    if (staged_[p]) {
+      FTNOC_CHECK(out_wires_[p] != nullptr);
+      finalize_transmission(p, staged_[p]->vc, staged_[p]->stored, now);
+      out_wires_[p]->flit.write(staged_[p]->wire);
+      staged_[p].reset();
+    }
+  }
+
+  // Send NACKs whose one-cycle check stage has elapsed.
+  auto it = pending_nacks_.begin();
+  while (it != pending_nacks_.end()) {
+    if (it->send_at <= now) {
+      Wire* w = in_wires_[it->port];
+      FTNOC_CHECK(w != nullptr);
+      FTNOC_CHECK(w->nack.can_write());
+      w->nack.write({it->vc});
+      charge(power::EnergyEvent::kNackSignal);
+      it = pending_nacks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive: flits (with link fault injection + protection policy), probes,
+// activations.
+// ---------------------------------------------------------------------------
+
+void Router::phase_receive(Cycle now) {
+  for (PortId p = 0; p < num_ports_; ++p) {
+    Wire* w = in_wires_[p];
+    if (w == nullptr) continue;
+    if (auto f = w->flit.read()) {
+      handle_incoming_flit(p, std::move(*f), now);
+    }
+    if (auto pr = w->probe.read()) {
+      handle_probe(p, *pr, now);
+    }
+    if (auto a = w->activation.read()) {
+      handle_activation(*a, now);
+    }
+  }
+}
+
+void Router::handle_incoming_flit(PortId p, Flit f, Cycle now) {
+  if (p != kLocalPort) {
+    // Inter-router link: the flit just traversed real wires. Inject faults
+    // and run the link-protection policy.
+    if (faults_) faults_->maybe_corrupt_link(f);
+    switch (cfg_.protection) {
+      case LinkProtection::kHbh: {
+        if (now <= drop_until_[gid(p, f.vc)]) {
+          // Retransmission in progress: this is one of the in-flight flits
+          // behind the errored one (Figure 4, "DROP").
+          if (stats_) stats_->on_flit_dropped();
+          return;
+        }
+        charge(power::EnergyEvent::kEccCheck);
+        const FlitCheck c = checker_.check(f);
+        const bool must_retransmit =
+            c == FlitCheck::kUncorrectable ||
+            (cfg_.ecc_detect_only && c == FlitCheck::kCorrected);
+        if (must_retransmit) {
+          // Detected flit error: drop, NACK one cycle later (the check
+          // stage), and drop the in-flight followers (two for the paper's
+          // 3-cycle loop, Figure 4; three when the sender has a dedicated
+          // ST stage).
+          if (stats_) stats_->on_nack_sent();
+          pending_nacks_.push_back({p, f.vc, now + 1});
+          drop_until_[gid(p, f.vc)] = now + 2;
+          return;
+        }
+        if (c == FlitCheck::kCorrected) {
+          if (stats_) stats_->on_link_single_corrected();
+        }
+        break;
+      }
+      case LinkProtection::kFec: {
+        charge(power::EnergyEvent::kEccCheck);
+        const FlitCheck c = checker_.check(f);
+        if (c == FlitCheck::kCorrected) {
+          if (stats_) stats_->on_link_single_corrected();
+        }
+        // Uncorrectable flits travel on, silently corrupt — FEC has no
+        // retransmission path. Corruption is accounted at ejection.
+        break;
+      }
+      case LinkProtection::kE2e:
+      case LinkProtection::kNone:
+        // No per-hop checking.
+        break;
+    }
+  }
+  accept_flit(p, std::move(f), now);
+}
+
+void Router::accept_flit(PortId p, Flit f, Cycle now) {
+  auto& vc = ivc(p, f.vc);
+  FTNOC_CHECK(static_cast<int>(vc.buf.size()) < cfg_.vc_buffer_depth);
+  f.arrived_cycle = now;
+  vc.buf.push_back(std::move(f));
+  charge(power::EnergyEvent::kBufferWrite);
+}
+
+// ---------------------------------------------------------------------------
+// Replay + switch allocation + switch traversal.
+// ---------------------------------------------------------------------------
+
+void Router::phase_replay_and_switch(Cycle now) {
+  // (a) Retransmissions and absorbed-flit transmissions take priority on
+  // each output port: in-order delivery per VC requires the pending region
+  // to drain before any new flit of that VC moves.
+  for (PortId o = 0; o < num_ports_; ++o) {
+    if (o == kLocalPort || out_wires_[o] == nullptr) continue;
+    if (cfg_.pipeline_stages == 4 && staged_[o].has_value()) continue;
+    std::uint32_t mask = 0;
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      auto& out = ovc(o, v);
+      if (!out.rtx || !out.rtx->has_pending()) continue;
+      // Pending flits transmit in order, but only once their packet owns
+      // the output VC: a recovery waiter queued behind the current owner
+      // must hold until the deferred ownership transfer.
+      if (!out.allocated ||
+          out.rtx->front_pending().packet_id != out.owner_pid) {
+        continue;
+      }
+      if (out.rtx->front_pending_credit_held() || out.credits > 0) {
+        mask |= (1u << v);
+      }
+    }
+    if (mask == 0) continue;
+    const int v = replay_arbs_.at(o).arbitrate(mask);
+    auto& out = ovc(o, static_cast<VcId>(v));
+    const bool credit_held = out.rtx->front_pending_credit_held();
+    Flit f = out.rtx->front_pending();
+    charge(power::EnergyEvent::kRetransmission);
+    transmit(o, static_cast<VcId>(v), std::move(f), now,
+             /*consume_credit=*/!credit_held);
+  }
+
+  // (b) SA input stage: each input port nominates one VC.
+  std::array<int, kNumDirections> nominee;
+  nominee.fill(-1);
+  for (PortId p = 0; p < num_ports_; ++p) {
+    std::uint32_t mask = 0;
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      auto& vc = ivc(p, v);
+      if (vc.state != VcState::kActive || vc.buf.empty()) continue;
+      if (vc.buf.front().arrived_cycle >= now) continue;
+      if (now < vc.stall_until) continue;
+      const PortId o = vc.out_port;
+      if (port_busy_[o]) continue;
+      if (o != kLocalPort) {
+        if (cfg_.pipeline_stages == 4 && staged_[o].has_value()) continue;
+        auto& out = ovc(o, vc.out_vc);
+        // In-order delivery: this packet's own pending (older) flits must
+        // replay first. A recovery waiter's pending flits do not block the
+        // current owner.
+        if (out.rtx && out.rtx->has_pending_for(out.owner_pid)) continue;
+        if (out.credits <= 0) continue;
+      }
+      mask |= (1u << v);
+    }
+    if (mask != 0) {
+      nominee[p] = sa_in_arbs_.at(p).arbitrate(mask);
+    }
+  }
+
+  // (c) SA output stage: each output port picks one requesting input port.
+  for (PortId o = 0; o < num_ports_; ++o) {
+    if (port_busy_[o]) continue;
+    std::uint32_t pmask = 0;
+    for (PortId p = 0; p < num_ports_; ++p) {
+      if (nominee[p] < 0) continue;
+      if (ivc(p, static_cast<VcId>(nominee[p])).out_port == o) {
+        pmask |= (1u << p);
+      }
+    }
+    if (pmask == 0) continue;
+    const int p = sa_out_arbs_.at(o).arbitrate(pmask);
+    const auto v = static_cast<VcId>(nominee[p]);
+    auto& vc = ivc(static_cast<PortId>(p), v);
+    charge(power::EnergyEvent::kSwAllocation);
+
+    bool corrupt_in_flight = false;
+    if (faults_ && faults_->upset_sa_grant()) {
+      if (cfg_.enable_ac) {
+        // The AC's third comparison (Figure 12) catches the bad grant in
+        // the crossbar-traversal stage; neighbours are NACKed to ignore the
+        // transmission (§4.3) and the grant is redone next cycle.
+        charge(power::EnergyEvent::kAcCheck);
+        if (ac_requires_neighbor_nack(cfg_.pipeline_stages)) {
+          charge(power::EnergyEvent::kNackSignal);
+        }
+        if (stats_) stats_->on_sa_error_recovered();
+        continue;
+      }
+      // Unprotected: the flit collides / is steered wrong — it leaves this
+      // router corrupted (cases (b)-(d) of §4.3 all end in a wrecked flit).
+      if (stats_) stats_->on_unprotected_error();
+      corrupt_in_flight = true;
+    }
+
+    Flit f = vc.buf.front();
+    vc.buf.pop_front();
+    charge(power::EnergyEvent::kBufferRead);
+    charge(power::EnergyEvent::kCrossbarTraversal);
+    const bool tail = is_tail(f.type);
+    send_credit(static_cast<PortId>(p), v);
+    vc.last_advance = now;
+
+    if (vc.out_port == kLocalPort) {
+      eject(f, static_cast<PortId>(p), v, now);
+      if (tail) ovc(kLocalPort, vc.out_vc).allocated = false;
+    } else {
+      transmit(vc.out_port, vc.out_vc, std::move(f), now,
+               /*consume_credit=*/true, corrupt_in_flight);
+    }
+    if (tail) release_input_after_tail(static_cast<PortId>(p), v, now);
+  }
+}
+
+void Router::finalize_transmission(PortId o, VcId v, const Flit& f,
+                                   Cycle now) {
+  auto& out = ovc(o, v);
+  if (is_tail(f.type)) out.tail_sent = true;
+  // Keep the NACK-window copy. A replay (the flit is the front pending
+  // entry) always records: the pop-and-reinsert cannot overflow. For fresh
+  // transmissions, the barrel may be occupied by a recovery waiter's
+  // absorbed flits; link protection is then briefly suspended for this VC
+  // (the paper's single-fault model: link errors and deadlock recovery do
+  // not overlap).
+  if (!out.rtx) return;
+  const bool is_replay = out.rtx->has_pending() &&
+                         out.rtx->front_pending().packet_id == f.packet_id &&
+                         out.rtx->front_pending().seq == f.seq;
+  if (!is_replay && !out.rtx->can_accept(now)) return;
+  // §4.5: a soft error can corrupt the *stored* copy. The duplicate buffer
+  // recovers it; without one the corrupt copy persists, and if the
+  // original transmission is NACKed the replay resends the same broken
+  // word forever — the endless retransmission loop.
+  Flit stored = f;
+  if (faults_ && faults_->upset_rtx_copy()) {
+    if (cfg_.duplicate_rtx_buffers) {
+      if (stats_) stats_->on_rtx_error_corrected();
+      charge(power::EnergyEvent::kRtxBufferWrite);  // Duplicate access.
+    } else {
+      // Latent fault: harmless unless this copy is ever replayed.
+      stored.codeword.flip(static_cast<int>(faults_->random_below(36)));
+      stored.codeword.flip(36 + static_cast<int>(faults_->random_below(36)));
+    }
+  }
+  out.rtx->record_transmission(stored, now);
+  charge(power::EnergyEvent::kRtxBufferWrite);
+}
+
+void Router::transmit(PortId o, VcId v, Flit f, Cycle now,
+                      bool consume_credit, bool corrupt_on_wire) {
+  FTNOC_CHECK(o != kLocalPort);
+  FTNOC_CHECK(out_wires_[o] != nullptr);
+  auto& out = ovc(o, v);
+  if (consume_credit) {
+    FTNOC_CHECK(out.credits > 0);
+    --out.credits;
+  }
+  f.vc = v;
+  ++f.hops;
+  charge(power::EnergyEvent::kLinkTraversal);
+  Flit wire = f;
+  if (corrupt_on_wire) {
+    // In-crossbar upset (unprotected SA error): the wire copy is wrecked
+    // but the barrel copy stays clean, so a NACKed replay recovers the
+    // data.
+    wire.codeword.flip(static_cast<int>(faults_->random_below(36)));
+    wire.codeword.flip(36 + static_cast<int>(faults_->random_below(36)));
+  }
+  if (cfg_.pipeline_stages == 4) {
+    // The dedicated ST stage: barrel recording happens at flush time so
+    // the NACK-loop ages line up with the wire.
+    staged_[o] = StagedFlit{std::move(wire), std::move(f), v};
+  } else {
+    finalize_transmission(o, v, f, now);
+    FTNOC_CHECK(out_wires_[o]->flit.can_write());
+    out_wires_[o]->flit.write(wire);
+  }
+  port_busy_[o] = true;
+}
+
+void Router::eject(const Flit& f, PortId in_port, VcId in_vc, Cycle now) {
+  (void)in_port;
+  (void)in_vc;
+  if (eject_) eject_(f, now);
+}
+
+void Router::send_credit(PortId p, VcId v) {
+  progress_this_cycle_ = true;  // A buffer slot was freed.
+  if (in_wires_[p]) in_wires_[p]->credit.write({v});
+}
+
+void Router::release_input_after_tail(PortId p, VcId v, Cycle now) {
+  auto& vc = ivc(p, v);
+  vc.state = VcState::kRouting;
+  vc.candidates = 0;
+  vc.out_port = kInvalidPort;
+  vc.out_vc = kInvalidVc;
+  vc.state_since = now;
+}
+
+void Router::maybe_release_outputs(Cycle now) {
+  for (PortId p = 0; p < num_ports_; ++p) {
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      auto& out = ovc(p, v);
+      if (!out.allocated || !out.tail_sent) continue;
+      if (out.rtx && out.rtx->contains_packet(out.owner_pid)) continue;
+      out.allocated = false;
+      out.tail_sent = false;
+      if (out.has_waiter) {
+        // Deferred allocation (deadlock recovery): the queued waiter
+        // inherits the output VC; its absorbed flits can now replay out.
+        out.allocated = true;
+        out.owner_gid = out.waiter_gid;
+        out.owner_pid = out.waiter_pid;
+        out.has_waiter = false;
+        // If the waiter's stream is still (partly) in its input buffer the
+        // input VC resumes as a normal active wormhole; if the packet was
+        // wholly absorbed the input VC has already been recycled.
+        auto& wvc = inputs_[out.owner_gid];
+        if (wvc.state == VcState::kVaReserved && wvc.out_port == p &&
+            wvc.out_vc == v) {
+          wvc.state = VcState::kActive;
+          wvc.state_since = now;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VC allocation.
+// ---------------------------------------------------------------------------
+
+std::optional<std::pair<PortId, VcId>> Router::pick_va_request(InputVc& vc,
+                                                               PortId in_port,
+                                                               VcId in_vc,
+                                                               int rotation) {
+  // Gather the free output VCs on all valid candidate ports, then pick one
+  // by the input VC's rotating preference (the input stage of a separable
+  // allocator).
+  //
+  // Escape-VC policy (Duato-style avoidance): VC 0 is the escape lane,
+  // reachable only through the deadlock-free XY direction; adaptive
+  // traffic uses VCs 1..V-1 on any productive port. A packet that arrived
+  // *on* the escape VC stays in the escape subnetwork until delivery,
+  // which keeps the extended channel dependency graph acyclic.
+  const bool escape_mode = cfg_.routing == RoutingAlgorithm::kAdaptiveEscape;
+  const bool escape_bound =
+      escape_mode && in_port != kLocalPort && in_vc == 0;
+  PortId xy_port = kInvalidPort;
+  if (escape_mode && !vc.buf.empty()) {
+    xy_port = first_port(
+        route(topo_, RoutingAlgorithm::kXY, id_, vc.buf.front().dest));
+  }
+
+  std::array<std::pair<PortId, VcId>, 32> options;
+  int n = 0;
+  for (PortId o = 0; o < num_ports_; ++o) {
+    if (!mask_has(vc.candidates, o)) continue;
+    const bool valid = (o == kLocalPort)
+                           ? (!vc.buf.empty() && vc.buf.front().dest == id_)
+                           : port_usable(o);
+    if (!valid) continue;
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      if (ovc(o, v).allocated || n >= static_cast<int>(options.size())) {
+        continue;
+      }
+      if (escape_mode && o != kLocalPort) {
+        if (escape_bound && (v != 0 || o != xy_port)) continue;
+        if (!escape_bound && v == 0 && o != xy_port) continue;
+      }
+      options[n++] = {o, v};
+    }
+  }
+  if (n == 0) return std::nullopt;
+  return options[rotation % n];
+}
+
+void Router::phase_va(Cycle now) {
+  // Note on recovery: "no new packets are allowed to enter the
+  // transmission buffers involved in the deadlock recovery" (§3.2.1) is
+  // enforced at the injection boundary — the PE stops *starting* packets
+  // while its router recovers. Packets already inside the network keep
+  // being allocated: ejection-ready and transit packets are part of the
+  // configuration being drained, not new entrants.
+  const int pv = num_ports_ * num_vcs_;
+  std::vector<std::uint32_t> reqs(static_cast<std::size_t>(pv), 0);
+  std::vector<std::pair<PortId, VcId>> want(
+      static_cast<std::size_t>(pv), {kInvalidPort, kInvalidVc});
+
+  for (int g = 0; g < pv; ++g) {
+    auto& vc = inputs_[static_cast<std::size_t>(g)];
+    if (vc.state != VcState::kVaWait || vc.buf.empty()) continue;
+    if (now < vc.stall_until) continue;
+    FTNOC_CHECK(is_head(vc.buf.front().type));
+
+    // A candidate set with no usable port can only come from an upset
+    // routing computation (mesh edge / wrong-PE ejection): the VA catches
+    // it from its link-state table (§4.2) and the RT redoes the route —
+    // a single-cycle penalty in current-node-routing pipelines.
+    bool any_valid = false;
+    bool dead_candidate = false;
+    for (PortId o = 0; o < num_ports_; ++o) {
+      if (!mask_has(vc.candidates, o)) continue;
+      if (o == kLocalPort ? vc.buf.front().dest == id_ : port_usable(o)) {
+        any_valid = true;
+        break;
+      }
+      if (o != kLocalPort && port_has_neighbor(o) && link_dead_[o]) {
+        dead_candidate = true;
+      }
+    }
+    if (!any_valid) {
+      if (dead_candidate &&
+          cfg_.routing != RoutingAlgorithm::kXY) {
+        // Every minimal direction crosses a hard-failed link: detour
+        // non-minimally over any live port; the next hop re-routes
+        // minimally from there (the paper's "redirect blocked flits to
+        // another direction using an adaptive routing scheme", 3.2.2).
+        PortMask live = 0;
+        for (PortId o = 0; o < num_ports_; ++o) {
+          if (o != kLocalPort && port_usable(o)) live |= port_bit(o);
+        }
+        if (live != 0) {
+          vc.candidates = live;
+          if (stats_) stats_->on_hard_fault_reroute();
+          // Fall through: request an output VC on the detour this cycle.
+        } else {
+          continue;  // Fully cut off; nothing to do.
+        }
+      } else {
+        // Upset routing computation (mesh edge / wrong-PE ejection): the
+        // VA catches it from its link-state table (4.2) and the RT redoes
+        // the route - a single-cycle penalty.
+        if (stats_) stats_->on_rt_error_recovered();
+        vc.state = VcState::kRouting;
+        vc.candidates = 0;
+        continue;
+      }
+    }
+
+    auto req = pick_va_request(vc, static_cast<PortId>(g / num_vcs_),
+                               static_cast<VcId>(g % num_vcs_),
+                               va_rotation_[static_cast<std::size_t>(g)]++);
+    if (!req) continue;  // All candidate output VCs busy; retry next cycle.
+    const int og = gid(req->first, req->second);
+    reqs[static_cast<std::size_t>(og)] |= (1u << g);
+    want[static_cast<std::size_t>(g)] = *req;
+  }
+
+  for (int og = 0; og < pv; ++og) {
+    if (reqs[static_cast<std::size_t>(og)] == 0) continue;
+    const int g = va_arbs_.at(og).arbitrate(reqs[static_cast<std::size_t>(og)]);
+    FTNOC_CHECK(g >= 0);
+    auto& vc = inputs_[static_cast<std::size_t>(g)];
+    const PortId o = want[static_cast<std::size_t>(g)].first;
+    const VcId v = want[static_cast<std::size_t>(g)].second;
+    charge(power::EnergyEvent::kVcAllocation);
+
+    if (faults_ && faults_->upset_va_allocation()) {
+      run_ac_on_va(static_cast<std::size_t>(g), now);
+      continue;
+    }
+
+    vc.state = VcState::kActive;
+    vc.out_port = o;
+    vc.out_vc = v;
+    vc.state_since = now;
+    auto& out = ovc(o, v);
+    out.allocated = true;
+    out.owner_gid = static_cast<std::uint16_t>(g);
+    out.owner_pid = vc.buf.front().packet_id;
+    out.tail_sent = false;
+  }
+}
+
+void Router::run_ac_on_va(std::size_t g, Cycle now) {
+  auto& vc = inputs_[g];
+  // Build the corrupted VA state entry the soft error produced. The upset
+  // manifests as one of the §4.1 scenarios; we synthesize it and feed the
+  // *actual* AC comparator so the detection path is exercised for real.
+  std::vector<RoutingStateEntry> rt_state;
+  std::vector<VaStateEntry> va_state;
+  std::vector<SaStateEntry> sa_state;
+  rt_state.push_back(
+      {static_cast<std::uint16_t>(g), vc.candidates});
+  for (int og = 0; og < num_ports_ * num_vcs_; ++og) {
+    const auto& out = outputs_[static_cast<std::size_t>(og)];
+    if (out.allocated) {
+      va_state.push_back({out.owner_gid,
+                          static_cast<PortId>(og / num_vcs_),
+                          static_cast<VcId>(og % num_vcs_)});
+    }
+  }
+
+  VaStateEntry bad{static_cast<std::uint16_t>(g), kInvalidPort, kInvalidVc};
+  switch (faults_->random_below(3)) {
+    case 0:  // Scenario (1): invalid output VC id.
+      bad.out_port = first_port(vc.candidates);
+      bad.out_vc = static_cast<VcId>(num_vcs_);
+      break;
+    case 1: {  // Scenario (4b): output VC on a PC the RT never returned.
+      PortId wrong = static_cast<PortId>(faults_->random_below(
+          static_cast<std::uint64_t>(num_ports_)));
+      while (mask_has(vc.candidates, wrong)) {
+        wrong = static_cast<PortId>((wrong + 1) % num_ports_);
+      }
+      bad.out_port = wrong;
+      bad.out_vc = 0;
+      break;
+    }
+    default: {  // Scenarios (2)/(3): duplicate/reserved output VC.
+      bad.out_port = first_port(vc.candidates);
+      bad.out_vc = kInvalidVc;
+      for (VcId v = 0; v < num_vcs_; ++v) {
+        if (ovc(bad.out_port, v).allocated) {
+          bad.out_vc = v;
+          break;
+        }
+      }
+      if (bad.out_vc == kInvalidVc) {
+        bad.out_vc = static_cast<VcId>(num_vcs_);  // Fall back to invalid id.
+      }
+      break;
+    }
+  }
+  va_state.push_back(bad);
+
+  if (cfg_.enable_ac) {
+    const AcReport report = ac_.check(rt_state, va_state, sa_state);
+    charge(power::EnergyEvent::kAcCheck);
+    FTNOC_CHECK(report.any_error());
+    // Invalidate the previous cycle's allocation: the input VC stays in
+    // kVaWait and re-arbitrates — exactly one cycle lost (§4.1).
+    if (stats_) stats_->on_va_error_recovered();
+    (void)now;
+    return;
+  }
+  // Unprotected VA upset: the packet inherits a broken (or duplicate)
+  // wormhole and its flits are effectively lost (§4.1 scenarios 1-3).
+  if (stats_) stats_->on_unprotected_error();
+  vc.state = VcState::kDraining;
+}
+
+// ---------------------------------------------------------------------------
+// Routing stage.
+// ---------------------------------------------------------------------------
+
+PortMask Router::apply_rt_fault(InputVc& vc, PortMask correct, Cycle now) {
+  if (!faults_ || !faults_->upset_routing()) return correct;
+
+  // Pick the erroneous direction uniformly among ports outside the correct
+  // set (a flip landing inside the set is not observable as an error).
+  std::array<PortId, kNumDirections> wrongs{};
+  int n = 0;
+  for (PortId o = 0; o < num_ports_; ++o) {
+    if (!mask_has(correct, o)) wrongs[static_cast<std::size_t>(n++)] = o;
+  }
+  FTNOC_CHECK(n > 0);
+  const PortId w = wrongs[faults_->random_below(static_cast<std::uint64_t>(n))];
+
+  const bool functional = (w != kLocalPort) && port_usable(w);
+  if (!functional) {
+    // Blocked/invalid direction: the local VA will catch it against its
+    // link-state table (§4.2) — return the corrupted candidate set.
+    return port_bit(w);
+  }
+  if (cfg_.routing == RoutingAlgorithm::kXY) {
+    // Functional misdirection under deterministic routing: the *receiving*
+    // router detects the DOR violation and NACKs; recovery costs
+    // 1 (NACK) + n (re-route + retransmission) cycles (§4.2). We charge the
+    // penalty and the signalling energy without physically bouncing the
+    // header, which keeps the wormhole state machine exact.
+    if (stats_) stats_->on_rt_error_recovered();
+    charge(power::EnergyEvent::kNackSignal);
+    charge(power::EnergyEvent::kRetransmission);
+    vc.stall_until =
+        now + static_cast<Cycle>(rt_recovery_penalty(
+                  cfg_.pipeline_stages, /*lookahead=*/cfg_.pipeline_stages <= 2,
+                  RtMisrouteKind::kFunctionalDeterministic));
+    return correct;
+  }
+  // Adaptive routing: the misdirection is undetectable and benign — the
+  // packet physically takes the wrong turn and re-routes minimally from
+  // there (§4.2).
+  return port_bit(w);
+}
+
+void Router::phase_rt(Cycle now) {
+  const int pv = num_ports_ * num_vcs_;
+  for (int g = 0; g < pv; ++g) {
+    auto& vc = inputs_[static_cast<std::size_t>(g)];
+
+    if (vc.state == VcState::kDraining) {
+      if (!vc.buf.empty() && vc.buf.front().arrived_cycle < now) {
+        const Flit f = vc.buf.front();
+        vc.buf.pop_front();
+        charge(power::EnergyEvent::kBufferRead);
+        send_credit(static_cast<PortId>(g / num_vcs_),
+                    static_cast<VcId>(g % num_vcs_));
+        vc.last_advance = now;
+        if (is_tail(f.type)) {
+          vc.state = VcState::kRouting;
+          vc.state_since = now;
+        }
+      }
+      continue;
+    }
+
+    if (vc.state != VcState::kRouting || vc.buf.empty()) continue;
+    if (vc.buf.front().arrived_cycle >= now) continue;
+    if (now < vc.stall_until) continue;
+    if (!is_head(vc.buf.front().type)) {
+      // A body/tail flit with no open wormhole: its header was dropped and
+      // never replayed (possible only when the NACK path itself is faulty,
+      // e.g. unprotected handshake lines, §4.6). Discard the stray flit.
+      vc.buf.pop_front();
+      send_credit(static_cast<PortId>(g / num_vcs_),
+                  static_cast<VcId>(g % num_vcs_));
+      if (stats_) {
+        stats_->on_flit_dropped();
+        stats_->on_unprotected_error();
+      }
+      continue;
+    }
+
+    charge(power::EnergyEvent::kRouteCompute);
+    const PortMask correct =
+        route(topo_, cfg_.routing, id_, vc.buf.front().dest);
+    vc.candidates = apply_rt_fault(vc, correct, now);
+    vc.state = VcState::kVaWait;
+    vc.state_since = now;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock detection (probing) and recovery (absorption).
+// ---------------------------------------------------------------------------
+
+bool Router::vc_blocked(const InputVc& vc, Cycle now) const {
+  // A VC is blocked if it holds flits that made no progress recently,
+  // whether it already owns an output VC (kActive), is waiting for one
+  // (kVaWait — the classic wormhole channel-wait), or has been queued by
+  // the recovery machinery (kVaReserved).
+  if (vc.buf.empty() && vc.state != VcState::kVaReserved) return false;
+  if (vc.state != VcState::kActive && vc.state != VcState::kVaWait &&
+      vc.state != VcState::kVaReserved) {
+    return false;
+  }
+  return now - vc.last_advance >= 2;
+}
+
+void Router::queue_control(PortId port, const ProbeSignal& p) {
+  OutboxItem item;
+  item.port = port;
+  item.is_probe = true;
+  item.probe = p;
+  outbox_.push_back(item);
+}
+
+void Router::queue_control(PortId port, const ActivationSignal& a) {
+  OutboxItem item;
+  item.port = port;
+  item.is_probe = false;
+  item.activation = a;
+  outbox_.push_back(item);
+}
+
+void Router::flush_outbox() {
+  auto it = outbox_.begin();
+  while (it != outbox_.end()) {
+    Wire* w = out_wires_[it->port];
+    FTNOC_CHECK(w != nullptr);
+    bool sent = false;
+    if (it->is_probe) {
+      if (w->probe.can_write()) {
+        w->probe.write(it->probe);
+        sent = true;
+      }
+    } else {
+      if (w->activation.can_write()) {
+        w->activation.write(it->activation);
+        sent = true;
+      }
+    }
+    it = sent ? outbox_.erase(it) : std::next(it);
+  }
+}
+
+// The next link of a blocked-dependency chain through `vc`: its own output
+// if the wormhole is established (kActive / kVaReserved), or the output VC
+// held by the packet it is waiting on (kVaWait) — the chain then continues
+// at the downstream router's matching input VC.
+std::optional<std::pair<PortId, VcId>> Router::resolve_chain(
+    const InputVc& vc) const {
+  if ((vc.state == VcState::kActive || vc.state == VcState::kVaReserved) &&
+      vc.out_port != kLocalPort && vc.out_port != kInvalidPort) {
+    return std::make_pair(vc.out_port, vc.out_vc);
+  }
+  if (vc.state == VcState::kVaWait) {
+    for (PortId o = 0; o < num_ports_; ++o) {
+      if (!mask_has(vc.candidates, o) || o == kLocalPort) continue;
+      for (VcId v = 0; v < num_vcs_; ++v) {
+        if (ovc(o, v).allocated) return std::make_pair(o, v);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void Router::handle_probe(PortId /*from*/, const ProbeSignal& probe,
+                          Cycle now) {
+  charge(power::EnergyEvent::kProbeHop);
+  if (probe.hops > probe_ttl_) {
+    // The probe is orbiting a cycle that does not contain its origin.
+    if (stats_) stats_->on_probe_discarded();
+    return;
+  }
+  if (probe.origin == id_) {
+    if (trace_enabled()) std::fprintf(stderr, "[%llu] r%u probe id=%u RETURNED\n", (unsigned long long)now, id_, probe.probe_id);
+    if (agent_.on_probe_returned(probe)) {
+      // The probe circled the suspected cycle: genuine deadlock. Send the
+      // activation around the same path (Rule 3 consumers are the nodes
+      // that relayed our probe).
+      if (stats_) stats_->on_deadlock_confirmed();
+      const auto it = own_probe_route_.find(probe.probe_id);
+      FTNOC_CHECK(it != own_probe_route_.end());
+      queue_control(it->second, ActivationSignal{id_, probe.probe_id});
+    }
+    return;
+  }
+
+  // Rule 2: inspect the named buffer; forward along the blocked chain or
+  // discard.
+  FTNOC_CHECK(probe.in_port < num_ports_ && probe.in_vc < num_vcs_);
+  const auto& target = ivc(probe.in_port, probe.in_vc);
+  std::optional<std::pair<PortId, VcId>> fwd;
+  if (vc_blocked(target, now) || agent_.in_recovery()) {
+    fwd = resolve_chain(target);
+  }
+
+  const ProbeAction action = agent_.on_probe(probe, fwd.has_value());
+  if (trace_enabled()) std::fprintf(stderr, "[%llu] r%u probe(o=%u,id=%u) tgt(%d,%d) act=%d fwd=%d tstate=%d tcand=%02x tblocked=%d rec=%d\n", (unsigned long long)now, id_, probe.origin, probe.probe_id, (int)probe.in_port, (int)probe.in_vc, (int)action, fwd ? (int)fwd->first : -1, (int)target.state, (unsigned)target.candidates, (int)vc_blocked(target, now), (int)agent_.in_recovery());
+  if (action == ProbeAction::kForward && fwd) {
+    ProbeSignal next = probe;
+    next.hops = probe.hops + 1;
+    next.in_port = static_cast<PortId>(
+        opposite(static_cast<Direction>(fwd->first)));
+    next.in_vc = fwd->second;
+    agent_.remember_forwarded_probe(probe, fwd->first, next.in_port,
+                                    next.in_vc);
+    queue_control(fwd->first, next);
+  } else {
+    if (stats_) stats_->on_probe_discarded();
+  }
+}
+
+void Router::handle_activation(const ActivationSignal& act, Cycle now) {
+  if (act.origin == id_) {
+    const bool was = agent_.in_recovery();
+    agent_.on_activation_returned(act);
+    if (!was && agent_.in_recovery()) {
+      if (stats_) stats_->on_recovery_entered();
+    }
+    (void)now;
+    return;
+  }
+  const bool was = agent_.in_recovery();
+  const auto fwd = agent_.on_activation(act);
+  if (!was && agent_.in_recovery()) {
+    if (stats_) stats_->on_recovery_entered();
+  }
+  if (fwd) {
+    charge(power::EnergyEvent::kProbeHop);
+    queue_control(*fwd, act);
+  }
+}
+
+void Router::enter_recovery(Cycle) {
+  const bool was = agent_.in_recovery();
+  agent_.enter_recovery();
+  if (!was && stats_) stats_->on_recovery_entered();
+}
+
+void Router::phase_deadlock(Cycle now) {
+  if (!cfg_.deadlock.enable_recovery) return;
+
+  if (progress_this_cycle_) {
+    agent_.note_progress();
+    progress_this_cycle_ = false;
+  }
+
+  // Rule 1: launch a probe for an over-threshold blocked VC. Both
+  // established wormholes (credit-blocked) and VA-waiting heads
+  // (channel-blocked) can anchor a deadlock; for the latter the chain is
+  // resolved through the local holder of the wanted output VC.
+  for (int g = 0; g < num_ports_ * num_vcs_; ++g) {
+    auto& vc = inputs_[static_cast<std::size_t>(g)];
+    if (vc.buf.empty()) continue;
+    if (vc.state != VcState::kActive && vc.state != VcState::kVaWait) {
+      continue;
+    }
+    const Cycle blocked = now - vc.last_advance;
+    if (!agent_.should_probe(blocked, now)) continue;
+    const auto chain = resolve_chain(vc);
+    if (!chain) continue;
+    const ProbeSignal pr = agent_.make_probe(
+        static_cast<PortId>(opposite(static_cast<Direction>(chain->first))),
+        chain->second, now);
+    // Fallback: repeated probe expiry with zero local progress means this
+    // router's blocked packets feed a deadlocked region whose cycle does
+    // not pass through here — the probes orbit it and can never return.
+    // Join the recovery unilaterally so the region gains slack here too.
+    if (cfg_.deadlock.fallback_probe_failures > 0 &&
+        agent_.failed_probes() >= cfg_.deadlock.fallback_probe_failures) {
+      agent_.enter_recovery();
+      if (stats_) {
+        stats_->on_fallback_recovery();
+        stats_->on_recovery_entered();
+      }
+      break;
+    }
+    if (trace_enabled()) std::fprintf(stderr, "[%llu] r%u PROBE id=%u via port %d target(%d,%d)\n", (unsigned long long)now, id_, pr.probe_id, (int)chain->first, (int)pr.in_port, (int)pr.in_vc);
+    own_probe_route_[pr.probe_id] = chain->first;
+    queue_control(chain->first, pr);
+    if (stats_) stats_->on_probe_sent();
+    charge(power::EnergyEvent::kProbeHop);
+  }
+
+  if (!agent_.in_recovery()) return;
+
+  // Recovery: absorb blocked flits into the retransmission buffers
+  // (Figure 10, step 2), freeing transmission-buffer slots so the cyclic
+  // dependency can creep forward. One absorption per output VC per cycle —
+  // the barrel shifter has a single input port.
+  //
+  // Two kinds of blocked input VCs shed flits:
+  //  * kVaWait heads (the classic wormhole channel-wait): the packet
+  //    commits to its first valid candidate port, registers as *waiter* on
+  //    an output VC there (deferred allocation), and parks flits behind
+  //    the current owner's; they replay out after the ownership transfer.
+  //  * kActive / kVaReserved wormholes out of credits: they park flits in
+  //    their own output VC's barrel until downstream space frees.
+  std::vector<bool> absorbed(static_cast<std::size_t>(num_ports_ * num_vcs_),
+                             false);
+  for (int g = 0; g < num_ports_ * num_vcs_; ++g) {
+    auto& vc = inputs_[static_cast<std::size_t>(g)];
+    if (vc.buf.empty() || vc.buf.front().arrived_cycle >= now) continue;
+    const auto in_port = static_cast<PortId>(g / num_vcs_);
+    const auto in_vc = static_cast<VcId>(g % num_vcs_);
+
+    if (vc.state == VcState::kVaWait) {
+      if (now - vc.last_advance < 2) continue;  // Not actually stuck.
+      // Commit to the first valid candidate port and queue behind the
+      // owner of one of its output VCs.
+      PortId o = kInvalidPort;
+      for (PortId cand = 0; cand < num_ports_; ++cand) {
+        if (cand == kLocalPort || !mask_has(vc.candidates, cand)) continue;
+        if (port_usable(cand)) {
+          o = cand;
+          break;
+        }
+      }
+      if (o == kInvalidPort) continue;
+      VcId v = kInvalidVc;
+      for (VcId cv = 0; cv < num_vcs_; ++cv) {
+        auto& cand_out = ovc(o, cv);
+        if (cand_out.rtx && cand_out.allocated && !cand_out.has_waiter &&
+            cand_out.rtx->free_slots() > 0) {
+          v = cv;
+          break;
+        }
+      }
+      if (v == kInvalidVc) continue;
+      auto& out = ovc(o, v);
+      out.has_waiter = true;
+      out.waiter_gid = static_cast<std::uint16_t>(g);
+      out.waiter_pid = vc.buf.front().packet_id;
+      if (trace_enabled()) std::fprintf(stderr, "[%llu] r%u register waiter pkt%llu on %d_%d\n", (unsigned long long)now, id_, (unsigned long long)out.waiter_pid, (int)o, (int)v);
+      vc.state = VcState::kVaReserved;
+      vc.out_port = o;
+      vc.out_vc = v;
+      vc.state_since = now;
+      // Fall through to the absorption below this cycle.
+    }
+
+    if (vc.state != VcState::kActive && vc.state != VcState::kVaReserved) {
+      continue;
+    }
+    if (vc.out_port == kLocalPort) continue;
+    auto& out = ovc(vc.out_port, vc.out_vc);
+    if (!out.rtx) continue;
+    const bool owns = out.allocated &&
+                      out.owner_pid == vc.buf.front().packet_id;
+    if (owns && out.credits > 0) continue;  // Normal progress possible.
+    const int og = gid(vc.out_port, vc.out_vc);
+    if (absorbed[static_cast<std::size_t>(og)]) continue;
+    if (out.rtx->free_slots() <= 0) continue;
+    // A waiter only absorbs its own stream, and must leave one slot for
+    // the owner: the owner's tail is exactly what releases this VC to the
+    // waiter, so starving the owner of barrel space wedges both.
+    if (!owns && !(out.has_waiter && out.waiter_gid == g)) continue;
+    if (!owns && out.rtx->free_slots() <= 1) continue;
+
+    Flit f = vc.buf.front();
+    vc.buf.pop_front();
+    f.vc = vc.out_vc;
+    if (owns) {
+      // Owner flits go ahead of any queued waiter's in the pending region
+      // (the owner's wormhole completes first on the wire).
+      out.rtx->absorb_as_owner(f, out.owner_pid);
+    } else {
+      out.rtx->absorb(f);
+    }
+    absorbed[static_cast<std::size_t>(og)] = true;
+    charge(power::EnergyEvent::kBufferRead);
+    charge(power::EnergyEvent::kRtxBufferWrite);
+    send_credit(in_port, in_vc);
+    if (stats_) stats_->on_flit_absorbed();
+    vc.last_advance = now;
+    if (is_tail(f.type)) release_input_after_tail(in_port, in_vc, now);
+  }
+
+  // Exit recovery as soon as every absorbed flit has drained back out of
+  // the retransmission barrels ("once the deadlock configuration is
+  // broken, each node resumes its normal operation", §3.2.1). If the
+  // deadlock in fact persists, the probing machinery re-confirms it and
+  // recovery re-enters. The exit must NOT wait for all blocking to clear:
+  // under saturation some VC is always blocked longer than Cthres, and a
+  // router that never exits keeps the chip-wide injection gate asserted
+  // forever — a livelock (observed with aggressive Cthres values).
+  bool pending = false;
+  for (const auto& out : outputs_) {
+    if (out.rtx && out.rtx->has_pending()) {
+      pending = true;
+      break;
+    }
+  }
+  // A VC still starving after a long, Cthres-independent window keeps the
+  // router in recovery (its absorption capacity stays available and the
+  // chip-wide injection gate stays asserted so the region keeps draining).
+  bool blocked_long = false;
+  for (const auto& in : inputs_) {
+    if ((in.state == VcState::kActive || in.state == VcState::kVaWait ||
+         in.state == VcState::kVaReserved) &&
+        !in.buf.empty() &&
+        now - in.last_advance > cfg_.deadlock.exit_block_window) {
+      blocked_long = true;
+      break;
+    }
+  }
+  if (!pending && !blocked_long) {
+    agent_.exit_recovery();
+    if (trace_enabled()) std::fprintf(stderr, "[%llu] r%u exit recovery\n", (unsigned long long)now, id_);
+    if (stats_) stats_->on_recovery_exited();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+
+// Utilization counts only physically present buffers: mesh-edge ports have
+// no link and their VCs can never hold a flit, so including them would
+// dilute the Figure 8/9 numbers.
+int Router::tx_buffer_occupancy() const {
+  int n = 0;
+  for (PortId p = 0; p < num_ports_; ++p) {
+    if (in_wires_[p] == nullptr) continue;
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      n += static_cast<int>(ivc(p, v).buf.size());
+    }
+  }
+  return n;
+}
+
+int Router::tx_buffer_slots() const {
+  int ports = 0;
+  for (PortId p = 0; p < num_ports_; ++p) {
+    if (in_wires_[p] != nullptr) ++ports;
+  }
+  return ports * num_vcs_ * cfg_.vc_buffer_depth;
+}
+
+int Router::rtx_buffer_occupancy() const {
+  int n = 0;
+  for (PortId p = 0; p < num_ports_; ++p) {
+    if (out_wires_[p] == nullptr) continue;
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      const auto& out = ovc(p, v);
+      if (out.rtx) n += out.rtx->occupancy();
+    }
+  }
+  return n;
+}
+
+int Router::rtx_buffer_slots() const {
+  int n = 0;
+  for (PortId p = 0; p < num_ports_; ++p) {
+    if (out_wires_[p] == nullptr) continue;
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      const auto& out = ovc(p, v);
+      if (out.rtx) n += out.rtx->depth();
+    }
+  }
+  return n;
+}
+
+int Router::input_buffer_size(PortId p, VcId v) const {
+  return static_cast<int>(ivc(p, v).buf.size());
+}
+
+bool Router::input_vc_active(PortId p, VcId v) const {
+  return ivc(p, v).state == VcState::kActive;
+}
+
+std::string Router::debug_dump(Cycle now) const {
+  std::string s = "router " + std::to_string(id_) +
+                  (agent_.in_recovery() ? " [RECOVERY]" : "") + "\n";
+  static const char* st[] = {"ROUTE", "VAWAIT", "ACTIVE", "RESERV", "DRAIN"};
+  for (PortId p = 0; p < num_ports_; ++p) {
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      const auto& in = ivc(p, v);
+      if (in.buf.empty() && in.state == VcState::kRouting) continue;
+      s += "  in " + std::string(to_string(static_cast<Direction>(p))) + "_" +
+           std::to_string(v) + " " + st[static_cast<int>(in.state)] +
+           " buf=" + std::to_string(in.buf.size());
+      if (!in.buf.empty()) {
+        s += " front=pkt" + std::to_string(in.buf.front().packet_id) + "." +
+             std::to_string(in.buf.front().seq);
+      }
+      s += " out=" +
+           (in.out_port == kInvalidPort
+                ? std::string("-")
+                : std::string(to_string(static_cast<Direction>(in.out_port))) +
+                      "_" + std::to_string(in.out_vc));
+      s += " idle=" + std::to_string(now - in.last_advance) + "\n";
+    }
+  }
+  for (PortId p = 0; p < num_ports_; ++p) {
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      const auto& out = ovc(p, v);
+      const bool quiet = !out.allocated && !out.has_waiter &&
+                         (!out.rtx || out.rtx->occupancy() == 0);
+      if (quiet) continue;
+      s += "  out " + std::string(to_string(static_cast<Direction>(p))) +
+           "_" + std::to_string(v);
+      if (out.allocated) {
+        s += " owner=pkt" + std::to_string(out.owner_pid) +
+             (out.tail_sent ? "(tail_sent)" : "");
+      }
+      if (out.has_waiter) s += " waiter=pkt" + std::to_string(out.waiter_pid);
+      s += " credits=" + std::to_string(out.credits);
+      if (out.rtx) {
+        s += " rtx(sent=" + std::to_string(out.rtx->sent_count()) +
+             ",pend=" + std::to_string(out.rtx->pending_count()) + ")";
+      }
+      s += "\n";
+    }
+  }
+  return s;
+}
+
+}  // namespace ftnoc

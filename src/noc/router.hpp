@@ -1,0 +1,283 @@
+#pragma once
+// The pipelined virtual-channel wormhole router (Figure 1) with all of the
+// paper's fault-tolerance machinery attached:
+//
+//  * per-output-VC retransmission barrel shifters + NACK-driven hop-by-hop
+//    (HBH) flit retransmission (§3.1, Figure 4);
+//  * the Allocation Comparator checking VA/SA state each cycle (§4,
+//    Figure 12), with logic-fault injection into RT/VA/SA;
+//  * the probing deadlock detector and retransmission-buffer-based
+//    recovery (§3.2, Figures 10/11).
+//
+// Pipeline model. Router phases execute once per cycle; flits only become
+// eligible for a stage the cycle after the previous stage handled them,
+// which reproduces the per-hop latency of an n-stage router + 1-cycle link:
+//
+//   stages=3 (paper's default): BW -> RT+VA split as RT | VA | SA+ST
+//   stages=2: RT+VA same cycle (look-ahead + speculation) | SA+ST
+//   stages=1: RT+VA+SA+ST in one cycle
+//   stages=4: RT | VA | SA | ST (output staging register)
+//
+// Routers communicate exclusively through 1-cycle Wire channels, so the
+// sequential update order of routers within a cycle is unobservable.
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "core/allocation_comparator.hpp"
+#include "core/deadlock.hpp"
+#include "core/error_check_unit.hpp"
+#include "core/fault_injector.hpp"
+#include "core/flit.hpp"
+#include "core/retransmission_buffer.hpp"
+#include "noc/arbiter.hpp"
+#include "noc/channel.hpp"
+#include "noc/routing.hpp"
+#include "noc/stats.hpp"
+#include "noc/topology.hpp"
+#include "power/energy_model.hpp"
+
+namespace ftnoc {
+
+/// One returned buffer slot for a VC.
+struct Credit {
+  VcId vc = kInvalidVc;
+};
+
+/// Link-level negative acknowledgement for a VC (HBH retransmission).
+struct NackMsg {
+  VcId vc = kInvalidVc;
+};
+
+/// All wires of one *directed* link A->B. Forward signals (flit, probe,
+/// activation) travel A->B; credit and NACK travel B->A on the same bundle.
+struct Wire {
+  Channel<Flit> flit;
+  MultiChannel<Credit> credit;
+  Channel<NackMsg> nack;
+  Channel<ProbeSignal> probe;
+  Channel<ActivationSignal> activation;
+  void tick() {
+    flit.tick();
+    credit.tick();
+    nack.tick();
+    probe.tick();
+    activation.tick();
+  }
+};
+
+/// Callback delivering an ejected flit to the local processing element.
+using EjectFn = std::function<void(const Flit&, Cycle)>;
+
+class Router {
+ public:
+  Router(NodeId id, const SimConfig& cfg, const Topology& topo,
+         FaultInjector* faults, power::EnergyMeter* meter,
+         StatsCollector* stats);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Wires port `p`: `in` carries the neighbour's (or PE's) signals toward
+  /// this router, `out` carries this router's signals away. Either may be
+  /// nullptr for a nonexistent link (mesh edge).
+  void connect(PortId p, Wire* in, Wire* out);
+
+  void set_eject_fn(EjectFn fn) { eject_ = std::move(fn); }
+
+  /// Marks a link port as hard-failed (pre-programmed into the VA's
+  /// link-state table, §4.2). The VA never allocates toward a dead port;
+  /// adaptive routing detours around it.
+  void fail_link(PortId p);
+
+  /// Advances the router one clock cycle.
+  void step(Cycle now);
+
+  NodeId id() const { return id_; }
+
+  // --- Introspection (stats sampling, tests) -----------------------------
+  int tx_buffer_occupancy() const;
+  int tx_buffer_slots() const;
+  int rtx_buffer_occupancy() const;
+  int rtx_buffer_slots() const;
+  bool in_recovery() const { return agent_.in_recovery(); }
+  const DeadlockAgent& deadlock_agent() const { return agent_; }
+
+  /// Occupancy of one input VC buffer (tests).
+  int input_buffer_size(PortId p, VcId v) const;
+  /// Whether an input VC currently holds an active wormhole (tests).
+  bool input_vc_active(PortId p, VcId v) const;
+  /// Human-readable state snapshot (debugging and trace examples).
+  std::string debug_dump(Cycle now) const;
+
+ private:
+  // --- Per-VC state -------------------------------------------------------
+  enum class VcState : std::uint8_t {
+    kRouting,  ///< No wormhole; route the next head flit that shows up.
+    kVaWait,   ///< Head routed; waiting for an output VC.
+    kActive,   ///< Wormhole open; flits stream through SA.
+    kVaReserved, ///< Deadlock recovery: flits absorbed into the output VC's
+                 ///< retransmission buffer; ownership transfers when the
+                 ///< current owner's tail retires (deferred allocation).
+    kDraining, ///< Unprotected-allocation casualty: discard until tail.
+  };
+
+  struct InputVc {
+    std::deque<Flit> buf;
+    VcState state = VcState::kRouting;
+    PortMask candidates = 0;
+    PortId out_port = kInvalidPort;
+    VcId out_vc = kInvalidVc;
+    Cycle last_advance = 0;
+    Cycle stall_until = 0;   ///< Logic-error recovery penalty.
+    Cycle state_since = 0;
+  };
+
+  struct OutputVc {
+    bool allocated = false;
+    std::uint16_t owner_gid = 0;
+    PacketId owner_pid = 0;
+    bool tail_sent = false;
+    int credits = 0;
+    std::optional<RetransmissionBuffer> rtx;  ///< Absent on the local port.
+    /// Deadlock recovery: the input VC queued to inherit this output VC
+    /// when the current owner releases it (deferred VA).
+    bool has_waiter = false;
+    std::uint16_t waiter_gid = 0;
+    PacketId waiter_pid = 0;
+  };
+
+  struct PendingNack {
+    PortId port;
+    VcId vc;
+    Cycle send_at;
+  };
+
+  struct OutboxItem {
+    PortId port;
+    bool is_probe;
+    ProbeSignal probe;
+    ActivationSignal activation;
+  };
+
+  // --- Phases --------------------------------------------------------------
+  void phase_maintenance(Cycle now);
+  void phase_receive(Cycle now);
+  void phase_replay_and_switch(Cycle now);
+  void phase_va(Cycle now);
+  void phase_rt(Cycle now);
+  void phase_deadlock(Cycle now);
+
+  // --- Helpers ---------------------------------------------------------------
+  InputVc& ivc(PortId p, VcId v) { return inputs_[gid(p, v)]; }
+  const InputVc& ivc(PortId p, VcId v) const { return inputs_[gid(p, v)]; }
+  OutputVc& ovc(PortId p, VcId v) { return outputs_[gid(p, v)]; }
+  const OutputVc& ovc(PortId p, VcId v) const { return outputs_[gid(p, v)]; }
+  int gid(PortId p, VcId v) const { return p * num_vcs_ + v; }
+
+  bool port_has_neighbor(PortId p) const;
+  /// Neighbour exists and the link is not hard-failed.
+  bool port_usable(PortId p) const;
+  void accept_flit(PortId p, Flit f, Cycle now);
+  void handle_incoming_flit(PortId p, Flit f, Cycle now);
+  void handle_probe(PortId p, const ProbeSignal& probe, Cycle now);
+  void handle_activation(const ActivationSignal& act, Cycle now);
+  /// Sends one flit on an output link: consumes the credit (unless it is a
+  /// replay that already holds one), records the NACK-window copy in the
+  /// retransmission barrel, and drives the wire. `corrupt_on_wire` models
+  /// an in-crossbar upset: the barrel copy is taken before the crossbar,
+  /// so only the transmitted copy is wrecked (otherwise a replay would
+  /// resend the same corrupt word forever — the §4.5 hazard).
+  void transmit(PortId out_port, VcId out_vc, Flit f, Cycle now,
+                bool consume_credit, bool corrupt_on_wire = false);
+  /// Final bookkeeping at the moment a flit actually leaves on the wires:
+  /// tail tracking and the retransmission-barrel copy (with the §4.5
+  /// stored-copy upset process). Runs inside transmit() for 1-3-stage
+  /// routers and at the staged-register flush for 4-stage ones.
+  void finalize_transmission(PortId o, VcId v, const Flit& f, Cycle now);
+  void eject(const Flit& f, PortId in_port, VcId in_vc, Cycle now);
+  void send_credit(PortId p, VcId v);
+  void release_input_after_tail(PortId p, VcId v, Cycle now);
+  void maybe_release_outputs(Cycle now);
+  bool vc_blocked(const InputVc& vc, Cycle now) const;
+  /// Next link of a blocked dependency chain through an input VC.
+  std::optional<std::pair<PortId, VcId>> resolve_chain(const InputVc& vc) const;
+  void run_ac_on_va(std::size_t new_entry, Cycle now);
+  void enter_recovery(Cycle now);
+  void queue_control(PortId port, const ProbeSignal& p);
+  void queue_control(PortId port, const ActivationSignal& a);
+  void flush_outbox();
+  void charge(power::EnergyEvent e, std::uint64_t times = 1);
+
+  // Input-side VA request: the (port, vc) this input VC asks for, if any.
+  // `in_port`/`in_vc` identify the requesting input VC (escape-VC policy
+  // depends on how the packet arrived).
+  std::optional<std::pair<PortId, VcId>> pick_va_request(InputVc& vc,
+                                                         PortId in_port,
+                                                         VcId in_vc,
+                                                         int rotation);
+
+  // RT fault handling; returns the (possibly corrupted) candidate mask and
+  // applies stalls/penalties for emulated downstream detection.
+  PortMask apply_rt_fault(InputVc& vc, PortMask correct, Cycle now);
+
+  // --- Immutable configuration ------------------------------------------
+  NodeId id_;
+  const SimConfig& cfg_;
+  const Topology& topo_;
+  int num_vcs_;
+  int num_ports_ = kNumDirections;
+
+  FaultInjector* faults_;
+  power::EnergyMeter* meter_;
+  StatsCollector* stats_;
+  EjectFn eject_;
+
+  // --- Wiring ---------------------------------------------------------------
+  std::array<Wire*, kNumDirections> in_wires_{};
+  std::array<Wire*, kNumDirections> out_wires_{};
+
+  // --- State -----------------------------------------------------------------
+  std::vector<InputVc> inputs_;    // P*V
+  std::vector<OutputVc> outputs_;  // P*V
+  std::vector<Cycle> drop_until_;  // P*V: HBH drop window per input VC.
+  ErrorCheckUnit checker_;
+  AllocationComparator ac_;
+  DeadlockAgent agent_;
+
+  ArbiterBank va_arbs_;     // one per output VC, over P*V input gids
+  ArbiterBank sa_in_arbs_;  // one per input port, over V VCs
+  ArbiterBank sa_out_arbs_; // one per output port, over P input ports
+  ArbiterBank replay_arbs_; // one per output port, over V VCs
+  std::vector<int> va_rotation_;  // per input gid: rotating VC preference
+
+  std::array<bool, kNumDirections> port_busy_{};     // per-cycle ST usage
+  std::array<bool, kNumDirections> link_dead_{};     // hard faults (4.2)
+
+  /// 4-stage pipeline: the dedicated switch-traversal register. `wire`
+  /// is what travels (possibly wrecked by an unprotected SA upset);
+  /// `stored` is the clean pre-crossbar copy for the retransmission
+  /// barrel, recorded at flush time so NACK-loop ages line up.
+  struct StagedFlit {
+    Flit wire;
+    Flit stored;
+    VcId vc;
+  };
+  std::array<std::optional<StagedFlit>, kNumDirections> staged_;
+  std::vector<PendingNack> pending_nacks_;
+  std::vector<OutboxItem> outbox_;
+  std::unordered_map<std::uint32_t, PortId> own_probe_route_;
+  /// Any input-buffer slot freed this cycle (SA, drain, absorb, eject) —
+  /// feeds DeadlockAgent::note_progress for the fallback-recovery trigger.
+  bool progress_this_cycle_ = false;
+  std::uint32_t probe_ttl_ = 0;
+};
+
+}  // namespace ftnoc

@@ -1,0 +1,56 @@
+#pragma once
+// Routing functions. The paper evaluates a deterministic algorithm ("DT",
+// dimension-ordered XY — deadlock-free on a mesh) and an adaptive one
+// ("AD", minimal fully-adaptive — higher buffer utilization, Figure 8/9,
+// and deadlock-prone, which is what the recovery scheme of §3.2 is for).
+//
+// A routing function returns a *set* of permitted output ports as a bitmask
+// (bit i = port i); the paper's AC unit consumes exactly this valid-set
+// representation (Figure 12: "Routing Function returns all VCs of a single
+// PC (R => P)").
+
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "noc/topology.hpp"
+
+namespace ftnoc {
+
+using PortMask = std::uint8_t;
+
+inline constexpr PortMask port_bit(Direction d) {
+  return static_cast<PortMask>(1u << static_cast<int>(d));
+}
+inline constexpr PortMask port_bit(PortId p) {
+  return static_cast<PortMask>(1u << p);
+}
+inline constexpr bool mask_has(PortMask m, PortId p) {
+  return (m & port_bit(p)) != 0;
+}
+
+/// Number of ports set in the mask.
+int mask_size(PortMask m);
+
+/// Lowest-numbered port in the mask; kInvalidPort if empty.
+PortId first_port(PortMask m);
+
+/// Computes the permitted output ports for a packet at `current` headed to
+/// `dest`. Always non-empty for a valid destination; returns the Local port
+/// alone when current == dest.
+PortMask route(const Topology& topo, RoutingAlgorithm algo, NodeId current,
+               NodeId dest);
+
+/// True if a flit that arrived at `current` via input port `in_port`
+/// (i.e. was sent by the neighbour in direction opposite(in_port)) is
+/// consistent with dimension-ordered XY routing from that neighbour. The
+/// receiving router uses this to detect RT-logic misdirections under
+/// deterministic routing (§4.2).
+bool xy_step_is_legal(const Topology& topo, NodeId current, PortId in_port,
+                      NodeId dest);
+
+/// Average minimal hop count between distinct node pairs (analysis helper
+/// used by tests and the traffic-pattern benches).
+double average_min_hops(const Topology& topo);
+
+}  // namespace ftnoc

@@ -1,0 +1,104 @@
+#include "noc/simulator.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace ftnoc {
+
+std::string SimResults::summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "latency=%.2f cyc  energy=%.4f nJ/msg  msgs=%llu  "
+                "tx_util=%.3f rtx_util=%.3f  corrected(link=%llu rt=%llu "
+                "sa=%llu va=%llu)  %s",
+                avg_latency_cycles, energy_per_message_nj,
+                static_cast<unsigned long long>(measured_messages),
+                tx_buffer_utilization, rtx_buffer_utilization,
+                static_cast<unsigned long long>(link_errors_corrected),
+                static_cast<unsigned long long>(rt_errors_recovered),
+                static_cast<unsigned long long>(sa_errors_recovered),
+                static_cast<unsigned long long>(va_errors_recovered),
+                completed ? "completed" : "TIMED-OUT");
+  return buf;
+}
+
+Simulator::Simulator(const SimConfig& cfg)
+    : cfg_(cfg), net_(std::make_unique<Network>(cfg)) {}
+
+SimResults Simulator::run() {
+  Network& net = *net_;
+  StatsCollector& stats = net.stats();
+  bool warmed_up = cfg_.warmup_messages == 0;
+  if (warmed_up) {
+    stats.begin_measurement(0);
+    net.meter().reset();
+  }
+
+  while (stats.messages_ejected() < cfg_.total_messages &&
+         net.now() < cfg_.max_cycles) {
+    net.step();
+    if (!warmed_up && stats.messages_ejected() >= cfg_.warmup_messages) {
+      warmed_up = true;
+      stats.begin_measurement(net.now());
+      net.meter().reset();
+    }
+  }
+
+  SimResults r;
+  r.completed = stats.messages_ejected() >= cfg_.total_messages;
+  r.cycles = net.now();
+  r.avg_latency_cycles = stats.latency().mean();
+  r.avg_total_latency_cycles = stats.total_latency().mean();
+  r.p50_latency_cycles = stats.latency_histogram().quantile(0.5);
+  r.p99_latency_cycles = stats.latency_histogram().quantile(0.99);
+  r.max_latency_cycles = stats.latency().max();
+  r.measured_messages = stats.measured_messages();
+
+  const Cycle measured_cycles =
+      net.now() > stats.measure_start() ? net.now() - stats.measure_start()
+                                        : 1;
+  r.throughput_flits_node_cycle =
+      static_cast<double>(r.measured_messages) *
+      static_cast<double>(cfg_.packet_length) /
+      (static_cast<double>(measured_cycles) *
+       static_cast<double>(cfg_.num_nodes()));
+
+  r.total_energy_uj = net.meter().total_pj() * 1e-6;
+  r.energy_per_message_nj =
+      r.measured_messages
+          ? net.meter().total_nj() / static_cast<double>(r.measured_messages)
+          : 0.0;
+
+  r.tx_buffer_utilization = stats.tx_buffer_utilization().mean();
+  r.rtx_buffer_utilization = stats.rtx_buffer_utilization().mean();
+
+  r.link_errors_corrected = stats.link_errors_corrected();
+  r.link_single_corrected = stats.link_single_corrected();
+  r.link_retransmission_events = stats.link_retransmission_events();
+  r.link_flits_retransmitted = stats.link_flits_retransmitted();
+  r.nacks_sent = stats.nacks_sent();
+  r.rt_errors_recovered = stats.rt_errors_recovered();
+  r.va_errors_recovered = stats.va_errors_recovered();
+  r.sa_errors_recovered = stats.sa_errors_recovered();
+  r.unprotected_errors = stats.unprotected_errors();
+  r.corrupted_delivered = stats.corrupted_delivered();
+  r.e2e_retransmits = stats.e2e_retransmits();
+  r.rtx_errors_corrected = stats.rtx_errors_corrected();
+  r.handshake_errors_corrected = stats.handshake_errors_corrected();
+  r.hard_fault_reroutes = stats.hard_fault_reroutes();
+
+  r.probes_sent = stats.probes_sent();
+  r.deadlocks_confirmed = stats.deadlocks_confirmed();
+  r.recoveries_entered = stats.recoveries_entered();
+  r.fallback_recoveries = stats.fallback_recoveries();
+  r.flits_absorbed = stats.flits_absorbed();
+  return r;
+}
+
+SimResults run_simulation(const SimConfig& cfg) {
+  Simulator sim(cfg);
+  return sim.run();
+}
+
+}  // namespace ftnoc

@@ -1,0 +1,83 @@
+#pragma once
+// Top-level simulation driver: runs a Network until the configured number
+// of messages has been ejected (paper §2.2: inject until 300k messages,
+// including 100k warm-up, are ejected), and condenses the collected metrics
+// into a flat result record that the benches print.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/config.hpp"
+#include "noc/network.hpp"
+
+namespace ftnoc {
+
+struct SimResults {
+  bool completed = false;  ///< False if max_cycles hit before enough ejections.
+  Cycle cycles = 0;
+
+  // Performance. `avg_latency_cycles` is measured from header injection
+  // into the network to tail ejection (the paper's message latency);
+  // `avg_total_latency_cycles` additionally includes source queueing.
+  double avg_latency_cycles = 0.0;
+  double avg_total_latency_cycles = 0.0;
+  double p50_latency_cycles = 0.0;
+  double p99_latency_cycles = 0.0;
+  double max_latency_cycles = 0.0;
+  std::uint64_t measured_messages = 0;
+  double throughput_flits_node_cycle = 0.0;
+
+  // Energy (measurement window only).
+  double energy_per_message_nj = 0.0;
+  double total_energy_uj = 0.0;
+
+  // Buffer occupancy (Figures 8/9).
+  double tx_buffer_utilization = 0.0;
+  double rtx_buffer_utilization = 0.0;
+
+  // Fault-tolerance accounting (measurement window).
+  std::uint64_t link_errors_corrected = 0;
+  std::uint64_t link_single_corrected = 0;
+  std::uint64_t link_retransmission_events = 0;
+  std::uint64_t link_flits_retransmitted = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t rt_errors_recovered = 0;
+  std::uint64_t va_errors_recovered = 0;
+  std::uint64_t sa_errors_recovered = 0;
+  std::uint64_t unprotected_errors = 0;
+  std::uint64_t corrupted_delivered = 0;
+  std::uint64_t e2e_retransmits = 0;
+  std::uint64_t rtx_errors_corrected = 0;
+  std::uint64_t handshake_errors_corrected = 0;
+  std::uint64_t hard_fault_reroutes = 0;
+
+  // Deadlock accounting.
+  std::uint64_t probes_sent = 0;
+  std::uint64_t deadlocks_confirmed = 0;
+  std::uint64_t recoveries_entered = 0;
+  std::uint64_t fallback_recoveries = 0;
+  std::uint64_t flits_absorbed = 0;
+
+  std::string summary() const;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const SimConfig& cfg);
+
+  /// Runs to completion (or max_cycles) and returns the condensed metrics.
+  SimResults run();
+
+  Network& network() { return *net_; }
+  const SimConfig& config() const { return cfg_; }
+
+ private:
+  SimConfig cfg_;
+  std::unique_ptr<Network> net_;
+};
+
+/// Convenience: configure, run, return results.
+SimResults run_simulation(const SimConfig& cfg);
+
+}  // namespace ftnoc

@@ -1,0 +1,172 @@
+#pragma once
+// Network-wide metric collection. The simulator warms the network up first
+// (paper §2.2: 100k warm-up messages out of 300k); measurement begins when
+// the warm-up ejection count is reached and all per-run metrics reported by
+// the benches come from the measurement window only.
+
+#include <cstdint>
+
+#include "common/stats_util.hpp"
+#include "common/types.hpp"
+
+namespace ftnoc {
+
+class StatsCollector {
+ public:
+  StatsCollector()
+      : latency_hist_(/*bucket_width=*/1.0, /*num_buckets=*/4096) {}
+  /// Starts the measurement window (called once, at the warm-up boundary).
+  void begin_measurement(Cycle now) {
+    measuring_ = true;
+    measure_start_ = now;
+  }
+  bool measuring() const { return measuring_; }
+  Cycle measure_start() const { return measure_start_; }
+
+  // --- Traffic lifecycle -------------------------------------------------
+  void on_packet_created() { ++packets_created_; }
+  void on_flit_injected() { ++flits_injected_; }
+  /// `birth` = packet generation time (includes source queueing);
+  /// `inject` = first header injection into the network (the paper's
+  /// message-latency reference point; 0 if unknown).
+  void on_message_ejected(Cycle now, Cycle birth, Cycle inject,
+                          bool corrupted) {
+    ++messages_ejected_;
+    if (!measuring_) return;
+    ++measured_messages_;
+    const double lat = static_cast<double>(now - (inject ? inject : birth));
+    latency_.add(lat);
+    latency_hist_.add(lat);
+    total_latency_.add(static_cast<double>(now - birth));
+    if (corrupted) ++corrupted_delivered_;
+  }
+
+  // --- Fault-tolerance events ---------------------------------------------
+  // Counted only inside the measurement window (callers don't need to
+  // check; the collector gates on measuring_).
+  void on_link_single_corrected() { bump(link_single_corrected_); }
+  void on_link_retransmission(std::uint64_t flits) {
+    if (measuring_) {
+      ++link_retransmission_events_;
+      link_flits_retransmitted_ += flits;
+    }
+  }
+  void on_nack_sent() { bump(nacks_sent_); }
+  void on_flit_dropped() { bump(flits_dropped_); }
+  void on_rt_error_recovered() { bump(rt_errors_recovered_); }
+  void on_va_error_recovered() { bump(va_errors_recovered_); }
+  void on_sa_error_recovered() { bump(sa_errors_recovered_); }
+  void on_unprotected_error() { bump(unprotected_errors_); }
+  void on_e2e_retransmit() { bump(e2e_retransmits_); }
+  void on_rtx_error_corrected() { bump(rtx_errors_corrected_); }
+  void on_handshake_error_corrected() { bump(handshake_errors_corrected_); }
+  /// A packet detoured non-minimally around a hard-failed link.
+  void on_hard_fault_reroute() { bump(hard_fault_reroutes_); }
+
+  // --- Deadlock events -----------------------------------------------------
+  void on_probe_sent() { bump(probes_sent_); }
+  void on_probe_discarded() { bump(probes_discarded_); }
+  void on_deadlock_confirmed() { bump(deadlocks_confirmed_); }
+  void on_recovery_entered() { bump(recoveries_entered_); }
+  void on_recovery_exited() { bump(recoveries_exited_); }
+  void on_fallback_recovery() { bump(fallback_recoveries_); }
+  void on_flit_absorbed() { bump(flits_absorbed_); }
+
+  // --- Per-cycle sampling --------------------------------------------------
+  /// `tx_frac` / `rtx_frac`: network-wide occupied-slot fractions this cycle.
+  void sample_buffers(double tx_frac, double rtx_frac) {
+    if (!measuring_) return;
+    tx_util_.add(tx_frac);
+    rtx_util_.add(rtx_frac);
+  }
+
+  // --- Accessors ------------------------------------------------------------
+  std::uint64_t packets_created() const { return packets_created_; }
+  std::uint64_t flits_injected() const { return flits_injected_; }
+  std::uint64_t messages_ejected() const { return messages_ejected_; }
+  std::uint64_t measured_messages() const { return measured_messages_; }
+  const RunningStat& latency() const { return latency_; }
+  const RunningStat& total_latency() const { return total_latency_; }
+  /// Message-latency distribution (1-cycle buckets, for tail quantiles).
+  const Histogram& latency_histogram() const { return latency_hist_; }
+  const RunningStat& tx_buffer_utilization() const { return tx_util_; }
+  const RunningStat& rtx_buffer_utilization() const { return rtx_util_; }
+
+  std::uint64_t link_single_corrected() const { return link_single_corrected_; }
+  std::uint64_t link_retransmission_events() const {
+    return link_retransmission_events_;
+  }
+  std::uint64_t link_flits_retransmitted() const {
+    return link_flits_retransmitted_;
+  }
+  std::uint64_t nacks_sent() const { return nacks_sent_; }
+  std::uint64_t flits_dropped() const { return flits_dropped_; }
+  std::uint64_t rt_errors_recovered() const { return rt_errors_recovered_; }
+  std::uint64_t va_errors_recovered() const { return va_errors_recovered_; }
+  std::uint64_t sa_errors_recovered() const { return sa_errors_recovered_; }
+  std::uint64_t unprotected_errors() const { return unprotected_errors_; }
+  std::uint64_t corrupted_delivered() const { return corrupted_delivered_; }
+  std::uint64_t e2e_retransmits() const { return e2e_retransmits_; }
+  std::uint64_t rtx_errors_corrected() const { return rtx_errors_corrected_; }
+  std::uint64_t handshake_errors_corrected() const {
+    return handshake_errors_corrected_;
+  }
+  std::uint64_t hard_fault_reroutes() const { return hard_fault_reroutes_; }
+
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  std::uint64_t probes_discarded() const { return probes_discarded_; }
+  std::uint64_t deadlocks_confirmed() const { return deadlocks_confirmed_; }
+  std::uint64_t recoveries_entered() const { return recoveries_entered_; }
+  std::uint64_t recoveries_exited() const { return recoveries_exited_; }
+  std::uint64_t fallback_recoveries() const { return fallback_recoveries_; }
+  std::uint64_t flits_absorbed() const { return flits_absorbed_; }
+
+  /// Total corrected link errors: SEC singles + retransmitted multi-bit
+  /// flit errors (what Figure 13(a)'s LINK-HBH series counts).
+  std::uint64_t link_errors_corrected() const {
+    return link_single_corrected_ + link_retransmission_events_;
+  }
+
+ private:
+  void bump(std::uint64_t& c) {
+    if (measuring_) ++c;
+  }
+
+  bool measuring_ = false;
+  Cycle measure_start_ = 0;
+
+  std::uint64_t packets_created_ = 0;
+  std::uint64_t flits_injected_ = 0;
+  std::uint64_t messages_ejected_ = 0;
+  std::uint64_t measured_messages_ = 0;
+  RunningStat latency_;
+  RunningStat total_latency_;
+  Histogram latency_hist_;
+  RunningStat tx_util_;
+  RunningStat rtx_util_;
+
+  std::uint64_t link_single_corrected_ = 0;
+  std::uint64_t link_retransmission_events_ = 0;
+  std::uint64_t link_flits_retransmitted_ = 0;
+  std::uint64_t nacks_sent_ = 0;
+  std::uint64_t flits_dropped_ = 0;
+  std::uint64_t rt_errors_recovered_ = 0;
+  std::uint64_t va_errors_recovered_ = 0;
+  std::uint64_t sa_errors_recovered_ = 0;
+  std::uint64_t unprotected_errors_ = 0;
+  std::uint64_t corrupted_delivered_ = 0;
+  std::uint64_t e2e_retransmits_ = 0;
+  std::uint64_t rtx_errors_corrected_ = 0;
+  std::uint64_t handshake_errors_corrected_ = 0;
+  std::uint64_t hard_fault_reroutes_ = 0;
+
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t probes_discarded_ = 0;
+  std::uint64_t deadlocks_confirmed_ = 0;
+  std::uint64_t recoveries_entered_ = 0;
+  std::uint64_t recoveries_exited_ = 0;
+  std::uint64_t fallback_recoveries_ = 0;
+  std::uint64_t flits_absorbed_ = 0;
+};
+
+}  // namespace ftnoc

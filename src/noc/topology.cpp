@@ -1,0 +1,45 @@
+#include "noc/topology.hpp"
+
+#include "common/check.hpp"
+
+namespace ftnoc {
+
+Topology::Topology(int width, int height, bool torus)
+    : width_(width), height_(height), torus_(torus) {
+  FTNOC_CHECK(width >= 1 && height >= 1);
+  FTNOC_CHECK(width * height >= 2);
+}
+
+Coord Topology::coord_of(NodeId n) const {
+  FTNOC_DCHECK(n < num_nodes());
+  return Coord{static_cast<int>(n) % width_, static_cast<int>(n) / width_};
+}
+
+NodeId Topology::node_at(Coord c) const {
+  FTNOC_DCHECK(contains(c));
+  return static_cast<NodeId>(c.y * width_ + c.x);
+}
+
+bool Topology::contains(Coord c) const {
+  return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+}
+
+std::optional<NodeId> Topology::neighbor(NodeId n, Direction d) const {
+  Coord c = coord_of(n);
+  switch (d) {
+    // Row 0 is the top of the mesh: north decreases y.
+    case Direction::kNorth: c.y -= 1; break;
+    case Direction::kSouth: c.y += 1; break;
+    case Direction::kEast: c.x += 1; break;
+    case Direction::kWest: c.x -= 1; break;
+    case Direction::kLocal: return std::nullopt;
+  }
+  if (!contains(c)) {
+    if (!torus_) return std::nullopt;
+    c.x = (c.x + width_) % width_;
+    c.y = (c.y + height_) % height_;
+  }
+  return node_at(c);
+}
+
+}  // namespace ftnoc

@@ -1,0 +1,41 @@
+#pragma once
+// 2-D mesh / torus topology: node numbering, coordinates and neighbour
+// resolution. The paper evaluates an 8x8 MESH (§2.2); the torus option
+// exists because the tornado pattern (borrowed from torus studies) and the
+// ablation benches benefit from it.
+
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace ftnoc {
+
+class Topology {
+ public:
+  Topology(int width, int height, bool torus);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool torus() const { return torus_; }
+  int num_nodes() const { return width_ * height_; }
+
+  Coord coord_of(NodeId n) const;
+  NodeId node_at(Coord c) const;
+  bool contains(Coord c) const;
+
+  /// The neighbour reached by leaving `n` through `d`, or nullopt at a mesh
+  /// edge. kLocal never has a neighbour.
+  std::optional<NodeId> neighbor(NodeId n, Direction d) const;
+
+  /// True if `d` is a usable network direction at node `n`.
+  bool has_neighbor(NodeId n, Direction d) const {
+    return neighbor(n, d).has_value();
+  }
+
+ private:
+  int width_;
+  int height_;
+  bool torus_;
+};
+
+}  // namespace ftnoc

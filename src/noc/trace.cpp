@@ -1,0 +1,95 @@
+#include "noc/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "noc/traffic.hpp"
+
+namespace ftnoc {
+
+std::vector<TraceRecord> parse_trace(std::istream& in, int num_nodes,
+                                     std::string* error) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& what) {
+    if (error) *error = "line " + std::to_string(lineno) + ": " + what;
+    return std::vector<TraceRecord>{};
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    TraceRecord r;
+    long long cycle = 0, src = 0, dest = 0, length = 0;
+    if (!(ls >> cycle)) continue;  // Blank / comment-only line.
+    if (!(ls >> src >> dest >> length)) return fail("expected 4 fields");
+    std::string extra;
+    if (ls >> extra) return fail("trailing junk: " + extra);
+    if (cycle < 0 || src < 0 || dest < 0 || length < 1) {
+      return fail("field out of range");
+    }
+    if (num_nodes > 0 && (src >= num_nodes || dest >= num_nodes)) {
+      return fail("node id out of range");
+    }
+    if (src == dest) return fail("src == dest");
+    if (!records.empty() &&
+        static_cast<Cycle>(cycle) < records.back().cycle) {
+      return fail("records must be sorted by cycle");
+    }
+    r.cycle = static_cast<Cycle>(cycle);
+    r.src = static_cast<NodeId>(src);
+    r.dest = static_cast<NodeId>(dest);
+    r.length = static_cast<int>(length);
+    records.push_back(r);
+  }
+  if (error) error->clear();
+  return records;
+}
+
+std::vector<TraceRecord> load_trace(const std::string& path, int num_nodes,
+                                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return {};
+  }
+  return parse_trace(in, num_nodes, error);
+}
+
+void write_trace(std::ostream& out, const std::vector<TraceRecord>& records) {
+  out << "# ftnoc packet trace: cycle src dest length\n";
+  for (const auto& r : records) {
+    out << r.cycle << ' ' << r.src << ' ' << r.dest << ' ' << r.length
+        << '\n';
+  }
+}
+
+std::vector<TraceRecord> synthesize_trace(const Topology& topo,
+                                          TrafficPattern pattern,
+                                          double injection_rate,
+                                          int packet_length, Cycle cycles,
+                                          Rng rng) {
+  std::vector<TraceRecord> records;
+  const double p = injection_rate / packet_length;
+  // One independent stream per node, matching TrafficSource's structure.
+  std::vector<Rng> node_rngs;
+  node_rngs.reserve(static_cast<std::size_t>(topo.num_nodes()));
+  for (int n = 0; n < topo.num_nodes(); ++n) node_rngs.push_back(rng.fork());
+  for (Cycle c = 0; c < cycles; ++c) {
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+      auto& r = node_rngs[n];
+      if (!r.bernoulli(p)) continue;
+      TraceRecord rec;
+      rec.cycle = c;
+      rec.src = n;
+      rec.dest = pick_destination(topo, pattern, n, r);
+      rec.length = packet_length;
+      records.push_back(rec);
+    }
+  }
+  return records;
+}
+
+}  // namespace ftnoc

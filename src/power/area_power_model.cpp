@@ -1,0 +1,109 @@
+#include "power/area_power_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ftnoc::power {
+namespace {
+
+// Published totals for the reference configuration (paper §2.2 / Table 1).
+constexpr double kRefRouterAreaMm2 = 0.374862;
+constexpr double kRefRouterPowerMw = 119.55;
+constexpr double kRefAcAreaMm2 = 0.004474;
+constexpr double kRefAcPowerMw = 2.02;
+
+// Reference configuration the coefficients are calibrated at.
+constexpr RouterParams kRef{};  // 5 ports, 4 VCs, depth 4, 64-bit, rtx 3.
+
+// Component fractions of the generic router at the reference point.
+// Buffer-dominated splits are consistent with published 90 nm router
+// characterizations (e.g. Peh & Dally's router models).
+struct Fractions {
+  double buffers, crossbar, va, sa, rt, other;
+};
+constexpr Fractions kAreaFrac{0.50, 0.13, 0.09, 0.07, 0.03, 0.18};
+constexpr Fractions kPowerFrac{0.45, 0.15, 0.10, 0.08, 0.04, 0.18};
+
+// Structural scaling laws. Each returns a dimensionless size metric that is
+// proportional to the component's silicon cost.
+double buffers_metric(const RouterParams& p) {
+  return static_cast<double>(p.ports) * p.vcs * p.buffer_depth * p.flit_width;
+}
+double rtx_metric(const RouterParams& p) {
+  return static_cast<double>(p.ports) * p.vcs * p.rtx_depth * p.flit_width;
+}
+double crossbar_metric(const RouterParams& p) {
+  return static_cast<double>(p.ports) * p.ports * p.flit_width;
+}
+double va_metric(const RouterParams& p) {
+  // First-stage V:1 arbiters per input VC plus second-stage PV:1 arbiters
+  // per output VC; the quadratic term dominates.
+  const double pv = static_cast<double>(p.ports) * p.vcs;
+  return pv * pv;
+}
+double sa_metric(const RouterParams& p) {
+  // V:1 per input port plus P:1 per output port.
+  return static_cast<double>(p.ports) * p.ports * p.vcs;
+}
+double rt_metric(const RouterParams& p) {
+  return static_cast<double>(p.ports) * p.vcs;
+}
+double other_metric(const RouterParams& p) {
+  return static_cast<double>(p.ports) * p.vcs;
+}
+double ac_metric(const RouterParams& p) {
+  // PV state entries compared in parallel; each entry is a VC identifier of
+  // ceil(log2(PV)) bits plus a valid bit (Figure 12).
+  const double pv = static_cast<double>(p.ports) * p.vcs;
+  const double entry_bits = std::ceil(std::log2(pv)) + 1.0;
+  return pv * entry_bits;
+}
+
+Breakdown scale(const Fractions& frac, double router_total, double ac_total,
+                const RouterParams& p) {
+  Breakdown b;
+  b.buffers = frac.buffers * router_total * buffers_metric(p) /
+              buffers_metric(kRef);
+  b.crossbar = frac.crossbar * router_total * crossbar_metric(p) /
+               crossbar_metric(kRef);
+  b.va = frac.va * router_total * va_metric(p) / va_metric(kRef);
+  b.sa = frac.sa * router_total * sa_metric(p) / sa_metric(kRef);
+  b.rt = frac.rt * router_total * rt_metric(p) / rt_metric(kRef);
+  b.other = frac.other * router_total * other_metric(p) / other_metric(kRef);
+  // Retransmission buffers cost the same per bit as the transmission
+  // buffers (both are flit-wide register files).
+  b.rtx_buffers = frac.buffers * router_total * rtx_metric(p) /
+                  buffers_metric(kRef);
+  b.ac_unit = ac_total * ac_metric(p) / ac_metric(kRef);
+  return b;
+}
+
+}  // namespace
+
+Breakdown area_mm2(const RouterParams& p) {
+  FTNOC_CHECK(p.ports > 0 && p.vcs > 0 && p.buffer_depth > 0 &&
+              p.flit_width > 0 && p.rtx_depth >= 0);
+  return scale(kAreaFrac, kRefRouterAreaMm2, kRefAcAreaMm2, p);
+}
+
+Breakdown power_mw(const RouterParams& p) {
+  FTNOC_CHECK(p.ports > 0 && p.vcs > 0 && p.buffer_depth > 0 &&
+              p.flit_width > 0 && p.rtx_depth >= 0);
+  return scale(kPowerFrac, kRefRouterPowerMw, kRefAcPowerMw, p);
+}
+
+AcOverheadReport ac_overhead(const RouterParams& p) {
+  const Breakdown area = area_mm2(p);
+  const Breakdown power = power_mw(p);
+  AcOverheadReport r;
+  r.router_area_mm2 = area.generic_total();
+  r.router_power_mw = power.generic_total();
+  r.ac_area_mm2 = area.ac_unit;
+  r.ac_power_mw = power.ac_unit;
+  r.area_overhead_pct = 100.0 * r.ac_area_mm2 / r.router_area_mm2;
+  r.power_overhead_pct = 100.0 * r.ac_power_mw / r.router_power_mw;
+  return r;
+}
+
+}  // namespace ftnoc::power

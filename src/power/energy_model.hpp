@@ -1,0 +1,86 @@
+#pragma once
+// Per-event dynamic-energy model consumed by the cycle-accurate simulator.
+//
+// The paper extracted dynamic/leakage power from a synthesized 90 nm router
+// and imported those numbers into the network simulator to "trace the power
+// profile of the entire on-chip network". We do the analogous thing: the
+// per-event coefficients below are derived from the area/power model
+// (area_power_model.hpp) by amortizing each component's power over the
+// events it serves at 500 MHz. The simulator charges an event each time the
+// corresponding micro-operation happens, which yields the paper's
+// energy-per-message metric (Figures 7 and 13(b)).
+
+#include <cstdint>
+#include <string>
+
+namespace ftnoc::power {
+
+/// Micro-operations that consume dynamic energy.
+enum class EnergyEvent : std::uint8_t {
+  kBufferWrite = 0,    ///< Flit written into a VC transmission buffer.
+  kBufferRead,         ///< Flit read out of a VC buffer toward the switch.
+  kRouteCompute,       ///< Routing-unit computation (header flits).
+  kVcAllocation,       ///< One VA arbitration round for one header.
+  kSwAllocation,       ///< One SA arbitration round for one flit.
+  kCrossbarTraversal,  ///< Flit through the crossbar.
+  kLinkTraversal,      ///< Flit over an inter-router link.
+  kRtxBufferWrite,     ///< Flit copied into the retransmission barrel shifter.
+  kRetransmission,     ///< One flit replayed from the retransmission buffer.
+  kNackSignal,         ///< NACK pulse on the reverse handshake lines.
+  kEccCheck,           ///< SEC/DED decode at a receiving port.
+  kAcCheck,            ///< Allocation Comparator compare cycle.
+  kProbeHop,           ///< Deadlock probe forwarded one hop.
+  kCount,
+};
+
+inline constexpr int kNumEnergyEvents =
+    static_cast<int>(EnergyEvent::kCount);
+
+/// Energy cost table, in picojoules per event.
+struct EnergyTable {
+  double pj[kNumEnergyEvents] = {};
+
+  double get(EnergyEvent e) const { return pj[static_cast<int>(e)]; }
+};
+
+/// Default coefficients for the paper's 90 nm / 1 V / 500 MHz design point
+/// (see .cpp for the derivation).
+EnergyTable default_energy_table();
+
+/// Short name of an energy event (for reports).
+const char* to_string(EnergyEvent e);
+
+/// Accumulates energy charged by the simulator.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(EnergyTable table = default_energy_table())
+      : table_(table) {}
+
+  void charge(EnergyEvent e, std::uint64_t times = 1) {
+    total_pj_ += table_.get(e) * static_cast<double>(times);
+    counts_[static_cast<int>(e)] += times;
+  }
+
+  double total_pj() const { return total_pj_; }
+  double total_nj() const { return total_pj_ * 1e-3; }
+  std::uint64_t count(EnergyEvent e) const {
+    return counts_[static_cast<int>(e)];
+  }
+  /// Energy attributed to one event class so far, in picojoules.
+  double event_pj(EnergyEvent e) const {
+    return table_.get(e) * static_cast<double>(count(e));
+  }
+
+  void reset();
+
+ private:
+  EnergyTable table_;
+  double total_pj_ = 0.0;
+  std::uint64_t counts_[kNumEnergyEvents] = {};
+};
+
+/// Multi-line human-readable energy composition (event, count, nJ, share).
+/// Events with zero count are omitted.
+std::string energy_report(const EnergyMeter& meter);
+
+}  // namespace ftnoc::power

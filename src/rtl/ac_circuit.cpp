@@ -1,0 +1,202 @@
+#include "rtl/ac_circuit.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace ftnoc::rtl {
+namespace {
+
+int bits_for(int values) {
+  int b = 1;
+  while ((1 << b) < values) ++b;
+  return b;
+}
+
+void pack_value(std::vector<bool>& inputs, std::size_t offset, unsigned value,
+                int bits) {
+  for (int i = 0; i < bits; ++i) {
+    inputs[offset + static_cast<std::size_t>(i)] = (value >> i) & 1u;
+  }
+}
+
+}  // namespace
+
+SignalId AcCircuit::equals_const(const std::vector<SignalId>& bus,
+                                 unsigned value) {
+  std::vector<SignalId> bits;
+  bits.reserve(bus.size());
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    const bool want = (value >> i) & 1u;
+    bits.push_back(want ? bus[i] : netlist_.add_not(bus[i]));
+  }
+  return netlist_.reduce_and(bits);
+}
+
+AcCircuit::AcCircuit(int num_ports, int num_vcs)
+    : num_ports_(num_ports),
+      num_vcs_(num_vcs),
+      vc_bits_(bits_for(num_vcs)) {
+  FTNOC_CHECK(num_ports >= 1 && num_ports <= (1 << kPortBits));
+  FTNOC_CHECK(num_vcs >= 1);
+
+  const int pv = num_ports_ * num_vcs_;
+
+  // --- Input wires (declaration order == encode() layout) ----------------
+  for (int i = 0; i < pv; ++i) {
+    VaRow row;
+    for (int p = 0; p < num_ports_; ++p) {
+      row.rt_mask.push_back(
+          netlist_.add_input("rt" + std::to_string(i) + "_p" +
+                             std::to_string(p)));
+    }
+    row.valid = netlist_.add_input("va" + std::to_string(i) + "_valid");
+    for (int b = 0; b < kPortBits; ++b) {
+      row.out_port.push_back(
+          netlist_.add_input("va" + std::to_string(i) + "_port" +
+                             std::to_string(b)));
+    }
+    for (int b = 0; b < vc_bits_; ++b) {
+      row.out_vc.push_back(netlist_.add_input(
+          "va" + std::to_string(i) + "_vc" + std::to_string(b)));
+    }
+    va_rows_.push_back(std::move(row));
+  }
+  for (int p = 0; p < num_ports_; ++p) {
+    SaRow row;
+    row.valid = netlist_.add_input("sa" + std::to_string(p) + "_valid");
+    for (int b = 0; b < kPortBits; ++b) {
+      row.out_port.push_back(netlist_.add_input(
+          "sa" + std::to_string(p) + "_port" + std::to_string(b)));
+    }
+    sa_rows_.push_back(std::move(row));
+  }
+
+  // --- Check (1): VA out-port must be in the RT valid set ----------------
+  std::vector<SignalId> mismatch_terms;
+  // --- Check (2a): out-of-range ids ---------------------------------------
+  std::vector<SignalId> invalid_terms;
+  // Precompute per-row port one-hots (shared by checks 1 and 2a).
+  std::vector<std::vector<SignalId>> port_onehot(va_rows_.size());
+  for (std::size_t i = 0; i < va_rows_.size(); ++i) {
+    const VaRow& row = va_rows_[i];
+    std::vector<SignalId> in_mask_terms;
+    for (int p = 0; p < num_ports_; ++p) {
+      const SignalId is_p =
+          equals_const(row.out_port, static_cast<unsigned>(p));
+      port_onehot[i].push_back(is_p);
+      in_mask_terms.push_back(netlist_.add_and(is_p, row.rt_mask[p]));
+    }
+    const SignalId in_rt_set = netlist_.reduce_or(in_mask_terms);
+    mismatch_terms.push_back(
+        netlist_.add_and(row.valid, netlist_.add_not(in_rt_set)));
+
+    const SignalId port_known = netlist_.reduce_or(port_onehot[i]);
+    SignalId bad_id = netlist_.add_not(port_known);
+    if ((1 << vc_bits_) > num_vcs_) {
+      // Invalid VC encodings exist only when V is not a power of two —
+      // exactly the paper's 3-VC example where id "11" is illegal.
+      std::vector<SignalId> vc_known_terms;
+      for (int v = 0; v < num_vcs_; ++v) {
+        vc_known_terms.push_back(
+            equals_const(row.out_vc, static_cast<unsigned>(v)));
+      }
+      const SignalId vc_known = netlist_.reduce_or(vc_known_terms);
+      bad_id = netlist_.add_or(bad_id, netlist_.add_not(vc_known));
+    }
+    invalid_terms.push_back(netlist_.add_and(row.valid, bad_id));
+  }
+
+  // --- Check (2b): the same output VC paired with two input VCs ----------
+  std::vector<SignalId> dup_terms;
+  for (std::size_t i = 0; i < va_rows_.size(); ++i) {
+    for (std::size_t j = i + 1; j < va_rows_.size(); ++j) {
+      std::vector<SignalId> bus_i = va_rows_[i].out_port;
+      bus_i.insert(bus_i.end(), va_rows_[i].out_vc.begin(),
+                   va_rows_[i].out_vc.end());
+      std::vector<SignalId> bus_j = va_rows_[j].out_port;
+      bus_j.insert(bus_j.end(), va_rows_[j].out_vc.begin(),
+                   va_rows_[j].out_vc.end());
+      const SignalId same = netlist_.bus_equal(bus_i, bus_j);
+      const SignalId both_valid =
+          netlist_.add_and(va_rows_[i].valid, va_rows_[j].valid);
+      dup_terms.push_back(netlist_.add_and(both_valid, same));
+    }
+  }
+
+  // --- Check (3): SA duplicate outputs / invalid port ids ----------------
+  std::vector<SignalId> sa_terms;
+  for (std::size_t i = 0; i < sa_rows_.size(); ++i) {
+    std::vector<SignalId> onehot;
+    for (int p = 0; p < num_ports_; ++p) {
+      onehot.push_back(
+          equals_const(sa_rows_[i].out_port, static_cast<unsigned>(p)));
+    }
+    sa_terms.push_back(netlist_.add_and(
+        sa_rows_[i].valid, netlist_.add_not(netlist_.reduce_or(onehot))));
+    for (std::size_t j = i + 1; j < sa_rows_.size(); ++j) {
+      const SignalId same =
+          netlist_.bus_equal(sa_rows_[i].out_port, sa_rows_[j].out_port);
+      const SignalId both =
+          netlist_.add_and(sa_rows_[i].valid, sa_rows_[j].valid);
+      sa_terms.push_back(netlist_.add_and(both, same));
+    }
+  }
+
+  const SignalId mismatch = netlist_.reduce_or(mismatch_terms);
+  const SignalId invalid = netlist_.reduce_or(invalid_terms);
+  const SignalId dup = dup_terms.empty() ? netlist_.add_const(false)
+                                         : netlist_.reduce_or(dup_terms);
+  const SignalId sa_err = netlist_.reduce_or(sa_terms);
+  const SignalId any = netlist_.add_or(netlist_.add_or(mismatch, invalid),
+                                       netlist_.add_or(dup, sa_err));
+  netlist_.add_output("any_error", any);
+  netlist_.add_output("va_rt_mismatch", mismatch);
+  netlist_.add_output("va_invalid", invalid);
+  netlist_.add_output("va_duplicate", dup);
+  netlist_.add_output("sa_error", sa_err);
+}
+
+std::vector<bool> AcCircuit::encode(
+    const std::vector<RoutingStateEntry>& routing,
+    const std::vector<VaStateEntry>& va,
+    const std::vector<SaStateEntry>& sa) const {
+  const int pv = num_ports_ * num_vcs_;
+  const std::size_t row_width =
+      static_cast<std::size_t>(num_ports_) + 1 + kPortBits + vc_bits_;
+  std::vector<bool> inputs(netlist_.num_inputs(), false);
+
+  for (const auto& r : routing) {
+    if (r.input_vc >= pv) continue;
+    const std::size_t base = r.input_vc * row_width;
+    for (int p = 0; p < num_ports_; ++p) {
+      inputs[base + static_cast<std::size_t>(p)] = (r.valid_ports >> p) & 1u;
+    }
+  }
+  for (const auto& e : va) {
+    if (e.input_vc >= pv) continue;
+    const std::size_t base = e.input_vc * row_width;
+    std::size_t off = base + static_cast<std::size_t>(num_ports_);
+    inputs[off++] = true;  // valid
+    pack_value(inputs, off, e.out_port & ((1u << kPortBits) - 1), kPortBits);
+    off += kPortBits;
+    pack_value(inputs, off, e.out_vc & ((1u << vc_bits_) - 1), vc_bits_);
+  }
+  const std::size_t sa_base = static_cast<std::size_t>(pv) * row_width;
+  const std::size_t sa_width = 1 + kPortBits;
+  for (const auto& g : sa) {
+    if (g.in_port >= num_ports_) continue;
+    const std::size_t base = sa_base + g.in_port * sa_width;
+    inputs[base] = true;
+    pack_value(inputs, base + 1, g.out_port & ((1u << kPortBits) - 1),
+               kPortBits);
+  }
+  return inputs;
+}
+
+AcCircuit::Flags AcCircuit::evaluate(const std::vector<bool>& inputs) const {
+  const std::vector<bool> out = netlist_.evaluate(inputs);
+  FTNOC_CHECK(out.size() == 5);
+  return Flags{out[0], out[1], out[2], out[3], out[4]};
+}
+
+}  // namespace ftnoc::rtl

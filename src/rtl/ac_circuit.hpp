@@ -1,0 +1,89 @@
+#pragma once
+// Gate-level Allocation Comparator (Figure 12) — the structural-RTL
+// counterpart of core/allocation_comparator. "The unit employs purely
+// combinational logic, in the form of XOR gates, to compare the RT state
+// entries, SA state entries, and the VA state entries" (§4.1); here that
+// circuit is actually built out of 2-input gates, so the behavioural model
+// can be validated against it bit-for-bit and its size can be estimated
+// from the synthesized gate count (the Table 1 cross-check).
+//
+// Hardware layout (all state registers are fixed-size, one row per input
+// VC or input port):
+//   per input VC  i in [0, P*V):  rt_valid_ports (P bits),
+//                                 va_valid (1), va_out_port (3 bits),
+//                                 va_out_vc (ceil(log2 V) bits)
+//   per input port p in [0, P):   sa_valid (1), sa_out_port (3 bits)
+//
+// Outputs: any_error plus one flag per comparison class of Figure 12.
+
+#include <vector>
+
+#include "core/allocation_comparator.hpp"
+#include "rtl/netlist.hpp"
+
+namespace ftnoc::rtl {
+
+class AcCircuit {
+ public:
+  /// Builds the comparator circuit for P ports and V VCs per port.
+  AcCircuit(int num_ports, int num_vcs);
+
+  const Netlist& netlist() const { return netlist_; }
+  int num_ports() const { return num_ports_; }
+  int num_vcs() const { return num_vcs_; }
+  int vc_bits() const { return vc_bits_; }
+  static constexpr int kPortBits = 3;
+
+  /// Packs router state into the circuit's input vector. Entries address
+  /// fixed rows by their input VC / input port; rows without an entry are
+  /// invalid (valid bit 0). Out-of-range ids are truncated to the hardware
+  /// register width, exactly as a real register would.
+  std::vector<bool> encode(const std::vector<RoutingStateEntry>& routing,
+                           const std::vector<VaStateEntry>& va,
+                           const std::vector<SaStateEntry>& sa) const;
+
+  struct Flags {
+    bool any_error;
+    bool va_rt_mismatch;  ///< Check (1) of Figure 12.
+    bool va_invalid;      ///< Check (2): out-of-range port/VC id.
+    bool va_duplicate;    ///< Check (2): one output VC paired twice.
+    bool sa_error;        ///< Check (3): duplicate/invalid SA grant.
+  };
+
+  /// Evaluates the gate-level circuit.
+  Flags evaluate(const std::vector<bool>& inputs) const;
+
+  /// Convenience: encode + evaluate.
+  Flags check(const std::vector<RoutingStateEntry>& routing,
+              const std::vector<VaStateEntry>& va,
+              const std::vector<SaStateEntry>& sa) const {
+    return evaluate(encode(routing, va, sa));
+  }
+
+  /// Synthesis-area proxy: 2-input gate equivalents of the comparator.
+  double gate_equivalents() const { return netlist_.gate_equivalents(); }
+
+ private:
+  struct VaRow {
+    std::vector<SignalId> rt_mask;   // P bits.
+    SignalId valid;
+    std::vector<SignalId> out_port;  // kPortBits.
+    std::vector<SignalId> out_vc;    // vc_bits.
+  };
+  struct SaRow {
+    SignalId valid;
+    std::vector<SignalId> out_port;  // kPortBits.
+  };
+
+  // One-hot decode of a bus against constant `value`.
+  SignalId equals_const(const std::vector<SignalId>& bus, unsigned value);
+
+  int num_ports_;
+  int num_vcs_;
+  int vc_bits_;
+  Netlist netlist_;
+  std::vector<VaRow> va_rows_;
+  std::vector<SaRow> sa_rows_;
+};
+
+}  // namespace ftnoc::rtl

@@ -1,0 +1,144 @@
+#include "rtl/netlist.hpp"
+
+namespace ftnoc::rtl {
+
+SignalId Netlist::add_input(std::string name) {
+  FTNOC_CHECK(gates_.empty() && "declare all inputs before gates");
+  input_names_.push_back(std::move(name));
+  return static_cast<SignalId>(num_inputs_++);
+}
+
+SignalId Netlist::add_gate(GateOp op, SignalId a, SignalId b) {
+  const auto next = static_cast<SignalId>(num_inputs_ + gates_.size());
+  if (op != GateOp::kConst0 && op != GateOp::kConst1) {
+    FTNOC_CHECK(a < next);
+    if (op != GateOp::kNot) FTNOC_CHECK(b < next);
+  }
+  gates_.push_back({op, a, b});
+  return next;
+}
+
+SignalId Netlist::reduce_or(const std::vector<SignalId>& xs) {
+  FTNOC_CHECK(!xs.empty());
+  std::vector<SignalId> level = xs;
+  while (level.size() > 1) {
+    std::vector<SignalId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(add_or(level[i], level[i + 1]));
+    }
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+SignalId Netlist::reduce_and(const std::vector<SignalId>& xs) {
+  FTNOC_CHECK(!xs.empty());
+  std::vector<SignalId> level = xs;
+  while (level.size() > 1) {
+    std::vector<SignalId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(add_and(level[i], level[i + 1]));
+    }
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+SignalId Netlist::bus_equal(const std::vector<SignalId>& a,
+                            const std::vector<SignalId>& b) {
+  FTNOC_CHECK(a.size() == b.size() && !a.empty());
+  std::vector<SignalId> eq_bits;
+  eq_bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    eq_bits.push_back(add_not(add_xor(a[i], b[i])));
+  }
+  return reduce_and(eq_bits);
+}
+
+void Netlist::add_output(std::string name, SignalId s) {
+  FTNOC_CHECK(s < num_inputs_ + gates_.size());
+  outputs_.emplace_back(std::move(name), s);
+}
+
+std::vector<bool> Netlist::evaluate(const std::vector<bool>& inputs) const {
+  FTNOC_CHECK(inputs.size() == num_inputs_);
+  std::vector<bool> value(num_inputs_ + gates_.size());
+  for (std::size_t i = 0; i < num_inputs_; ++i) value[i] = inputs[i];
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    bool v = false;
+    switch (g.op) {
+      case GateOp::kAnd: v = value[g.a] && value[g.b]; break;
+      case GateOp::kOr: v = value[g.a] || value[g.b]; break;
+      case GateOp::kXor: v = value[g.a] != value[g.b]; break;
+      case GateOp::kNot: v = !value[g.a]; break;
+      case GateOp::kConst0: v = false; break;
+      case GateOp::kConst1: v = true; break;
+    }
+    value[num_inputs_ + i] = v;
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (const auto& [name, sig] : outputs_) out.push_back(value[sig]);
+  return out;
+}
+
+std::string Netlist::to_verilog(const std::string& module_name) const {
+  std::string v;
+  v += "module " + module_name + " (\n";
+  for (std::size_t i = 0; i < num_inputs_; ++i) {
+    v += "  input wire " + input_names_[i] + ",\n";
+  }
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    v += "  output wire " + outputs_[i].first;
+    v += (i + 1 < outputs_.size()) ? ",\n" : "\n";
+  }
+  v += ");\n";
+
+  auto sig = [this](SignalId s) -> std::string {
+    if (s < num_inputs_) return input_names_[s];
+    return "n" + std::to_string(s - num_inputs_);
+  };
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    v += "  wire n" + std::to_string(i) + " = ";
+    switch (g.op) {
+      case GateOp::kAnd: v += sig(g.a) + " & " + sig(g.b); break;
+      case GateOp::kOr: v += sig(g.a) + " | " + sig(g.b); break;
+      case GateOp::kXor: v += sig(g.a) + " ^ " + sig(g.b); break;
+      case GateOp::kNot: v += "~" + sig(g.a); break;
+      case GateOp::kConst0: v += "1'b0"; break;
+      case GateOp::kConst1: v += "1'b1"; break;
+    }
+    v += ";\n";
+  }
+  for (const auto& [name, s] : outputs_) {
+    v += "  assign " + name + " = " + sig(s) + ";\n";
+  }
+  v += "endmodule\n";
+  return v;
+}
+
+double Netlist::gate_equivalents() const {
+  double ge = 0.0;
+  for (const Gate& g : gates_) {
+    switch (g.op) {
+      case GateOp::kAnd:
+      case GateOp::kOr:
+      case GateOp::kXor:
+        ge += 1.0;
+        break;
+      case GateOp::kNot:
+        ge += 0.5;
+        break;
+      case GateOp::kConst0:
+      case GateOp::kConst1:
+        break;
+    }
+  }
+  return ge;
+}
+
+}  // namespace ftnoc::rtl

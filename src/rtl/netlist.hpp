@@ -1,0 +1,102 @@
+#pragma once
+// A minimal combinational gate-level netlist — the stand-in for the
+// paper's structural-RTL flow ("implemented in structural Register-
+// Transfer Level (RTL) Verilog and then synthesized in Synopsys Design
+// Compiler", §2.2).
+//
+// Circuits are DAGs of 2-input gates over named input wires. The library
+// is just enough to build the Allocation Comparator of Figure 12 at gate
+// level (src/rtl/ac_circuit), evaluate it against the behavioural model,
+// and count gates for area estimation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ftnoc::rtl {
+
+/// Index of a signal in the netlist (an input wire or a gate output).
+using SignalId = std::uint32_t;
+
+enum class GateOp : std::uint8_t {
+  kAnd,
+  kOr,
+  kXor,
+  kNot,    ///< Unary; `b` ignored.
+  kConst0, ///< Nullary.
+  kConst1, ///< Nullary.
+};
+
+struct Gate {
+  GateOp op;
+  SignalId a = 0;
+  SignalId b = 0;
+};
+
+/// A combinational netlist under construction / evaluation.
+///
+/// Build with the add_* methods (inputs first, then gates in topological
+/// order — enforced by construction since gates may only reference already
+/// existing signals), then evaluate() with one bool per input.
+class Netlist {
+ public:
+  /// Declares an input wire; returns its signal id.
+  SignalId add_input(std::string name);
+
+  SignalId add_gate(GateOp op, SignalId a, SignalId b = 0);
+  SignalId add_and(SignalId a, SignalId b) {
+    return add_gate(GateOp::kAnd, a, b);
+  }
+  SignalId add_or(SignalId a, SignalId b) {
+    return add_gate(GateOp::kOr, a, b);
+  }
+  SignalId add_xor(SignalId a, SignalId b) {
+    return add_gate(GateOp::kXor, a, b);
+  }
+  SignalId add_not(SignalId a) { return add_gate(GateOp::kNot, a); }
+  SignalId add_const(bool v) {
+    return add_gate(v ? GateOp::kConst1 : GateOp::kConst0, 0);
+  }
+
+  // --- Derived combinational building blocks -----------------------------
+  /// OR / AND over an arbitrary fan-in (balanced tree).
+  SignalId reduce_or(const std::vector<SignalId>& xs);
+  SignalId reduce_and(const std::vector<SignalId>& xs);
+  /// a == b over equal-width buses: AND of per-bit XNORs.
+  SignalId bus_equal(const std::vector<SignalId>& a,
+                     const std::vector<SignalId>& b);
+
+  /// Registers a named output.
+  void add_output(std::string name, SignalId s);
+
+  std::size_t num_inputs() const { return num_inputs_; }
+  std::size_t num_gates() const { return gates_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  const std::string& output_name(std::size_t i) const {
+    return outputs_[i].first;
+  }
+
+  /// Evaluates the circuit. `inputs` must have num_inputs() entries in
+  /// declaration order; returns one bool per output in declaration order.
+  std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
+
+  /// Two-input-gate-equivalent count (NOT counts 0.5, constants 0) — the
+  /// usual quick synthesis-area proxy.
+  double gate_equivalents() const;
+
+  /// Emits the circuit as structural Verilog (a module of assign
+  /// statements over the declared inputs/outputs), mirroring the paper's
+  /// "implemented in structural RTL Verilog" flow. The text is synthesizable
+  /// as-is by any standard tool.
+  std::string to_verilog(const std::string& module_name) const;
+
+ private:
+  std::size_t num_inputs_ = 0;
+  std::vector<std::string> input_names_;
+  std::vector<Gate> gates_;  ///< gate i drives signal num_inputs_ + i.
+  std::vector<std::pair<std::string, SignalId>> outputs_;
+};
+
+}  // namespace ftnoc::rtl

@@ -1,0 +1,151 @@
+// Unit tests for the Allocation Comparator (Figure 12, §4.1/§4.3).
+
+#include "core/allocation_comparator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftnoc {
+namespace {
+
+constexpr int kP = 5;
+constexpr int kV = 4;
+
+std::uint64_t kind_count(const AcReport& r, AcErrorKind k) {
+  return r.kind_counts[static_cast<int>(k)];
+}
+
+class AcTest : public ::testing::Test {
+ protected:
+  AllocationComparator ac_{kP, kV};
+};
+
+TEST_F(AcTest, CleanStateRaisesNoFlag) {
+  // Two consistent allocations: N_1 -> S_2, W_3 -> E_2 (the Figure 12
+  // example).
+  std::vector<RoutingStateEntry> rt = {
+      {/*input_vc=*/0 * kV + 1, /*valid_ports=*/1u << 2},   // N_1 -> South
+      {/*input_vc=*/3 * kV + 3, /*valid_ports=*/1u << 1}};  // W_3 -> East
+  std::vector<VaStateEntry> va = {{0 * kV + 1, /*out_port=*/2, /*out_vc=*/2},
+                                  {3 * kV + 3, /*out_port=*/1, /*out_vc=*/2}};
+  std::vector<SaStateEntry> sa = {{/*in=*/0, /*out=*/2}, {/*in=*/3, /*out=*/1}};
+  const AcReport r = ac_.check(rt, va, sa);
+  EXPECT_FALSE(r.any_error());
+}
+
+TEST_F(AcTest, DetectsInvalidOutputVc) {
+  // Scenario (1) of §4.1: out VC id beyond the V range.
+  std::vector<RoutingStateEntry> rt = {{1, 1u << 2}};
+  std::vector<VaStateEntry> va = {{1, 2, /*out_vc=*/kV}};
+  const AcReport r = ac_.check(rt, va, {});
+  EXPECT_TRUE(r.any_error());
+  EXPECT_EQ(r.bad_va_entries.size(), 1u);
+  EXPECT_GE(kind_count(r, AcErrorKind::kVaInvalidVc), 1u);
+}
+
+TEST_F(AcTest, DetectsDuplicateOutputVcAssignment) {
+  // Scenario (2): one unreserved output VC paired with two input VCs
+  // ("incoming packets from the North and West both assigned the same
+  // output VC in the South").
+  std::vector<RoutingStateEntry> rt = {{0 * kV + 0, 1u << 2},
+                                       {3 * kV + 0, 1u << 2}};
+  std::vector<VaStateEntry> va = {{0 * kV + 0, 2, 1}, {3 * kV + 0, 2, 1}};
+  const AcReport r = ac_.check(rt, va, {});
+  EXPECT_TRUE(r.any_error());
+  EXPECT_EQ(r.bad_va_entries.size(), 2u);  // Both pairings invalidated.
+  EXPECT_GE(kind_count(r, AcErrorKind::kVaDuplicateVc), 1u);
+}
+
+TEST_F(AcTest, DetectsReservedVcReassignment) {
+  // Scenario (3) is structurally the same duplicate check: the new packet
+  // is paired with a VC already present in the VA state.
+  std::vector<RoutingStateEntry> rt = {{5, 1u << 1}, {9, 1u << 1}};
+  std::vector<VaStateEntry> va = {{5, 1, 0},   // Existing wormhole.
+                                  {9, 1, 0}};  // Erroneous reuse.
+  const AcReport r = ac_.check(rt, va, {});
+  EXPECT_TRUE(r.any_error());
+  EXPECT_GE(kind_count(r, AcErrorKind::kVaDuplicateVc), 1u);
+}
+
+TEST_F(AcTest, DetectsVaRoutingDisagreement) {
+  // Scenario (4b): VA assigned a VC in the North PC while the routing
+  // function indicated South.
+  std::vector<RoutingStateEntry> rt = {{7, /*valid=South*/ 1u << 2}};
+  std::vector<VaStateEntry> va = {{7, /*out_port=North*/ 0, 1}};
+  const AcReport r = ac_.check(rt, va, {});
+  EXPECT_TRUE(r.any_error());
+  EXPECT_GE(kind_count(r, AcErrorKind::kVaRoutingMismatch), 1u);
+}
+
+TEST_F(AcTest, WrongVcWithinIntendedPcIsBenign) {
+  // Scenario (4a): wrong output VC but in the intended physical channel —
+  // the paper calls this benign; the AC must not flag it.
+  std::vector<RoutingStateEntry> rt = {{7, 1u << 2}};
+  std::vector<VaStateEntry> va = {{7, 2, 3}};  // Any VC of the South PC.
+  const AcReport r = ac_.check(rt, va, {});
+  EXPECT_FALSE(r.any_error());
+}
+
+TEST_F(AcTest, AllocationWithNoRoutingRowIsFlagged) {
+  // The VA acted on a request the routing unit never produced.
+  std::vector<VaStateEntry> va = {{12, 1, 0}};
+  const AcReport r = ac_.check({}, va, {});
+  EXPECT_TRUE(r.any_error());
+}
+
+TEST_F(AcTest, DetectsSaDuplicateOutput) {
+  // §4.3 case (c): two flits granted the same output port.
+  std::vector<SaStateEntry> sa = {{0, 2}, {3, 2}};
+  const AcReport r = ac_.check({}, {}, sa);
+  EXPECT_TRUE(r.any_error());
+  EXPECT_EQ(r.bad_sa_entries.size(), 2u);
+  EXPECT_GE(kind_count(r, AcErrorKind::kSaDuplicateOutput), 1u);
+}
+
+TEST_F(AcTest, DetectsSaMulticast) {
+  // §4.3 case (d): one input granted multiple outputs.
+  std::vector<SaStateEntry> sa = {{1, 0}, {1, 3}};
+  const AcReport r = ac_.check({}, {}, sa);
+  EXPECT_TRUE(r.any_error());
+  EXPECT_GE(kind_count(r, AcErrorKind::kSaMulticast), 1u);
+}
+
+TEST_F(AcTest, CleanSaGrantsPass) {
+  std::vector<SaStateEntry> sa = {{0, 1}, {1, 2}, {2, 0}, {4, 3}};
+  const AcReport r = ac_.check({}, {}, sa);
+  EXPECT_FALSE(r.any_error());
+}
+
+TEST_F(AcTest, InvalidSaPortIdsAreFlagged) {
+  std::vector<SaStateEntry> sa = {{0, static_cast<PortId>(kP)}};
+  const AcReport r = ac_.check({}, {}, sa);
+  EXPECT_TRUE(r.any_error());
+}
+
+TEST_F(AcTest, MixedVaAndSaErrorsAreBothReported) {
+  std::vector<RoutingStateEntry> rt = {{3, 1u << 1}};
+  std::vector<VaStateEntry> va = {{3, 1, static_cast<VcId>(kV)}};
+  std::vector<SaStateEntry> sa = {{0, 2}, {1, 2}};
+  const AcReport r = ac_.check(rt, va, sa);
+  EXPECT_EQ(r.bad_va_entries.size(), 1u);
+  EXPECT_EQ(r.bad_sa_entries.size(), 2u);
+}
+
+// Parameterized sweep: for every (port, vc) pair, an out-of-range VC id on
+// that port must be caught regardless of where it lands.
+class AcInvalidVcSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AcInvalidVcSweep, InvalidVcCaughtOnEveryPort) {
+  AllocationComparator ac(kP, kV);
+  const auto port = static_cast<PortId>(GetParam());
+  std::vector<RoutingStateEntry> rt = {
+      {0, static_cast<std::uint8_t>(1u << port)}};
+  std::vector<VaStateEntry> va = {{0, port, static_cast<VcId>(kV)}};
+  const AcReport r = ac.check(rt, va, {});
+  EXPECT_TRUE(r.any_error());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPorts, AcInvalidVcSweep,
+                         ::testing::Range(0, kP));
+
+}  // namespace
+}  // namespace ftnoc

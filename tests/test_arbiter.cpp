@@ -1,0 +1,74 @@
+// Unit tests for the round-robin arbiters behind the VA/SA allocators.
+
+#include "noc/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftnoc {
+namespace {
+
+TEST(RoundRobinArbiter, NoRequestsNoGrant) {
+  RoundRobinArbiter a(4);
+  EXPECT_EQ(a.arbitrate(0), -1);
+}
+
+TEST(RoundRobinArbiter, SingleRequesterWins) {
+  RoundRobinArbiter a(4);
+  EXPECT_EQ(a.arbitrate(1u << 2), 2);
+  EXPECT_EQ(a.arbitrate(1u << 2), 2);
+}
+
+TEST(RoundRobinArbiter, RotatesAmongPersistentRequesters) {
+  RoundRobinArbiter a(3);
+  const std::uint32_t all = 0b111;
+  std::vector<int> grants;
+  for (int i = 0; i < 6; ++i) grants.push_back(a.arbitrate(all));
+  // Every requester wins exactly twice in 6 rounds.
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(std::count(grants.begin(), grants.end(), r), 2);
+  }
+  // And no one wins twice in a row.
+  for (std::size_t i = 1; i < grants.size(); ++i) {
+    EXPECT_NE(grants[i], grants[i - 1]);
+  }
+}
+
+TEST(RoundRobinArbiter, LastWinnerGetsLowestPriority) {
+  RoundRobinArbiter a(4);
+  ASSERT_EQ(a.arbitrate(0b0011), 0);
+  // 0 and 1 still request: 1 must win now.
+  EXPECT_EQ(a.arbitrate(0b0011), 1);
+  // 0 and 1 again: wraps back to 0.
+  EXPECT_EQ(a.arbitrate(0b0011), 0);
+}
+
+TEST(RoundRobinArbiter, PeekDoesNotAdvanceState) {
+  RoundRobinArbiter a(4);
+  const int first = a.peek(0b1111);
+  EXPECT_EQ(a.peek(0b1111), first);
+  EXPECT_EQ(a.arbitrate(0b1111), first);
+}
+
+TEST(RoundRobinArbiter, NoStarvationUnderAsymmetricLoad) {
+  RoundRobinArbiter a(4);
+  // Requester 3 requests every cycle; 0 joins intermittently.
+  int wins0 = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t req = (i % 2 == 0) ? 0b1001 : 0b1000;
+    if (a.arbitrate(req) == 0) ++wins0;
+  }
+  EXPECT_GT(wins0, 20);
+}
+
+TEST(ArbiterBank, IndependentArbiters) {
+  ArbiterBank bank(3, 4);
+  EXPECT_EQ(bank.size(), 3);
+  const int g0 = bank.at(0).arbitrate(0b1111);
+  // Advancing arbiter 0 must not move arbiter 1's rotation.
+  EXPECT_EQ(bank.at(1).arbitrate(0b1111), g0);
+}
+
+}  // namespace
+}  // namespace ftnoc

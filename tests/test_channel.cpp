@@ -1,0 +1,92 @@
+// Unit tests for the one-cycle wire channels.
+
+#include "noc/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftnoc {
+namespace {
+
+TEST(Channel, ValueAppearsAfterTick) {
+  Channel<int> ch;
+  ch.write(42);
+  EXPECT_FALSE(ch.read().has_value());  // Not visible this cycle.
+  ch.tick();
+  const auto v = ch.read();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(Channel, ReadConsumes) {
+  Channel<int> ch;
+  ch.write(1);
+  ch.tick();
+  EXPECT_TRUE(ch.read().has_value());
+  EXPECT_FALSE(ch.read().has_value());
+}
+
+TEST(Channel, UnreadValueIsDroppedOnTick) {
+  Channel<int> ch;
+  ch.write(1);
+  ch.tick();  // Value now current, never read.
+  ch.tick();  // Wire doesn't hold state.
+  EXPECT_FALSE(ch.read().has_value());
+}
+
+TEST(Channel, CanWriteReflectsPendingWrite) {
+  Channel<int> ch;
+  EXPECT_TRUE(ch.can_write());
+  ch.write(1);
+  EXPECT_FALSE(ch.can_write());
+  ch.tick();
+  EXPECT_TRUE(ch.can_write());
+}
+
+TEST(Channel, PeekDoesNotConsume) {
+  Channel<int> ch;
+  ch.write(7);
+  ch.tick();
+  EXPECT_TRUE(ch.peek().has_value());
+  EXPECT_TRUE(ch.read().has_value());
+}
+
+TEST(ChannelDeath, DoubleWriteInOneCycleAborts) {
+  Channel<int> ch;
+  ch.write(1);
+  EXPECT_DEATH(ch.write(2), "FTNOC_CHECK");
+}
+
+TEST(MultiChannel, CarriesSeveralValuesPerCycle) {
+  MultiChannel<int> ch;
+  ch.write(1);
+  ch.write(2);
+  ch.write(3);
+  ch.tick();
+  const auto v = ch.read();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(MultiChannel, ReadDrains) {
+  MultiChannel<int> ch;
+  ch.write(1);
+  ch.tick();
+  EXPECT_EQ(ch.read().size(), 1u);
+  EXPECT_TRUE(ch.read().empty());
+}
+
+TEST(MultiChannel, CyclesAreIndependent) {
+  MultiChannel<int> ch;
+  ch.write(1);
+  ch.tick();
+  ch.write(2);  // Next cycle's value.
+  EXPECT_EQ(ch.read().size(), 1u);
+  ch.tick();
+  const auto v = ch.read();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 2);
+}
+
+}  // namespace
+}  // namespace ftnoc

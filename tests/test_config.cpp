@@ -1,0 +1,107 @@
+// Unit tests for SimConfig validation and key=value overrides.
+
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftnoc {
+namespace {
+
+TEST(Config, DefaultsAreValid) {
+  SimConfig cfg;
+  EXPECT_EQ(cfg.validate(), std::nullopt);
+  EXPECT_EQ(cfg.num_nodes(), 64);
+}
+
+TEST(Config, RejectsTinyMesh) {
+  SimConfig cfg;
+  cfg.mesh_width = 1;
+  cfg.mesh_height = 1;
+  EXPECT_TRUE(cfg.validate().has_value());
+}
+
+TEST(Config, RejectsShallowRetransmissionBuffer) {
+  SimConfig cfg;
+  cfg.retransmission_depth = 2;  // NACK loop needs 3.
+  EXPECT_TRUE(cfg.validate().has_value());
+}
+
+TEST(Config, RejectsBadPipelineDepth) {
+  SimConfig cfg;
+  cfg.pipeline_stages = 5;
+  EXPECT_TRUE(cfg.validate().has_value());
+  cfg.pipeline_stages = 0;
+  EXPECT_TRUE(cfg.validate().has_value());
+}
+
+TEST(Config, RejectsOutOfRangeRates) {
+  SimConfig cfg;
+  cfg.faults.link_error_rate = 1.5;
+  EXPECT_TRUE(cfg.validate().has_value());
+}
+
+TEST(Config, RejectsWarmupNotBelowTotal) {
+  SimConfig cfg;
+  cfg.warmup_messages = cfg.total_messages;
+  EXPECT_TRUE(cfg.validate().has_value());
+}
+
+TEST(Config, OverrideParsesNumbers) {
+  SimConfig cfg;
+  EXPECT_EQ(apply_override(cfg, "mesh_width=4"), std::nullopt);
+  EXPECT_EQ(apply_override(cfg, "injection_rate=0.25"), std::nullopt);
+  EXPECT_EQ(apply_override(cfg, "link_error_rate=0.001"), std::nullopt);
+  EXPECT_EQ(cfg.mesh_width, 4);
+  EXPECT_DOUBLE_EQ(cfg.injection_rate, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.faults.link_error_rate, 0.001);
+}
+
+TEST(Config, OverrideParsesEnums) {
+  SimConfig cfg;
+  EXPECT_EQ(apply_override(cfg, "pattern=bc"), std::nullopt);
+  EXPECT_EQ(cfg.pattern, TrafficPattern::kBitComplement);
+  EXPECT_EQ(apply_override(cfg, "pattern=tn"), std::nullopt);
+  EXPECT_EQ(cfg.pattern, TrafficPattern::kTornado);
+  EXPECT_EQ(apply_override(cfg, "routing=adaptive"), std::nullopt);
+  EXPECT_EQ(cfg.routing, RoutingAlgorithm::kMinimalAdaptive);
+  EXPECT_EQ(apply_override(cfg, "protection=e2e"), std::nullopt);
+  EXPECT_EQ(cfg.protection, LinkProtection::kE2e);
+}
+
+TEST(Config, OverrideParsesBooleans) {
+  SimConfig cfg;
+  EXPECT_EQ(apply_override(cfg, "deadlock_recovery=true"), std::nullopt);
+  EXPECT_TRUE(cfg.deadlock.enable_recovery);
+  EXPECT_EQ(apply_override(cfg, "enable_ac=off"), std::nullopt);
+  EXPECT_FALSE(cfg.enable_ac);
+}
+
+TEST(Config, OverrideRejectsUnknownKey) {
+  SimConfig cfg;
+  EXPECT_TRUE(apply_override(cfg, "bogus=1").has_value());
+}
+
+TEST(Config, OverrideRejectsMalformedValue) {
+  SimConfig cfg;
+  EXPECT_TRUE(apply_override(cfg, "mesh_width=abc").has_value());
+  EXPECT_TRUE(apply_override(cfg, "pattern=xyz").has_value());
+  EXPECT_TRUE(apply_override(cfg, "no_equals_sign").has_value());
+}
+
+TEST(Config, ApplyOverridesStopsAtFirstError) {
+  SimConfig cfg;
+  const auto err =
+      apply_overrides(cfg, {"mesh_width=4", "bogus=1", "mesh_height=4"});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(cfg.mesh_width, 4);
+  EXPECT_EQ(cfg.mesh_height, 8);  // Not applied.
+}
+
+TEST(Config, EnumToString) {
+  EXPECT_STREQ(to_string(RoutingAlgorithm::kXY), "xy");
+  EXPECT_STREQ(to_string(LinkProtection::kHbh), "hbh");
+  EXPECT_STREQ(to_string(TrafficPattern::kTornado), "tn");
+}
+
+}  // namespace
+}  // namespace ftnoc

@@ -1,0 +1,95 @@
+// Configuration-space property sweep: whatever the topology shape, VC
+// count, buffer depth, packet length or pipeline depth, the protected
+// network must deliver every message intact under link faults. This is the
+// broad-brush regression net over the router's state machines.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "noc/simulator.hpp"
+
+namespace ftnoc {
+namespace {
+
+struct SweepPoint {
+  int width;
+  int height;
+  int vcs;
+  int depth;
+  int packet_len;
+  int stages;
+};
+
+class ConfigSpaceSweep : public ::testing::TestWithParam<SweepPoint> {};
+
+TEST_P(ConfigSpaceSweep, CleanDeliveryUnderLinkFaults) {
+  const SweepPoint p = GetParam();
+  SimConfig cfg;
+  cfg.mesh_width = p.width;
+  cfg.mesh_height = p.height;
+  cfg.num_vcs = p.vcs;
+  cfg.vc_buffer_depth = p.depth;
+  cfg.packet_length = p.packet_len;
+  cfg.pipeline_stages = p.stages;
+  if (p.stages == 4) cfg.retransmission_depth = 4;
+  cfg.protection = LinkProtection::kHbh;
+  cfg.faults.link_error_rate = 0.01;
+  cfg.injection_rate = 0.08;
+  cfg.warmup_messages = 100;
+  cfg.total_messages = 1'000;
+  cfg.max_cycles = 400'000;
+  ASSERT_EQ(cfg.validate(), std::nullopt);
+  const SimResults r = run_simulation(cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+  EXPECT_EQ(r.unprotected_errors, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConfigSpaceSweep,
+    ::testing::Values(
+        SweepPoint{2, 2, 1, 2, 4, 3},   // Minimal everything.
+        SweepPoint{8, 2, 2, 4, 4, 3},   // Skewed mesh.
+        SweepPoint{2, 8, 2, 4, 4, 3},   // Skewed the other way.
+        SweepPoint{5, 5, 3, 4, 4, 3},   // Odd dimensions.
+        SweepPoint{4, 4, 6, 8, 4, 3},   // Max VCs, deep buffers.
+        SweepPoint{4, 4, 3, 4, 1, 3},   // Single-flit packets.
+        SweepPoint{4, 4, 3, 4, 9, 3},   // Packets longer than buffers.
+        SweepPoint{4, 4, 3, 4, 4, 1},   // Single-stage router.
+        SweepPoint{4, 4, 3, 4, 4, 2},   // Two-stage router.
+        SweepPoint{4, 4, 3, 4, 4, 4}),  // Four-stage router.
+    [](const ::testing::TestParamInfo<SweepPoint>& info) {
+      const SweepPoint& p = info.param;
+      return std::to_string(p.width) + "x" + std::to_string(p.height) +
+             "_v" + std::to_string(p.vcs) + "_d" + std::to_string(p.depth) +
+             "_m" + std::to_string(p.packet_len) + "_s" +
+             std::to_string(p.stages);
+    });
+
+class TorusSweep : public ::testing::TestWithParam<TrafficPattern> {};
+
+TEST_P(TorusSweep, TorusDeliversCleanUnderFaults) {
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.torus = true;
+  cfg.pattern = GetParam();
+  cfg.protection = LinkProtection::kHbh;
+  cfg.faults.link_error_rate = 0.01;
+  cfg.injection_rate = 0.08;
+  cfg.warmup_messages = 100;
+  cfg.total_messages = 1'000;
+  cfg.max_cycles = 400'000;
+  const SimResults r = run_simulation(cfg);
+  EXPECT_TRUE(r.completed) << to_string(GetParam());
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, TorusSweep,
+                         ::testing::Values(TrafficPattern::kUniformRandom,
+                                           TrafficPattern::kBitComplement,
+                                           TrafficPattern::kTornado));
+
+}  // namespace
+}  // namespace ftnoc

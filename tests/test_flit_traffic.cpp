@@ -1,0 +1,136 @@
+// Unit tests for flit construction and the synthetic traffic sources.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "noc/traffic.hpp"
+
+namespace ftnoc {
+namespace {
+
+TEST(Flit, MakeFlitEncodesPayload) {
+  const Flit f = make_flit(FlitType::kHead, 7, 1, 2, 0, 100, 0xABCDULL);
+  EXPECT_EQ(ecc::decode(f.codeword).data, 0xABCDULL);
+  EXPECT_EQ(f.birth_cycle, 100u);
+  EXPECT_TRUE(is_head(f.type));
+  EXPECT_FALSE(is_tail(f.type));
+}
+
+TEST(Flit, HeadTailPredicates) {
+  EXPECT_TRUE(is_head(FlitType::kHeadTail));
+  EXPECT_TRUE(is_tail(FlitType::kHeadTail));
+  EXPECT_TRUE(is_tail(FlitType::kTail));
+  EXPECT_FALSE(is_head(FlitType::kBody));
+  EXPECT_FALSE(is_tail(FlitType::kBody));
+}
+
+TEST(Flit, DescribeMentionsPacketAndEndpoints) {
+  const Flit f = make_flit(FlitType::kTail, 9, 3, 5, 3, 0, 0);
+  const std::string d = f.describe();
+  EXPECT_NE(d.find("pkt=9"), std::string::npos);
+  EXPECT_NE(d.find("3->5"), std::string::npos);
+}
+
+TEST(TrafficPacket, StructureOfFourFlitPacket) {
+  const auto flits = TrafficSource::build_packet(1, 2, 3, 4, 50, nullptr);
+  ASSERT_EQ(flits.size(), 4u);
+  EXPECT_EQ(flits[0].type, FlitType::kHead);
+  EXPECT_EQ(flits[1].type, FlitType::kBody);
+  EXPECT_EQ(flits[2].type, FlitType::kBody);
+  EXPECT_EQ(flits[3].type, FlitType::kTail);
+  for (std::uint8_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(flits[i].seq, i);
+    EXPECT_EQ(flits[i].src, 2);
+    EXPECT_EQ(flits[i].dest, 3);
+    EXPECT_EQ(flits[i].birth_cycle, 50u);
+    EXPECT_EQ(ecc::decode(flits[i].codeword).status,
+              ecc::DecodeStatus::kClean);
+  }
+}
+
+TEST(TrafficPacket, SingleFlitPacketIsHeadTail) {
+  const auto flits = TrafficSource::build_packet(1, 0, 1, 1, 0, nullptr);
+  ASSERT_EQ(flits.size(), 1u);
+  EXPECT_EQ(flits[0].type, FlitType::kHeadTail);
+}
+
+TEST(Destinations, UniformRandomNeverSelf) {
+  Topology t(8, 8, false);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId src = static_cast<NodeId>(i % 64);
+    const NodeId d = pick_destination(t, TrafficPattern::kUniformRandom, src,
+                                      rng);
+    EXPECT_NE(d, src);
+    EXPECT_LT(d, 64);
+  }
+}
+
+TEST(Destinations, UniformRandomCoversAllNodes) {
+  Topology t(4, 4, false);
+  Rng rng(7);
+  std::map<NodeId, int> hits;
+  for (int i = 0; i < 8000; ++i) {
+    ++hits[pick_destination(t, TrafficPattern::kUniformRandom, 0, rng)];
+  }
+  EXPECT_EQ(hits.size(), 15u);  // Everyone but the source.
+}
+
+TEST(Destinations, BitComplementIsDeterministicAndInvolutive) {
+  Topology t(8, 8, false);
+  Rng rng(1);
+  for (NodeId src = 0; src < 64; ++src) {
+    const NodeId d =
+        pick_destination(t, TrafficPattern::kBitComplement, src, rng);
+    EXPECT_EQ(d, static_cast<NodeId>(~src & 63));
+    // Complement of the complement returns home (remapped if self — never
+    // the case for a power-of-two network).
+    EXPECT_EQ(pick_destination(t, TrafficPattern::kBitComplement, d, rng),
+              src);
+  }
+}
+
+TEST(Destinations, TornadoMatchesClosedForm) {
+  Topology t(8, 8, false);
+  Rng rng(1);
+  // dx = ceil(8/2) - 1 = 3 in each dimension.
+  const NodeId d = pick_destination(t, TrafficPattern::kTornado, 0, rng);
+  EXPECT_EQ(t.coord_of(d).x, 3);
+  EXPECT_EQ(t.coord_of(d).y, 3);
+}
+
+TEST(Destinations, TornadoNeverSelf) {
+  Topology t(4, 4, false);
+  Rng rng(1);
+  for (NodeId src = 0; src < 16; ++src) {
+    EXPECT_NE(pick_destination(t, TrafficPattern::kTornado, src, rng), src);
+  }
+}
+
+TEST(TrafficSource, GenerationRateMatchesInjectionRate) {
+  Topology t(4, 4, false);
+  const double inj = 0.2;  // flits/node/cycle; packets = inj / 4.
+  TrafficSource src(t, 0, TrafficPattern::kUniformRandom, inj, 4, Rng(3));
+  PacketId pid = 1;
+  int generated = 0;
+  const int cycles = 200'000;
+  for (int c = 0; c < cycles; ++c) {
+    if (src.maybe_generate(static_cast<Cycle>(c), pid)) ++generated;
+  }
+  const double rate = static_cast<double>(generated) / cycles;
+  EXPECT_NEAR(rate, inj / 4, 0.005);
+}
+
+TEST(TrafficSource, PacketIdsAdvance) {
+  Topology t(4, 4, false);
+  TrafficSource src(t, 0, TrafficPattern::kUniformRandom, 1.0, 4, Rng(3));
+  PacketId pid = 10;
+  Cycle now = 0;
+  while (!src.maybe_generate(now, pid)) ++now;
+  EXPECT_GT(pid, 10u);
+}
+
+}  // namespace
+}  // namespace ftnoc

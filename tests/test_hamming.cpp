@@ -1,0 +1,99 @@
+// Unit + property tests for the Hamming SEC/DED (72,64) codec — the
+// error-correcting blanket every link-protection scheme relies on.
+
+#include "ecc/hamming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ftnoc::ecc {
+namespace {
+
+TEST(Hamming, RoundTripSampleValues) {
+  for (std::uint64_t data :
+       {0ULL, 1ULL, 0xFFFFFFFFFFFFFFFFULL, 0xDEADBEEFCAFEF00DULL,
+        0x8000000000000000ULL, 0x5555555555555555ULL}) {
+    const Codeword cw = encode(data);
+    const DecodeResult r = decode(cw);
+    EXPECT_EQ(r.status, DecodeStatus::kClean);
+    EXPECT_EQ(r.data, data);
+    EXPECT_EQ(extract_data(cw), data);
+  }
+}
+
+TEST(Hamming, CleanCodewordHasEvenParityAndZeroSyndrome) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t data = rng.next_u64();
+    EXPECT_EQ(decode(encode(data)).status, DecodeStatus::kClean);
+  }
+}
+
+// Property: every single-bit flip, at every position, is corrected.
+TEST(Hamming, CorrectsEverySingleBitFlip) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t data = rng.next_u64();
+    for (int pos = 0; pos < kCodewordBits; ++pos) {
+      Codeword cw = encode(data);
+      cw.flip(pos);
+      const DecodeResult r = decode(cw);
+      EXPECT_EQ(r.status, DecodeStatus::kCorrected) << "pos=" << pos;
+      EXPECT_EQ(r.data, data) << "pos=" << pos;
+    }
+  }
+}
+
+// Property: every distinct double-bit flip is *detected* (never silently
+// accepted, never miscorrected into a "clean" verdict).
+TEST(Hamming, DetectsEveryDoubleBitFlip) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::uint64_t data = rng.next_u64();
+    const Codeword clean = encode(data);
+    for (int a = 0; a < kCodewordBits; ++a) {
+      for (int b = a + 1; b < kCodewordBits; ++b) {
+        Codeword cw = clean;
+        cw.flip(a);
+        cw.flip(b);
+        const DecodeResult r = decode(cw);
+        EXPECT_EQ(r.status, DecodeStatus::kUncorrectable)
+            << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Hamming, ParityBitFlipAloneIsCorrected) {
+  const std::uint64_t data = 0xA5A5A5A5A5A5A5A5ULL;
+  Codeword cw = encode(data);
+  cw.flip(0);  // Position 0 is the overall DED parity bit.
+  const DecodeResult r = decode(cw);
+  EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(r.data, data);
+}
+
+TEST(Hamming, CodewordBitAccessors) {
+  Codeword cw;
+  EXPECT_FALSE(cw.bit(0));
+  EXPECT_FALSE(cw.bit(71));
+  cw.flip(71);
+  EXPECT_TRUE(cw.bit(71));
+  cw.flip(71);
+  EXPECT_FALSE(cw.bit(71));
+  cw.flip(63);
+  EXPECT_TRUE(cw.bit(63));
+}
+
+TEST(Hamming, DistinctDataGivesDistinctCodewords) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = a ^ (1ULL << (i % 64));
+    EXPECT_FALSE(encode(a) == encode(b));
+  }
+}
+
+}  // namespace
+}  // namespace ftnoc::ecc

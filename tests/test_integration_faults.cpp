@@ -1,0 +1,250 @@
+// Integration tests: link and logic fault injection across whole-network
+// simulations — the paper's §3.1 (HBH), §3 baselines (FEC/E2E/none) and §4
+// (RT/VA/SA logic upsets with the Allocation Comparator).
+
+#include <gtest/gtest.h>
+
+#include "noc/simulator.hpp"
+
+namespace ftnoc {
+namespace {
+
+SimConfig base_config() {
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.injection_rate = 0.15;
+  cfg.warmup_messages = 300;
+  cfg.total_messages = 3'000;
+  cfg.max_cycles = 400'000;
+  return cfg;
+}
+
+// --- HBH (§3.1) -------------------------------------------------------------
+
+TEST(FaultIntegrationHbh, AllMessagesCleanUnderHeavyLinkErrors) {
+  SimConfig cfg = base_config();
+  cfg.protection = LinkProtection::kHbh;
+  cfg.faults.link_error_rate = 0.05;
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+  EXPECT_GT(r.link_single_corrected, 0u);
+  EXPECT_GT(r.link_retransmission_events, 0u);
+  // Every NACK produces exactly one retransmission event.
+  EXPECT_EQ(r.nacks_sent, r.link_retransmission_events);
+}
+
+TEST(FaultIntegrationHbh, LatencyBarelyMovesUpToTenPercentErrors) {
+  // The headline claim of Figure 6.
+  SimConfig lo = base_config();
+  lo.protection = LinkProtection::kHbh;
+  lo.faults.link_error_rate = 0.0;
+  SimConfig hi = lo;
+  hi.faults.link_error_rate = 0.1;
+  const SimResults rlo = run_simulation(lo);
+  const SimResults rhi = run_simulation(hi);
+  ASSERT_TRUE(rlo.completed && rhi.completed);
+  EXPECT_LT(rhi.avg_latency_cycles, rlo.avg_latency_cycles * 1.25)
+      << "HBH latency should stay nearly flat";
+  EXPECT_EQ(rhi.corrupted_delivered, 0u);
+}
+
+TEST(FaultIntegrationHbh, DetectOnlyModeRetransmitsSingleBitErrors) {
+  SimConfig cfg = base_config();
+  cfg.protection = LinkProtection::kHbh;
+  cfg.ecc_detect_only = true;
+  cfg.faults.link_error_rate = 0.01;
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+  // No in-place correction happens in detect-only mode.
+  EXPECT_EQ(r.link_single_corrected, 0u);
+  EXPECT_GT(r.link_retransmission_events, 0u);
+}
+
+TEST(FaultIntegrationHbh, MultiBitOnlyFaultsAllRetransmitted) {
+  SimConfig cfg = base_config();
+  cfg.protection = LinkProtection::kHbh;
+  cfg.faults.link_error_rate = 0.01;
+  cfg.faults.multi_bit_fraction = 1.0;  // Every fault is uncorrectable.
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+  EXPECT_EQ(r.link_single_corrected, 0u);
+  EXPECT_GT(r.link_retransmission_events, 100u);
+}
+
+// --- FEC baseline ------------------------------------------------------------
+
+TEST(FaultIntegrationFec, SingleBitErrorsCorrectedSilently) {
+  SimConfig cfg = base_config();
+  cfg.protection = LinkProtection::kFec;
+  cfg.faults.link_error_rate = 0.01;
+  cfg.faults.multi_bit_fraction = 0.0;  // Only correctable faults.
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+  EXPECT_GT(r.link_single_corrected, 0u);
+  EXPECT_EQ(r.link_retransmission_events, 0u);
+}
+
+TEST(FaultIntegrationFec, MultiBitErrorsCorruptDeliveredPackets) {
+  // FEC has no retransmission path: multi-bit upsets reach the destination.
+  SimConfig cfg = base_config();
+  cfg.protection = LinkProtection::kFec;
+  cfg.faults.link_error_rate = 0.02;
+  cfg.faults.multi_bit_fraction = 0.5;
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.corrupted_delivered, 0u);
+}
+
+// --- E2E baseline ------------------------------------------------------------
+
+TEST(FaultIntegrationE2e, RetransmitsUntilCleanDelivery) {
+  SimConfig cfg = base_config();
+  cfg.protection = LinkProtection::kE2e;
+  cfg.faults.link_error_rate = 0.02;
+  cfg.faults.multi_bit_fraction = 0.5;
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  // E2E never delivers a corrupt message — it retransmits instead.
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+  EXPECT_GT(r.e2e_retransmits, 0u);
+}
+
+TEST(FaultIntegrationE2e, LatencyBlowsUpRelativeToHbh) {
+  // Figure 5's key comparison at a high error rate.
+  SimConfig e2e = base_config();
+  e2e.protection = LinkProtection::kE2e;
+  e2e.ecc_detect_only = true;
+  e2e.faults.link_error_rate = 0.1;
+  SimConfig hbh = e2e;
+  hbh.protection = LinkProtection::kHbh;
+  const SimResults re = run_simulation(e2e);
+  const SimResults rh = run_simulation(hbh);
+  ASSERT_TRUE(re.completed && rh.completed);
+  EXPECT_GT(re.avg_latency_cycles, rh.avg_latency_cycles * 1.5);
+}
+
+// --- No protection -----------------------------------------------------------
+
+TEST(FaultIntegrationNone, ErrorsFlowThroughUndetected) {
+  SimConfig cfg = base_config();
+  cfg.protection = LinkProtection::kNone;
+  cfg.faults.link_error_rate = 0.02;
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.corrupted_delivered, 0u);
+  EXPECT_EQ(r.link_single_corrected, 0u);
+  EXPECT_EQ(r.nacks_sent, 0u);
+}
+
+// --- Logic errors (§4) --------------------------------------------------------
+
+TEST(FaultIntegrationLogic, VaUpsetsAllCaughtByAc) {
+  SimConfig cfg = base_config();
+  cfg.faults.va_error_rate = 0.001;
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.va_errors_recovered, 0u);
+  EXPECT_EQ(r.unprotected_errors, 0u);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+}
+
+TEST(FaultIntegrationLogic, SaUpsetsAllCaughtByAc) {
+  SimConfig cfg = base_config();
+  cfg.faults.sa_error_rate = 0.001;
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.sa_errors_recovered, 0u);
+  EXPECT_EQ(r.unprotected_errors, 0u);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+}
+
+TEST(FaultIntegrationLogic, RtUpsetsRecoveredUnderXy) {
+  SimConfig cfg = base_config();
+  cfg.faults.rt_error_rate = 0.001;
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.rt_errors_recovered, 0u);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+}
+
+TEST(FaultIntegrationLogic, RtUpsetsBenignUnderAdaptive) {
+  // §4.2: under adaptive routing a functional misdirection is undetected
+  // and harmless — packets still arrive, just over longer paths.
+  SimConfig cfg = base_config();
+  cfg.routing = RoutingAlgorithm::kMinimalAdaptive;
+  cfg.deadlock.enable_recovery = true;
+  cfg.faults.rt_error_rate = 0.001;
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+}
+
+TEST(FaultIntegrationLogic, SaUpsetsWithoutAcBecomeLinkErrors) {
+  // Ablation: with the AC disabled and HBH protection on, a wrecked flit
+  // from an SA upset is caught by the next hop's SEC/DED and retransmitted.
+  SimConfig cfg = base_config();
+  cfg.enable_ac = false;
+  cfg.protection = LinkProtection::kHbh;
+  cfg.faults.sa_error_rate = 0.001;
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.sa_errors_recovered, 0u);
+  EXPECT_GT(r.unprotected_errors, 0u);
+  EXPECT_GT(r.link_retransmission_events, 0u);  // Caught downstream.
+  EXPECT_EQ(r.corrupted_delivered, 0u);         // HBH still saves the data.
+}
+
+TEST(FaultIntegrationLogic, VaUpsetsWithoutAcLosePackets) {
+  SimConfig cfg = base_config();
+  cfg.enable_ac = false;
+  cfg.faults.va_error_rate = 0.001;
+  cfg.total_messages = 2'000;
+  Simulator sim(cfg);
+  const SimResults r = sim.run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.unprotected_errors, 0u);
+  EXPECT_EQ(r.va_errors_recovered, 0u);
+}
+
+TEST(FaultIntegrationLogic, CombinedFaultStormStillDeliversClean) {
+  // All fault processes at once (single-upset-at-a-time still holds per
+  // draw) — the "comprehensive plan of attack" scenario.
+  SimConfig cfg = base_config();
+  cfg.protection = LinkProtection::kHbh;
+  cfg.faults.link_error_rate = 0.01;
+  cfg.faults.rt_error_rate = 0.0005;
+  cfg.faults.va_error_rate = 0.0005;
+  cfg.faults.sa_error_rate = 0.0005;
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+  EXPECT_GT(r.link_errors_corrected, 0u);
+  EXPECT_GT(r.va_errors_recovered, 0u);
+  EXPECT_GT(r.sa_errors_recovered, 0u);
+}
+
+// Parameterized sweep: HBH delivers clean at every error rate of the
+// paper's x-axis.
+class HbhErrorRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HbhErrorRateSweep, CleanDeliveryAtRate) {
+  SimConfig cfg = base_config();
+  cfg.total_messages = 1'500;
+  cfg.warmup_messages = 200;
+  cfg.protection = LinkProtection::kHbh;
+  cfg.faults.link_error_rate = GetParam();
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRates, HbhErrorRateSweep,
+                         ::testing::Values(1e-5, 1e-4, 1e-3, 1e-2, 1e-1));
+
+}  // namespace
+}  // namespace ftnoc

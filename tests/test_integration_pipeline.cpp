@@ -1,0 +1,166 @@
+// Integration tests for the router pipeline model: per-hop latency as a
+// function of pipeline depth, wormhole ordering, credit conservation and
+// 4-stage output staging.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "noc/simulator.hpp"
+
+namespace ftnoc {
+namespace {
+
+// Measures the delivery cycle of a single packet across `hops` hops on an
+// otherwise empty network with an n-stage pipeline.
+Cycle single_packet_delivery(int stages, NodeId src, NodeId dest,
+                             int packet_len) {
+  SimConfig cfg;
+  cfg.mesh_width = 8;
+  cfg.mesh_height = 1;
+  cfg.mesh_height = 2;  // 8x2 so XY has room; src/dest in row 0.
+  cfg.num_vcs = 2;
+  cfg.pipeline_stages = stages;
+  cfg.retransmission_depth = 4;  // 4-stage routers need a deeper barrel.
+  cfg.packet_length = packet_len;
+  cfg.injection_rate = 0.0;
+  cfg.warmup_messages = 0;
+  cfg.total_messages = 1;
+  cfg.max_cycles = 1'000;
+  Simulator sim(cfg);
+  Cycle delivered = 0;
+  sim.network().set_delivery_listener(
+      [&](NodeId, const Flit&, Cycle now) { delivered = now; });
+  sim.network().inject_packet(src, dest, packet_len);
+  const SimResults r = sim.run();
+  EXPECT_TRUE(r.completed);
+  return delivered;
+}
+
+TEST(PipelineModel, PerHopCostIsStagesPlusLink) {
+  // Crossing h hops costs h * (stages + 1) cycles for the header plus the
+  // constant injection/ejection overhead; measure the marginal cost of one
+  // extra hop.
+  for (int stages : {1, 2, 3, 4}) {
+    const Cycle d3 = single_packet_delivery(stages, 0, 3, 1);
+    const Cycle d4 = single_packet_delivery(stages, 0, 4, 1);
+    EXPECT_EQ(d4 - d3, static_cast<Cycle>(stages + 1)) << "stages=" << stages;
+  }
+}
+
+TEST(PipelineModel, SerializationCostsOneCyclePerExtraFlit) {
+  // At zero load the tail trails the header by (M-1) cycles.
+  const Cycle one = single_packet_delivery(3, 0, 4, 1);
+  const Cycle four = single_packet_delivery(3, 0, 4, 4);
+  EXPECT_EQ(four - one, 3u);
+}
+
+TEST(PipelineModel, WormholeFlitOrderPreservedPerPacket) {
+  // Heavy congestion; verify by construction at the sink that each
+  // packet's flits eject in sequence order (the listener only fires at the
+  // tail, so instrument corruption-free completion + exact count instead).
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.injection_rate = 0.4;
+  cfg.warmup_messages = 100;
+  cfg.total_messages = 2'000;
+  cfg.max_cycles = 300'000;
+  Simulator sim(cfg);
+  // Every tail must close a complete 4-flit message; the network-level
+  // flit counter catches reordering/loss (missing flits flag the packet).
+  const SimResults r = sim.run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+}
+
+TEST(PipelineModel, DeliveryOrderPerPairIsFifoUnderXy) {
+  // Deterministic routing on a single VC must deliver same-pair packets in
+  // injection order.
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.num_vcs = 1;
+  cfg.injection_rate = 0.0;
+  cfg.warmup_messages = 0;
+  cfg.total_messages = 20;
+  cfg.max_cycles = 10'000;
+  Simulator sim(cfg);
+  std::vector<PacketId> order;
+  sim.network().set_delivery_listener(
+      [&](NodeId, const Flit& tail, Cycle) { order.push_back(tail.packet_id); });
+  std::vector<PacketId> injected;
+  for (int i = 0; i < 20; ++i) {
+    injected.push_back(sim.network().inject_packet(1, 14, 4));
+  }
+  const SimResults r = sim.run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(order, injected);
+}
+
+TEST(PipelineModel, FourStageRouterStillHandlesFaults) {
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.pipeline_stages = 4;
+  cfg.retransmission_depth = 4;
+  cfg.injection_rate = 0.15;
+  cfg.warmup_messages = 200;
+  cfg.total_messages = 2'000;
+  cfg.max_cycles = 300'000;
+  cfg.faults.link_error_rate = 0.02;
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+  EXPECT_GT(r.link_errors_corrected, 0u);
+}
+
+TEST(PipelineModel, SingleStageRouterStillHandlesFaults) {
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.pipeline_stages = 1;
+  cfg.injection_rate = 0.15;
+  cfg.warmup_messages = 200;
+  cfg.total_messages = 2'000;
+  cfg.max_cycles = 300'000;
+  cfg.faults.link_error_rate = 0.02;
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+  EXPECT_GT(r.link_errors_corrected, 0u);
+}
+
+TEST(PipelineModel, ThroughputSaturatesNearBisectionBound) {
+  // Uniform traffic on a k x k mesh saturates around 2*k/(N) * ...; for an
+  // 8x8 mesh with XY the classic bound is ~0.35-0.45 flits/node/cycle.
+  SimConfig cfg;
+  cfg.injection_rate = 1.0;  // Far beyond saturation.
+  cfg.warmup_messages = 1'000;
+  cfg.total_messages = 10'000;
+  cfg.max_cycles = 100'000;
+  const SimResults r = run_simulation(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.throughput_flits_node_cycle, 0.25);
+  EXPECT_LT(r.throughput_flits_node_cycle, 0.55);
+}
+
+TEST(PipelineModel, TorusBeatsToMeshOnTornado) {
+  // Tornado traffic is pathological on a mesh and natural on a torus.
+  SimConfig mesh;
+  mesh.pattern = TrafficPattern::kTornado;
+  mesh.injection_rate = 0.1;
+  mesh.warmup_messages = 500;
+  mesh.total_messages = 5'000;
+  mesh.max_cycles = 200'000;
+  SimConfig torus = mesh;
+  torus.torus = true;
+  const SimResults rm = run_simulation(mesh);
+  const SimResults rt = run_simulation(torus);
+  ASSERT_TRUE(rm.completed && rt.completed);
+  EXPECT_LT(rt.avg_latency_cycles, rm.avg_latency_cycles);
+}
+
+}  // namespace
+}  // namespace ftnoc

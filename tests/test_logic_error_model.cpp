@@ -1,0 +1,71 @@
+// Tests pinning the §4 recovery-latency analysis to the paper's numbers.
+
+#include "core/logic_error_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftnoc {
+namespace {
+
+TEST(LogicErrorModel, VaRecoveryIsOneCycleForAllDepths) {
+  for (int n = 1; n <= 4; ++n) {
+    EXPECT_EQ(va_recovery_penalty(n), 1) << "stages=" << n;
+  }
+}
+
+TEST(LogicErrorModel, SaRecoveryIsOneCycleForAllDepths) {
+  for (int n = 1; n <= 4; ++n) {
+    EXPECT_EQ(sa_recovery_penalty(n), 1) << "stages=" << n;
+  }
+}
+
+TEST(LogicErrorModel, SaCollisionCaughtDownstreamCostsTwoCycles) {
+  // §4.3 case (c): NACK + retransmission.
+  EXPECT_EQ(sa_collision_retransmit_penalty(), 2);
+}
+
+TEST(LogicErrorModel, RtBlockedCurrentNodeRoutingIsOneCycle) {
+  // 3-/4-stage routers route in the current node; the local VA catches the
+  // bad direction before transmission.
+  EXPECT_EQ(rt_recovery_penalty(3, false, RtMisrouteKind::kBlockedOrInvalid),
+            1);
+  EXPECT_EQ(rt_recovery_penalty(4, false, RtMisrouteKind::kBlockedOrInvalid),
+            1);
+}
+
+TEST(LogicErrorModel, RtBlockedLookaheadPenalties) {
+  // §4.2: 3 cycles in a 2-stage router, 2 cycles in a single-stage router.
+  EXPECT_EQ(rt_recovery_penalty(2, true, RtMisrouteKind::kBlockedOrInvalid),
+            3);
+  EXPECT_EQ(rt_recovery_penalty(1, true, RtMisrouteKind::kBlockedOrInvalid),
+            2);
+}
+
+TEST(LogicErrorModel, RtFunctionalDeterministicIsOnePlusN) {
+  for (int n = 1; n <= 4; ++n) {
+    EXPECT_EQ(rt_recovery_penalty(n, n <= 2,
+                                  RtMisrouteKind::kFunctionalDeterministic),
+              1 + n)
+        << "stages=" << n;
+  }
+}
+
+TEST(LogicErrorModel, RtFunctionalAdaptiveIsFree) {
+  // Undetectable, and benign: the flit just travels further.
+  for (int n = 1; n <= 4; ++n) {
+    EXPECT_EQ(
+        rt_recovery_penalty(n, false, RtMisrouteKind::kFunctionalAdaptive),
+        0);
+  }
+}
+
+TEST(LogicErrorModel, OnlyFourStageAvoidsNeighborNack) {
+  // §4.1: in a 4-stage router the AC concludes before crossbar traversal.
+  EXPECT_TRUE(ac_requires_neighbor_nack(1));
+  EXPECT_TRUE(ac_requires_neighbor_nack(2));
+  EXPECT_TRUE(ac_requires_neighbor_nack(3));
+  EXPECT_FALSE(ac_requires_neighbor_nack(4));
+}
+
+}  // namespace
+}  // namespace ftnoc

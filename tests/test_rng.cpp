@@ -1,0 +1,97 @@
+// Unit tests for the deterministic RNG (common/rng).
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ftnoc {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(r.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng r(5);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.bernoulli(p)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, p, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(123);
+  Rng child = parent.fork();
+  // The child stream should not mirror the parent stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng r(17);
+  const std::uint64_t bound = 8;
+  std::vector<int> counts(bound, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[r.next_below(bound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 8.0, n / 8.0 * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace ftnoc

@@ -1,0 +1,229 @@
+// Tests for the gate-level netlist library and the structural Allocation
+// Comparator, including the behavioural-vs-gate-level cross-validation
+// (the stand-in for the paper's RTL/synthesis flow).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "rtl/ac_circuit.hpp"
+
+namespace ftnoc::rtl {
+namespace {
+
+// --- Netlist primitives ------------------------------------------------------
+
+TEST(Netlist, BasicGates) {
+  Netlist n;
+  const SignalId a = n.add_input("a");
+  const SignalId b = n.add_input("b");
+  n.add_output("and", n.add_and(a, b));
+  n.add_output("or", n.add_or(a, b));
+  n.add_output("xor", n.add_xor(a, b));
+  n.add_output("not_a", n.add_not(a));
+  for (const bool va : {false, true}) {
+    for (const bool vb : {false, true}) {
+      const auto out = n.evaluate({va, vb});
+      EXPECT_EQ(out[0], va && vb);
+      EXPECT_EQ(out[1], va || vb);
+      EXPECT_EQ(out[2], va != vb);
+      EXPECT_EQ(out[3], !va);
+    }
+  }
+}
+
+TEST(Netlist, ReduceTreesMatchFold) {
+  Netlist n;
+  std::vector<SignalId> xs;
+  for (int i = 0; i < 7; ++i) xs.push_back(n.add_input("x"));
+  n.add_output("or", n.reduce_or(xs));
+  n.add_output("and", n.reduce_and(xs));
+  Rng rng(4);
+  for (int t = 0; t < 100; ++t) {
+    std::vector<bool> in;
+    bool any = false;
+    bool all = true;
+    for (int i = 0; i < 7; ++i) {
+      const bool v = rng.bernoulli(0.5);
+      in.push_back(v);
+      any = any || v;
+      all = all && v;
+    }
+    const auto out = n.evaluate(in);
+    EXPECT_EQ(out[0], any);
+    EXPECT_EQ(out[1], all);
+  }
+}
+
+TEST(Netlist, BusEqual) {
+  Netlist n;
+  std::vector<SignalId> a, b;
+  for (int i = 0; i < 4; ++i) a.push_back(n.add_input("a"));
+  for (int i = 0; i < 4; ++i) b.push_back(n.add_input("b"));
+  n.add_output("eq", n.bus_equal(a, b));
+  Rng rng(9);
+  for (int t = 0; t < 200; ++t) {
+    const unsigned va = static_cast<unsigned>(rng.next_below(16));
+    const unsigned vb = static_cast<unsigned>(rng.next_below(16));
+    std::vector<bool> in;
+    for (int i = 0; i < 4; ++i) in.push_back((va >> i) & 1u);
+    for (int i = 0; i < 4; ++i) in.push_back((vb >> i) & 1u);
+    EXPECT_EQ(n.evaluate(in)[0], va == vb);
+  }
+}
+
+TEST(Netlist, GateEquivalentsCountTwoInputGates) {
+  Netlist n;
+  const SignalId a = n.add_input("a");
+  const SignalId b = n.add_input("b");
+  n.add_output("o", n.add_and(n.add_not(a), n.add_xor(a, b)));
+  EXPECT_DOUBLE_EQ(n.gate_equivalents(), 2.5);  // AND + XOR + 0.5*NOT.
+}
+
+TEST(Netlist, VerilogEmission) {
+  Netlist n;
+  const SignalId a = n.add_input("a");
+  const SignalId b = n.add_input("b");
+  n.add_output("y", n.add_and(a, n.add_not(b)));
+  const std::string v = n.to_verilog("tiny");
+  EXPECT_NE(v.find("module tiny"), std::string::npos);
+  EXPECT_NE(v.find("input wire a"), std::string::npos);
+  EXPECT_NE(v.find("output wire y"), std::string::npos);
+  EXPECT_NE(v.find("~b"), std::string::npos);
+  EXPECT_NE(v.find("a & n0"), std::string::npos);
+  EXPECT_NE(v.find("assign y = n1"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Netlist, AcCircuitVerilogIsLarge) {
+  // The full comparator for the paper's 5x4 configuration emits a module
+  // with one assign per gate — the structural-RTL artefact of Figure 12.
+  AcCircuit ac(5, 4);
+  const std::string v = ac.netlist().to_verilog("allocation_comparator");
+  EXPECT_NE(v.find("any_error"), std::string::npos);
+  EXPECT_GT(v.size(), 50'000u);  // Thousands of gates, one line each.
+}
+
+TEST(NetlistDeath, GateBeforeInputAborts) {
+  Netlist n;
+  const SignalId a = n.add_input("a");
+  n.add_and(a, a);
+  EXPECT_DEATH(n.add_input("late"), "FTNOC_CHECK");
+}
+
+// --- AC circuit --------------------------------------------------------------
+
+TEST(AcCircuit, CleanStateRaisesNothing) {
+  AcCircuit ac(5, 3);
+  std::vector<RoutingStateEntry> rt = {{1, 1u << 2}};
+  std::vector<VaStateEntry> va = {{1, 2, 1}};
+  std::vector<SaStateEntry> sa = {{0, 2}};
+  const auto f = ac.check(rt, va, sa);
+  EXPECT_FALSE(f.any_error);
+}
+
+TEST(AcCircuit, DetectsInvalidVcEncoding) {
+  // The paper's own example: 3 VCs encoded in 2 bits; "11" is illegal.
+  AcCircuit ac(5, 3);
+  std::vector<RoutingStateEntry> rt = {{1, 1u << 2}};
+  std::vector<VaStateEntry> va = {{1, 2, 3}};
+  const auto f = ac.check(rt, va, {});
+  EXPECT_TRUE(f.any_error);
+  EXPECT_TRUE(f.va_invalid);
+}
+
+TEST(AcCircuit, DetectsRtMismatch) {
+  AcCircuit ac(5, 3);
+  std::vector<RoutingStateEntry> rt = {{7, 1u << 2}};  // South only.
+  std::vector<VaStateEntry> va = {{7, 0, 1}};          // Went North.
+  const auto f = ac.check(rt, va, {});
+  EXPECT_TRUE(f.va_rt_mismatch);
+}
+
+TEST(AcCircuit, DetectsDuplicatePairing) {
+  AcCircuit ac(5, 3);
+  std::vector<RoutingStateEntry> rt = {{0, 1u << 2}, {4, 1u << 2}};
+  std::vector<VaStateEntry> va = {{0, 2, 1}, {4, 2, 1}};
+  const auto f = ac.check(rt, va, {});
+  EXPECT_TRUE(f.va_duplicate);
+}
+
+TEST(AcCircuit, DetectsSaDuplicate) {
+  AcCircuit ac(5, 3);
+  std::vector<SaStateEntry> sa = {{0, 2}, {3, 2}};
+  const auto f = ac.check({}, {}, sa);
+  EXPECT_TRUE(f.sa_error);
+}
+
+TEST(AcCircuit, GateCountGrowsWithConfiguration) {
+  const double small = AcCircuit(5, 2).gate_equivalents();
+  const double paper = AcCircuit(5, 4).gate_equivalents();
+  const double large = AcCircuit(5, 6).gate_equivalents();
+  EXPECT_GT(paper, small);
+  EXPECT_GT(large, paper);
+  // The duplicate comparison matrix is quadratic in PV, so the growth
+  // from V=2 to V=4 is superlinear.
+  EXPECT_GT(paper / small, 2.0);
+}
+
+TEST(AcCircuit, StaysTinyRelativeToARouter) {
+  // Plausibility of the Table 1 claim from the structural side: a few
+  // thousand gate equivalents is ~1-2% of a 90 nm VC router.
+  const double ge = AcCircuit(5, 4).gate_equivalents();
+  EXPECT_GT(ge, 500.0);
+  EXPECT_LT(ge, 20'000.0);
+}
+
+// Cross-validation: random fixed-slot router states must give the same
+// any_error verdict from the behavioural model and the gate-level circuit.
+class AcCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(AcCrossValidation, BehaviouralMatchesGateLevel) {
+  const int V = GetParam();
+  const int P = 5;
+  AcCircuit circuit(P, V);
+  AllocationComparator behavioural(P, V);
+  Rng rng(1000 + static_cast<std::uint64_t>(V));
+  const int vc_space = 1 << circuit.vc_bits();
+
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<RoutingStateEntry> rt;
+    std::vector<VaStateEntry> va;
+    std::vector<SaStateEntry> sa;
+    for (int g = 0; g < P * V; ++g) {
+      if (!rng.bernoulli(0.4)) continue;
+      RoutingStateEntry r;
+      r.input_vc = static_cast<std::uint16_t>(g);
+      r.valid_ports = static_cast<std::uint8_t>(rng.next_below(32));
+      rt.push_back(r);
+      if (rng.bernoulli(0.7)) {
+        VaStateEntry e;
+        e.input_vc = static_cast<std::uint16_t>(g);
+        // Mostly sane, sometimes corrupt — ids stay within the hardware
+        // register width (3 port bits, vc_bits VC bits).
+        e.out_port = static_cast<PortId>(rng.next_below(8));
+        e.out_vc = static_cast<VcId>(rng.next_below(
+            static_cast<std::uint64_t>(vc_space)));
+        va.push_back(e);
+      }
+    }
+    for (PortId p = 0; p < P; ++p) {
+      if (!rng.bernoulli(0.5)) continue;
+      // At most one grant per input port: the circuit's SA state is one
+      // register row per port (the behavioural multicast check covers
+      // malformed *lists*, which fixed rows cannot express).
+      sa.push_back({p, static_cast<PortId>(rng.next_below(8))});
+    }
+
+    const bool gate_level = circuit.check(rt, va, sa).any_error;
+    const bool behav = behavioural.check(rt, va, sa).any_error();
+    ASSERT_EQ(gate_level, behav)
+        << "V=" << V << " trial=" << trial << " va=" << va.size()
+        << " sa=" << sa.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VcSweep, AcCrossValidation,
+                         ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace ftnoc::rtl

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Convert ftnoc bench console output into per-figure CSV files.
+
+Usage:
+    python3 tools/plot_bench.py bench_output.txt [outdir]
+
+Each google-benchmark row like
+
+    Fig6/BC/err=0.001/iterations:1  ... latency_cyc=189.517 ... retx_events=28
+
+becomes a CSV row keyed by its series (BC) and x value (0.001), one CSV per
+figure, ready for any plotting tool.
+"""
+import collections
+import csv
+import os
+import re
+import sys
+
+
+ROW = re.compile(r"^(\w+)/(\S+?)/iterations:\d+\s")
+COUNTER = re.compile(r"([A-Za-z_][\w]*)=([-\d.]+[kmu]?)")
+
+SUFFIX = {"k": 1e3, "m": 1e-3, "u": 1e-6}
+
+
+def parse_value(text):
+    if text[-1] in SUFFIX:
+        return float(text[:-1]) * SUFFIX[text[-1]]
+    return float(text)
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    path = sys.argv[1]
+    outdir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
+    os.makedirs(outdir, exist_ok=True)
+
+    figures = collections.defaultdict(list)
+    with open(path) as f:
+        for line in f:
+            m = ROW.match(line.strip())
+            if not m:
+                continue
+            figure, rest = m.group(1), m.group(2).split("/")
+            point = rest[-1] if len(rest) > 1 else ""
+            series = "/".join(rest[:-1]) if len(rest) > 1 else rest[0]
+            x = point.split("=", 1)[1] if "=" in point else point
+            row = {"series": series, "x": x}
+            for key, val in COUNTER.findall(line):
+                try:
+                    row[key] = parse_value(val)
+                except ValueError:
+                    pass
+            figures[figure].append(row)
+
+    for figure, rows in figures.items():
+        keys = ["series", "x"] + sorted(
+            {k for r in rows for k in r} - {"series", "x"})
+        out = os.path.join(outdir, figure.lower() + ".csv")
+        with open(out, "w", newline="") as f:
+            w = csv.DictWriter(f, fieldnames=keys)
+            w.writeheader()
+            w.writerows(rows)
+        print(f"{out}: {len(rows)} rows")
+
+
+if __name__ == "__main__":
+    main()
