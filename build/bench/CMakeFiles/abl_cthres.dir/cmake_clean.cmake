@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cthres.dir/abl_cthres.cpp.o"
+  "CMakeFiles/abl_cthres.dir/abl_cthres.cpp.o.d"
+  "abl_cthres"
+  "abl_cthres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cthres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_deadlock_recovery.dir/abl_deadlock_recovery.cpp.o"
+  "CMakeFiles/abl_deadlock_recovery.dir/abl_deadlock_recovery.cpp.o.d"
+  "abl_deadlock_recovery"
+  "abl_deadlock_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_deadlock_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

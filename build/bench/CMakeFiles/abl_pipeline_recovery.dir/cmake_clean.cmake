@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pipeline_recovery.dir/abl_pipeline_recovery.cpp.o"
+  "CMakeFiles/abl_pipeline_recovery.dir/abl_pipeline_recovery.cpp.o.d"
+  "abl_pipeline_recovery"
+  "abl_pipeline_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pipeline_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rtx_depth.dir/abl_rtx_depth.cpp.o"
+  "CMakeFiles/abl_rtx_depth.dir/abl_rtx_depth.cpp.o.d"
+  "abl_rtx_depth"
+  "abl_rtx_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rtx_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_scheme_latency.dir/fig05_scheme_latency.cpp.o"
+  "CMakeFiles/fig05_scheme_latency.dir/fig05_scheme_latency.cpp.o.d"
+  "fig05_scheme_latency"
+  "fig05_scheme_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_scheme_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_hbh_energy.dir/fig07_hbh_energy.cpp.o"
+  "CMakeFiles/fig07_hbh_energy.dir/fig07_hbh_energy.cpp.o.d"
+  "fig07_hbh_energy"
+  "fig07_hbh_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_hbh_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

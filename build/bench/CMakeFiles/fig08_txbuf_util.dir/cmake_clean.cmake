@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_txbuf_util.dir/fig08_txbuf_util.cpp.o"
+  "CMakeFiles/fig08_txbuf_util.dir/fig08_txbuf_util.cpp.o.d"
+  "fig08_txbuf_util"
+  "fig08_txbuf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_txbuf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_rtxbuf_util.dir/fig09_rtxbuf_util.cpp.o"
+  "CMakeFiles/fig09_rtxbuf_util.dir/fig09_rtxbuf_util.cpp.o.d"
+  "fig09_rtxbuf_util"
+  "fig09_rtxbuf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_rtxbuf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

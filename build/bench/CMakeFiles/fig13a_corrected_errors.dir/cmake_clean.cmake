@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_corrected_errors.dir/fig13a_corrected_errors.cpp.o"
+  "CMakeFiles/fig13a_corrected_errors.dir/fig13a_corrected_errors.cpp.o.d"
+  "fig13a_corrected_errors"
+  "fig13a_corrected_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_corrected_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_energy.dir/fig13b_energy.cpp.o"
+  "CMakeFiles/fig13b_energy.dir/fig13b_energy.cpp.o.d"
+  "fig13b_energy"
+  "fig13b_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_rescue.dir/deadlock_rescue.cpp.o"
+  "CMakeFiles/deadlock_rescue.dir/deadlock_rescue.cpp.o.d"
+  "deadlock_rescue"
+  "deadlock_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

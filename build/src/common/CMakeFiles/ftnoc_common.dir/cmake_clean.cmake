@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftnoc_common.dir/config.cpp.o"
+  "CMakeFiles/ftnoc_common.dir/config.cpp.o.d"
+  "CMakeFiles/ftnoc_common.dir/log.cpp.o"
+  "CMakeFiles/ftnoc_common.dir/log.cpp.o.d"
+  "CMakeFiles/ftnoc_common.dir/rng.cpp.o"
+  "CMakeFiles/ftnoc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ftnoc_common.dir/stats_util.cpp.o"
+  "CMakeFiles/ftnoc_common.dir/stats_util.cpp.o.d"
+  "libftnoc_common.a"
+  "libftnoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftnoc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation_comparator.cpp" "src/core/CMakeFiles/ftnoc_core.dir/allocation_comparator.cpp.o" "gcc" "src/core/CMakeFiles/ftnoc_core.dir/allocation_comparator.cpp.o.d"
+  "/root/repo/src/core/deadlock.cpp" "src/core/CMakeFiles/ftnoc_core.dir/deadlock.cpp.o" "gcc" "src/core/CMakeFiles/ftnoc_core.dir/deadlock.cpp.o.d"
+  "/root/repo/src/core/error_check_unit.cpp" "src/core/CMakeFiles/ftnoc_core.dir/error_check_unit.cpp.o" "gcc" "src/core/CMakeFiles/ftnoc_core.dir/error_check_unit.cpp.o.d"
+  "/root/repo/src/core/fault_injector.cpp" "src/core/CMakeFiles/ftnoc_core.dir/fault_injector.cpp.o" "gcc" "src/core/CMakeFiles/ftnoc_core.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/core/flit.cpp" "src/core/CMakeFiles/ftnoc_core.dir/flit.cpp.o" "gcc" "src/core/CMakeFiles/ftnoc_core.dir/flit.cpp.o.d"
+  "/root/repo/src/core/logic_error_model.cpp" "src/core/CMakeFiles/ftnoc_core.dir/logic_error_model.cpp.o" "gcc" "src/core/CMakeFiles/ftnoc_core.dir/logic_error_model.cpp.o.d"
+  "/root/repo/src/core/retransmission_buffer.cpp" "src/core/CMakeFiles/ftnoc_core.dir/retransmission_buffer.cpp.o" "gcc" "src/core/CMakeFiles/ftnoc_core.dir/retransmission_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftnoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/ftnoc_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

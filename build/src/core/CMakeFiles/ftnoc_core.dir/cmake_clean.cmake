@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftnoc_core.dir/allocation_comparator.cpp.o"
+  "CMakeFiles/ftnoc_core.dir/allocation_comparator.cpp.o.d"
+  "CMakeFiles/ftnoc_core.dir/deadlock.cpp.o"
+  "CMakeFiles/ftnoc_core.dir/deadlock.cpp.o.d"
+  "CMakeFiles/ftnoc_core.dir/error_check_unit.cpp.o"
+  "CMakeFiles/ftnoc_core.dir/error_check_unit.cpp.o.d"
+  "CMakeFiles/ftnoc_core.dir/fault_injector.cpp.o"
+  "CMakeFiles/ftnoc_core.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/ftnoc_core.dir/flit.cpp.o"
+  "CMakeFiles/ftnoc_core.dir/flit.cpp.o.d"
+  "CMakeFiles/ftnoc_core.dir/logic_error_model.cpp.o"
+  "CMakeFiles/ftnoc_core.dir/logic_error_model.cpp.o.d"
+  "CMakeFiles/ftnoc_core.dir/retransmission_buffer.cpp.o"
+  "CMakeFiles/ftnoc_core.dir/retransmission_buffer.cpp.o.d"
+  "libftnoc_core.a"
+  "libftnoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftnoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

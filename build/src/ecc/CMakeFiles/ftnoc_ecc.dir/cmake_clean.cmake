@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftnoc_ecc.dir/hamming.cpp.o"
+  "CMakeFiles/ftnoc_ecc.dir/hamming.cpp.o.d"
+  "libftnoc_ecc.a"
+  "libftnoc_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftnoc_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

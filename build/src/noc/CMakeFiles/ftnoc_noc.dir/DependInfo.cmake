@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/arbiter.cpp" "src/noc/CMakeFiles/ftnoc_noc.dir/arbiter.cpp.o" "gcc" "src/noc/CMakeFiles/ftnoc_noc.dir/arbiter.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/ftnoc_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/ftnoc_noc.dir/network.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/noc/CMakeFiles/ftnoc_noc.dir/router.cpp.o" "gcc" "src/noc/CMakeFiles/ftnoc_noc.dir/router.cpp.o.d"
+  "/root/repo/src/noc/routing.cpp" "src/noc/CMakeFiles/ftnoc_noc.dir/routing.cpp.o" "gcc" "src/noc/CMakeFiles/ftnoc_noc.dir/routing.cpp.o.d"
+  "/root/repo/src/noc/simulator.cpp" "src/noc/CMakeFiles/ftnoc_noc.dir/simulator.cpp.o" "gcc" "src/noc/CMakeFiles/ftnoc_noc.dir/simulator.cpp.o.d"
+  "/root/repo/src/noc/topology.cpp" "src/noc/CMakeFiles/ftnoc_noc.dir/topology.cpp.o" "gcc" "src/noc/CMakeFiles/ftnoc_noc.dir/topology.cpp.o.d"
+  "/root/repo/src/noc/trace.cpp" "src/noc/CMakeFiles/ftnoc_noc.dir/trace.cpp.o" "gcc" "src/noc/CMakeFiles/ftnoc_noc.dir/trace.cpp.o.d"
+  "/root/repo/src/noc/traffic.cpp" "src/noc/CMakeFiles/ftnoc_noc.dir/traffic.cpp.o" "gcc" "src/noc/CMakeFiles/ftnoc_noc.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ftnoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ftnoc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ftnoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/ftnoc_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

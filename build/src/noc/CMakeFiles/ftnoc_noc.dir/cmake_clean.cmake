@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftnoc_noc.dir/arbiter.cpp.o"
+  "CMakeFiles/ftnoc_noc.dir/arbiter.cpp.o.d"
+  "CMakeFiles/ftnoc_noc.dir/network.cpp.o"
+  "CMakeFiles/ftnoc_noc.dir/network.cpp.o.d"
+  "CMakeFiles/ftnoc_noc.dir/router.cpp.o"
+  "CMakeFiles/ftnoc_noc.dir/router.cpp.o.d"
+  "CMakeFiles/ftnoc_noc.dir/routing.cpp.o"
+  "CMakeFiles/ftnoc_noc.dir/routing.cpp.o.d"
+  "CMakeFiles/ftnoc_noc.dir/simulator.cpp.o"
+  "CMakeFiles/ftnoc_noc.dir/simulator.cpp.o.d"
+  "CMakeFiles/ftnoc_noc.dir/topology.cpp.o"
+  "CMakeFiles/ftnoc_noc.dir/topology.cpp.o.d"
+  "CMakeFiles/ftnoc_noc.dir/trace.cpp.o"
+  "CMakeFiles/ftnoc_noc.dir/trace.cpp.o.d"
+  "CMakeFiles/ftnoc_noc.dir/traffic.cpp.o"
+  "CMakeFiles/ftnoc_noc.dir/traffic.cpp.o.d"
+  "libftnoc_noc.a"
+  "libftnoc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftnoc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftnoc_power.dir/area_power_model.cpp.o"
+  "CMakeFiles/ftnoc_power.dir/area_power_model.cpp.o.d"
+  "CMakeFiles/ftnoc_power.dir/energy_model.cpp.o"
+  "CMakeFiles/ftnoc_power.dir/energy_model.cpp.o.d"
+  "libftnoc_power.a"
+  "libftnoc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftnoc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftnoc_power.a"
+)

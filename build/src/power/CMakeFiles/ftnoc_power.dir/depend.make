@@ -1,0 +1,2 @@
+# Empty dependencies file for ftnoc_power.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftnoc_rtl.dir/ac_circuit.cpp.o"
+  "CMakeFiles/ftnoc_rtl.dir/ac_circuit.cpp.o.d"
+  "CMakeFiles/ftnoc_rtl.dir/netlist.cpp.o"
+  "CMakeFiles/ftnoc_rtl.dir/netlist.cpp.o.d"
+  "libftnoc_rtl.a"
+  "libftnoc_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftnoc_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocation_comparator.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_allocation_comparator.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_allocation_comparator.cpp.o.d"
+  "/root/repo/tests/test_arbiter.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_arbiter.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_arbiter.cpp.o.d"
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_config_space_sweep.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_config_space_sweep.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_config_space_sweep.cpp.o.d"
+  "/root/repo/tests/test_deadlock_agent.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_deadlock_agent.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_deadlock_agent.cpp.o.d"
+  "/root/repo/tests/test_deadlock_hardening.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_deadlock_hardening.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_deadlock_hardening.cpp.o.d"
+  "/root/repo/tests/test_fault_injector.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_fault_injector.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_fault_injector.cpp.o.d"
+  "/root/repo/tests/test_flit_traffic.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_flit_traffic.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_flit_traffic.cpp.o.d"
+  "/root/repo/tests/test_hamming.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_hamming.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_hamming.cpp.o.d"
+  "/root/repo/tests/test_integration_basic.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_integration_basic.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_integration_basic.cpp.o.d"
+  "/root/repo/tests/test_integration_deadlock.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_integration_deadlock.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_integration_deadlock.cpp.o.d"
+  "/root/repo/tests/test_integration_extensions.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_integration_extensions.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_integration_extensions.cpp.o.d"
+  "/root/repo/tests/test_integration_faults.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_integration_faults.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_integration_faults.cpp.o.d"
+  "/root/repo/tests/test_integration_pipeline.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_integration_pipeline.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_integration_pipeline.cpp.o.d"
+  "/root/repo/tests/test_integration_routing_modes.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_integration_routing_modes.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_integration_routing_modes.cpp.o.d"
+  "/root/repo/tests/test_logic_error_model.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_logic_error_model.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_logic_error_model.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_power_models.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_power_models.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_power_models.cpp.o.d"
+  "/root/repo/tests/test_retransmission_buffer.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_retransmission_buffer.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_retransmission_buffer.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_router_unit.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_router_unit.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_router_unit.cpp.o.d"
+  "/root/repo/tests/test_rtl_ac.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_rtl_ac.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_rtl_ac.cpp.o.d"
+  "/root/repo/tests/test_rtx_buffer_property.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_rtx_buffer_property.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_rtx_buffer_property.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_topology_routing.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_topology_routing.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_topology_routing.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/ftnoc_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/ftnoc_tests.dir/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/ftnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftnoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ftnoc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ftnoc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/ftnoc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ftnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
