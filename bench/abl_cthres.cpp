@@ -7,42 +7,28 @@
 // Cthres over two orders of magnitude under congested adaptive traffic and
 // reports latency and probe/recovery activity: latency should stay nearly
 // flat, with only probe counts changing.
+//
+// The grid lives in sweep/presets.hpp (shared with ftnoc_sweep) and runs
+// batch-parallel through the SweepEngine.
 
 #include "bench_common.hpp"
+#include "sweep/presets.hpp"
 
 namespace ftnoc::bench {
 namespace {
 
-void run_cthres(benchmark::State& state, Cycle cthres) {
-  SimConfig cfg = paper_config();
-  cfg.routing = RoutingAlgorithm::kMinimalAdaptive;
-  cfg.num_vcs = 2;             // Fewer VCs: more blocking pressure.
-  cfg.injection_rate = 0.28;   // Congested, just below AD saturation.
-  cfg.total_messages = std::min<std::uint64_t>(cfg.total_messages, 20'000);
-  cfg.warmup_messages = std::min<std::uint64_t>(cfg.warmup_messages, 5'000);
-  cfg.max_cycles = 200'000;
-  cfg.deadlock.enable_recovery = true;
-  cfg.deadlock.probe_threshold = cthres;
-  cfg.deadlock.probe_backoff = cthres / 2 + 1;
-  cfg.deadlock.probe_timeout = cthres * 2 + 64;
-  const SimResults r = run_point(state, cfg);
+SweepCache& cache() {
+  static SweepCache c(sweep::abl_cthres_points(paper_config()));
+  return c;
+}
+
+void extra_counters(benchmark::State& state, const SimResults& r) {
   state.counters["probes"] = static_cast<double>(r.probes_sent);
   state.counters["confirmed"] = static_cast<double>(r.deadlocks_confirmed);
   state.counters["recoveries"] = static_cast<double>(r.recoveries_entered);
 }
 
-void register_all() {
-  for (Cycle cthres : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
-    const std::string name = "AblCthres/cthres=" + std::to_string(cthres);
-    benchmark::RegisterBenchmark(
-        name.c_str(),
-        [cthres](benchmark::State& st) { run_cthres(st, cthres); })
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(1);
-  }
-}
-
-const int registered = (register_all(), 0);
+const int registered = (register_sweep(cache(), extra_counters), 0);
 
 }  // namespace
 }  // namespace ftnoc::bench

@@ -15,9 +15,13 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/config.hpp"
 #include "noc/simulator.hpp"
+#include "sweep/presets.hpp"
+#include "sweep/sweep.hpp"
 
 namespace ftnoc::bench {
 
@@ -43,6 +47,14 @@ inline SimConfig paper_config() {
   return cfg;
 }
 
+/// Exports the standard counter set every figure shares.
+inline void export_counters(benchmark::State& state, const SimResults& r) {
+  state.counters["latency_cyc"] = r.avg_latency_cycles;
+  state.counters["energy_nJ"] = r.energy_per_message_nj;
+  state.counters["messages"] = static_cast<double>(r.measured_messages);
+  state.counters["completed"] = r.completed ? 1.0 : 0.0;
+}
+
 /// Runs one simulation inside the benchmark loop and exports the standard
 /// counter set.
 inline SimResults run_point(benchmark::State& state, const SimConfig& cfg) {
@@ -50,23 +62,72 @@ inline SimResults run_point(benchmark::State& state, const SimConfig& cfg) {
   for (auto _ : state) {
     r = run_simulation(cfg);
   }
-  state.counters["latency_cyc"] = r.avg_latency_cycles;
-  state.counters["energy_nJ"] = r.energy_per_message_nj;
-  state.counters["messages"] = static_cast<double>(r.measured_messages);
-  state.counters["completed"] = r.completed ? 1.0 : 0.0;
+  export_counters(state, r);
   return r;
 }
 
 /// The error-rate sweep used by Figures 5-7 and 13.
 inline const std::vector<double>& error_rates() {
-  static const std::vector<double> rates = {1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
-  return rates;
+  return sweep::fig_error_rates();
 }
 
-inline std::string rate_label(double r) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%g", r);
-  return buf;
+inline std::string rate_label(double r) { return sweep::rate_label(r); }
+
+/// Runs a whole grid through the parallel SweepEngine once (on first
+/// access) and hands out per-point results. A bench ported onto the cache
+/// registers one benchmark per point as before, but the points execute
+/// concurrently on FTNOC_BENCH_THREADS workers (default: all cores); each
+/// benchmark reports its point's wall-clock on its worker as manual time,
+/// so the printed table is unchanged while the binary's wall-clock shrinks
+/// to the longest chain on the pool.
+class SweepCache {
+ public:
+  explicit SweepCache(std::vector<sweep::SweepPoint> points)
+      : points_(std::move(points)) {}
+
+  const std::vector<sweep::SweepPoint>& points() const { return points_; }
+
+  const sweep::PointResult& result(std::size_t index) {
+    ensure_ran();
+    return results_.at(index);
+  }
+
+ private:
+  void ensure_ran() {
+    if (!results_.empty()) return;
+    sweep::SweepOptions opts;
+    opts.num_threads = static_cast<int>(env_u64("FTNOC_BENCH_THREADS", 0));
+    // Bench grids pin their seeds in the configs; keep them so the series
+    // match the historical sequential runs bit for bit.
+    opts.seed_policy = sweep::SeedPolicy::kUseConfigSeed;
+    results_ = sweep::SweepEngine(opts).run(points_);
+  }
+
+  std::vector<sweep::SweepPoint> points_;
+  std::vector<sweep::PointResult> results_;
+};
+
+/// Registers one manual-time benchmark per cached point; `extra` lets each
+/// figure add its own counters from the point's results.
+inline void register_sweep(
+    SweepCache& cache,
+    void (*extra)(benchmark::State&, const SimResults&) = nullptr) {
+  const auto& pts = cache.points();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    benchmark::RegisterBenchmark(
+        pts[i].label.c_str(),
+        [&cache, i, extra](benchmark::State& state) {
+          const sweep::PointResult& pr = cache.result(i);
+          for (auto _ : state) {
+            state.SetIterationTime(pr.wall_ms / 1000.0);
+          }
+          export_counters(state, pr.results);
+          if (extra != nullptr) extra(state, pr.results);
+        })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
 }
 
 }  // namespace ftnoc::bench

@@ -7,53 +7,30 @@
 // whole-packet retransmissions); FEC is flat but delivers silently corrupt
 // packets at high error rates (it has no retransmission path) — the
 // corrupted counter makes that visible.
+//
+// The grid itself lives in sweep/presets.hpp (shared with ftnoc_sweep) and
+// runs batch-parallel through the SweepEngine; each printed row reports
+// its point's wall-clock on its worker.
 
 #include "bench_common.hpp"
+#include "sweep/presets.hpp"
 
 namespace ftnoc::bench {
 namespace {
 
-void run_scheme(benchmark::State& state, LinkProtection scheme,
-                double error_rate) {
-  SimConfig cfg = paper_config();
-  cfg.protection = scheme;
-  cfg.faults.link_error_rate = error_rate;
-  // The Figure 5 comparison pits *pure* techniques against each other:
-  // the retransmission schemes (HBH, E2E) resend on any detected error,
-  // while FEC corrects what it can and silently passes the rest. The
-  // paper's proposed hybrid (SEC + HBH retransmission of multi-bit upsets)
-  // is what Figures 6/7 sweep.
-  cfg.ecc_detect_only = scheme != LinkProtection::kFec;
-  // E2E at high error rates saturates; cap the run so the sweep finishes.
-  const SimResults r = run_point(state, cfg);
+SweepCache& cache() {
+  static SweepCache c(sweep::fig05_points(paper_config()));
+  return c;
+}
+
+void extra_counters(benchmark::State& state, const SimResults& r) {
   state.counters["corrupted"] = static_cast<double>(r.corrupted_delivered);
   state.counters["retx_events"] =
       static_cast<double>(r.link_retransmission_events);
   state.counters["e2e_retx"] = static_cast<double>(r.e2e_retransmits);
 }
 
-void register_all() {
-  struct Scheme {
-    const char* name;
-    LinkProtection p;
-  };
-  const Scheme schemes[] = {{"HBH", LinkProtection::kHbh},
-                            {"E2E", LinkProtection::kE2e},
-                            {"FEC", LinkProtection::kFec}};
-  for (const auto& s : schemes) {
-    for (const double rate : error_rates()) {
-      const std::string name =
-          std::string("Fig5/") + s.name + "/err=" + rate_label(rate);
-      benchmark::RegisterBenchmark(
-          name.c_str(),
-          [p = s.p, rate](benchmark::State& st) { run_scheme(st, p, rate); })
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1);
-    }
-  }
-}
-
-const int registered = (register_all(), 0);
+const int registered = (register_sweep(cache(), extra_counters), 0);
 
 }  // namespace
 }  // namespace ftnoc::bench

@@ -6,14 +6,21 @@
 //   ./latency_sweep compare=1 [key=value ...]  # DT vs AD vs escape
 //
 // Useful env-free knobs: sweep_from / sweep_to / sweep_step (flits/node/
-// cycle) ride on the regular override syntax.
+// cycle) and threads=N ride on the regular override syntax.
+//
+// The points run batch-parallel through the SweepEngine (each worker owns
+// its Simulator); rows still stream in sweep order. Per-label rows past
+// the first saturated rate are suppressed, as before — they are computed
+// (the pool does not know in advance) but add nothing to the curve.
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
 #include "noc/simulator.hpp"
+#include "sweep/sweep.hpp"
 
 namespace {
 
@@ -22,24 +29,18 @@ struct SweepArgs {
   double to = 0.45;
   double step = 0.05;
   bool compare = false;
+  int threads = 0;  // 0 = hardware concurrency.
 };
 
-ftnoc::SimResults run_at(ftnoc::SimConfig cfg, double rate) {
-  cfg.injection_rate = rate;
-  return ftnoc::run_simulation(cfg);
-}
-
-void sweep(const char* label, const ftnoc::SimConfig& cfg,
-           const SweepArgs& args) {
+void add_points(std::vector<ftnoc::sweep::SweepPoint>& points,
+                const char* label, const ftnoc::SimConfig& cfg,
+                const SweepArgs& args) {
   for (double rate = args.from; rate <= args.to + 1e-9; rate += args.step) {
-    const ftnoc::SimResults r = run_at(cfg, rate);
-    std::printf("%s,%.3f,%.2f,%.2f,%.2f,%.4f,%.4f,%s\n", label, rate,
-                r.avg_latency_cycles, r.p99_latency_cycles,
-                r.throughput_flits_node_cycle * 1000.0,
-                r.energy_per_message_nj, r.tx_buffer_utilization,
-                r.completed ? "ok" : "saturated");
-    std::fflush(stdout);
-    if (!r.completed) break;  // Past saturation; higher rates add nothing.
+    ftnoc::sweep::SweepPoint pt;
+    pt.label = label;
+    pt.config = cfg;
+    pt.config.injection_rate = rate;
+    points.push_back(std::move(pt));
   }
 }
 
@@ -61,6 +62,8 @@ int main(int argc, char** argv) {
       args.to = std::stod(a.substr(9));
     } else if (a.rfind("sweep_step=", 0) == 0) {
       args.step = std::stod(a.substr(11));
+    } else if (a.rfind("threads=", 0) == 0) {
+      args.threads = std::stoi(a.substr(8));
     } else if (a == "compare=1") {
       args.compare = true;
     } else {
@@ -76,25 +79,47 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("config,inj_rate,avg_latency,p99_latency,"
-              "throughput_mflits,energy_nj,tx_util,status\n");
+  std::vector<ftnoc::sweep::SweepPoint> points;
   if (!args.compare) {
-    sweep(to_string(cfg.routing), cfg, args);
-    return 0;
+    add_points(points, to_string(cfg.routing), cfg, args);
+  } else {
+    ftnoc::SimConfig dt = cfg;
+    dt.routing = ftnoc::RoutingAlgorithm::kXY;
+    add_points(points, "dt-xy", dt, args);
+
+    ftnoc::SimConfig ad = cfg;
+    ad.routing = ftnoc::RoutingAlgorithm::kMinimalAdaptive;
+    ad.deadlock.enable_recovery = true;
+    add_points(points, "ad-recovery", ad, args);
+
+    ftnoc::SimConfig esc = cfg;
+    esc.routing = ftnoc::RoutingAlgorithm::kAdaptiveEscape;
+    esc.num_vcs = std::max(esc.num_vcs, 2);
+    add_points(points, "escape-vc", esc, args);
   }
 
-  ftnoc::SimConfig dt = cfg;
-  dt.routing = ftnoc::RoutingAlgorithm::kXY;
-  sweep("dt-xy", dt, args);
+  std::printf("config,inj_rate,avg_latency,p99_latency,"
+              "throughput_mflits,energy_nj,tx_util,status\n");
 
-  ftnoc::SimConfig ad = cfg;
-  ad.routing = ftnoc::RoutingAlgorithm::kMinimalAdaptive;
-  ad.deadlock.enable_recovery = true;
-  sweep("ad-recovery", ad, args);
+  ftnoc::sweep::SweepOptions opts;
+  opts.num_threads = args.threads;
+  // The configs carry the seed (default or seed= override); keep it so the
+  // curves match a sequential run of the same command exactly.
+  opts.seed_policy = ftnoc::sweep::SeedPolicy::kUseConfigSeed;
 
-  ftnoc::SimConfig esc = cfg;
-  esc.routing = ftnoc::RoutingAlgorithm::kAdaptiveEscape;
-  esc.num_vcs = std::max(esc.num_vcs, 2);
-  sweep("escape-vc", esc, args);
+  std::map<std::string, bool> saturated;
+  ftnoc::sweep::SweepEngine(opts).run(
+      points, [&](const ftnoc::sweep::PointResult& pr) {
+        if (saturated[pr.label]) return;  // Past saturation; adds nothing.
+        const ftnoc::SimResults& r = pr.results;
+        std::printf("%s,%.3f,%.2f,%.2f,%.2f,%.4f,%.4f,%s\n",
+                    pr.label.c_str(), pr.config.injection_rate,
+                    r.avg_latency_cycles, r.p99_latency_cycles,
+                    r.throughput_flits_node_cycle * 1000.0,
+                    r.energy_per_message_nj, r.tx_buffer_utilization,
+                    r.completed ? "ok" : "saturated");
+        std::fflush(stdout);
+        if (!r.completed) saturated[pr.label] = true;
+      });
   return 0;
 }

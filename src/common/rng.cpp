@@ -1,5 +1,7 @@
 #include "common/rng.hpp"
 
+#include "common/check.hpp"
+
 namespace ftnoc {
 namespace {
 
@@ -38,6 +40,7 @@ std::uint64_t Rng::next_u64() {
 }
 
 std::uint64_t Rng::next_below(std::uint64_t bound) {
+  FTNOC_CHECK(bound > 0);  // `-bound % bound` below divides by zero at 0.
   // Lemire's nearly-divisionless bounded generation (rejection only in the
   // tiny biased band).
   __uint128_t m = static_cast<__uint128_t>(next_u64()) * bound;
@@ -64,6 +67,14 @@ bool Rng::bernoulli(double p) {
 
 Rng Rng::fork() {
   return Rng(next_u64());
+}
+
+std::uint64_t Rng::derive_seed(std::uint64_t base, std::uint64_t index) {
+  // Two rounds of the seeding mixer over (base, index) give full avalanche,
+  // so consecutive indices map to unrelated seeds.
+  std::uint64_t x = base;
+  x = splitmix64(x) ^ index;
+  return splitmix64(x);
 }
 
 }  // namespace ftnoc

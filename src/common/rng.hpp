@@ -31,6 +31,12 @@ class Rng {
   /// Derive an independent child generator (for per-component streams).
   Rng fork();
 
+  /// Stateless seed derivation: hashes (base, index) into a seed whose
+  /// stream is unrelated to `base`'s own stream and to every other index.
+  /// Sweeps use this to give point i the same seed no matter which worker
+  /// thread runs it or in what order.
+  static std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
  private:
   std::uint64_t s_[4];
 };

@@ -76,15 +76,22 @@ void Histogram::reset() {
 double Histogram::quantile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(total_)));
+  // 1-based rank of the sample we are after. q=0 asks for the minimum,
+  // i.e. rank 1 (ceil(0) = 0 would otherwise select the first bucket even
+  // when it is empty).
+  const auto target = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(q * static_cast<double>(total_))));
   std::size_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= target) {
-      return (static_cast<double>(i) + 1.0) * width_;
+      // Midpoint of the containing bucket: the upper edge over-reports by
+      // half a bucket on average for values uniform within the bucket.
+      return (static_cast<double>(i) + 0.5) * width_;
     }
   }
+  // The target rank lies in the overflow bucket, which has no upper edge;
+  // the tightest bounded estimate is its lower edge (the range end).
   return width_ * static_cast<double>(buckets_.size());
 }
 

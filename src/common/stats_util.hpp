@@ -45,8 +45,10 @@ class Histogram {
   std::size_t overflow() const { return overflow_; }
   double bucket_width() const { return width_; }
 
-  /// Value below which `q` (in [0,1]) of the samples fall, estimated from
-  /// bucket boundaries. Returns 0 for an empty histogram.
+  /// Value below which `q` (in [0,1]) of the samples fall, estimated as
+  /// the midpoint of the bucket containing that rank (q=0 gives the first
+  /// non-empty bucket; ranks in the overflow bucket report the range end,
+  /// the tightest bounded estimate). Returns 0 for an empty histogram.
   double quantile(double q) const;
 
  private:

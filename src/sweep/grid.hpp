@@ -1,0 +1,39 @@
+#pragma once
+// Config-grid specification for sweeps.
+//
+// Each axis is a `key=v1,v2,...` string using the regular override keys of
+// common/config.hpp; the grid is the Cartesian product of all axes applied
+// to a base config via apply_override. A single-valued axis simply pins a
+// knob. Axis order is preserved: the first axis varies slowest, so the
+// expansion order (and therefore point indices, labels and derived seeds)
+// is a deterministic function of the spec.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sweep/sweep.hpp"
+
+namespace ftnoc::sweep {
+
+struct GridAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Splits `key=v1,v2,...` into an axis. Returns an error description on a
+/// missing '=' or an empty value; nullopt on success.
+std::optional<std::string> parse_axis(const std::string& spec, GridAxis& out);
+
+/// Expands the Cartesian product of `axes` over `base` into `out`. Each
+/// point's label joins the multi-valued axes as "key=value key2=value2"
+/// (single-valued axes pin config knobs and stay out of the label); a grid
+/// with no multi-valued axis yields one point labelled "base". Every
+/// expanded config is validated. Returns the first override/validation
+/// error, or nullopt on success.
+std::optional<std::string> expand_grid(const SimConfig& base,
+                                       const std::vector<GridAxis>& axes,
+                                       std::vector<SweepPoint>& out);
+
+}  // namespace ftnoc::sweep

@@ -1,0 +1,147 @@
+#include "sweep/jsonl.hpp"
+
+#include <cstdio>
+#include <string_view>
+
+namespace ftnoc::sweep {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+class Record {
+ public:
+  void str(const char* key, std::string_view v) {
+    open(key);
+    out_ += '"';
+    append_escaped(out_, v);
+    out_ += '"';
+  }
+  void u64(const char* key, std::uint64_t v) {
+    open(key);
+    out_ += std::to_string(v);
+  }
+  void boolean(const char* key, bool v) {
+    open(key);
+    out_ += v ? "true" : "false";
+  }
+  void real(const char* key, double v) {
+    open(key);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+  }
+  std::string close() {
+    out_ += '}';
+    return std::move(out_);
+  }
+
+ private:
+  void open(const char* key) {
+    out_ += out_.empty() ? '{' : ',';
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+  }
+  std::string out_;
+};
+
+}  // namespace
+
+std::string to_jsonl(const PointResult& pr, bool include_timing) {
+  const SimConfig& c = pr.config;
+  const SimResults& r = pr.results;
+  Record o;
+
+  // Identity.
+  o.u64("point", pr.index);
+  o.str("label", pr.label);
+  o.u64("seed", c.seed);
+
+  // The config knobs that define the point.
+  o.u64("mesh_width", static_cast<std::uint64_t>(c.mesh_width));
+  o.u64("mesh_height", static_cast<std::uint64_t>(c.mesh_height));
+  o.boolean("torus", c.torus);
+  o.u64("num_vcs", static_cast<std::uint64_t>(c.num_vcs));
+  o.u64("vc_buffer_depth", static_cast<std::uint64_t>(c.vc_buffer_depth));
+  o.u64("pipeline_stages", static_cast<std::uint64_t>(c.pipeline_stages));
+  o.u64("retransmission_depth",
+        static_cast<std::uint64_t>(c.retransmission_depth));
+  o.real("injection_rate", c.injection_rate);
+  o.u64("packet_length", static_cast<std::uint64_t>(c.packet_length));
+  o.str("pattern", to_string(c.pattern));
+  o.str("routing", to_string(c.routing));
+  o.str("protection", to_string(c.protection));
+  o.boolean("ecc_detect_only", c.ecc_detect_only);
+  o.boolean("enable_ac", c.enable_ac);
+  o.boolean("duplicate_rtx_buffers", c.duplicate_rtx_buffers);
+  o.boolean("tmr_handshaking", c.tmr_handshaking);
+  o.real("link_error_rate", c.faults.link_error_rate);
+  o.real("multi_bit_fraction", c.faults.multi_bit_fraction);
+  o.real("rt_error_rate", c.faults.rt_error_rate);
+  o.real("va_error_rate", c.faults.va_error_rate);
+  o.real("sa_error_rate", c.faults.sa_error_rate);
+  o.real("rtx_error_rate", c.faults.rtx_error_rate);
+  o.real("handshake_error_rate", c.faults.handshake_error_rate);
+  o.boolean("deadlock_recovery", c.deadlock.enable_recovery);
+  o.u64("probe_threshold", c.deadlock.probe_threshold);
+  o.u64("warmup_messages", c.warmup_messages);
+  o.u64("total_messages", c.total_messages);
+  o.u64("max_cycles", c.max_cycles);
+
+  // Results — every SimResults metric.
+  o.boolean("completed", r.completed);
+  o.u64("cycles", r.cycles);
+  o.real("avg_latency_cycles", r.avg_latency_cycles);
+  o.real("avg_total_latency_cycles", r.avg_total_latency_cycles);
+  o.real("p50_latency_cycles", r.p50_latency_cycles);
+  o.real("p99_latency_cycles", r.p99_latency_cycles);
+  o.real("max_latency_cycles", r.max_latency_cycles);
+  o.u64("measured_messages", r.measured_messages);
+  o.real("throughput_flits_node_cycle", r.throughput_flits_node_cycle);
+  o.real("energy_per_message_nj", r.energy_per_message_nj);
+  o.real("total_energy_uj", r.total_energy_uj);
+  o.real("tx_buffer_utilization", r.tx_buffer_utilization);
+  o.real("rtx_buffer_utilization", r.rtx_buffer_utilization);
+  o.u64("link_errors_corrected", r.link_errors_corrected);
+  o.u64("link_single_corrected", r.link_single_corrected);
+  o.u64("link_retransmission_events", r.link_retransmission_events);
+  o.u64("link_flits_retransmitted", r.link_flits_retransmitted);
+  o.u64("nacks_sent", r.nacks_sent);
+  o.u64("rt_errors_recovered", r.rt_errors_recovered);
+  o.u64("va_errors_recovered", r.va_errors_recovered);
+  o.u64("sa_errors_recovered", r.sa_errors_recovered);
+  o.u64("unprotected_errors", r.unprotected_errors);
+  o.u64("corrupted_delivered", r.corrupted_delivered);
+  o.u64("e2e_retransmits", r.e2e_retransmits);
+  o.u64("rtx_errors_corrected", r.rtx_errors_corrected);
+  o.u64("handshake_errors_corrected", r.handshake_errors_corrected);
+  o.u64("hard_fault_reroutes", r.hard_fault_reroutes);
+  o.u64("probes_sent", r.probes_sent);
+  o.u64("deadlocks_confirmed", r.deadlocks_confirmed);
+  o.u64("recoveries_entered", r.recoveries_entered);
+  o.u64("fallback_recoveries", r.fallback_recoveries);
+  o.u64("flits_absorbed", r.flits_absorbed);
+
+  if (include_timing) o.real("wall_ms", pr.wall_ms);
+  return o.close();
+}
+
+}  // namespace ftnoc::sweep

@@ -1,0 +1,20 @@
+#pragma once
+// JSON-lines serialization of sweep results.
+//
+// One record per line, keys in a fixed order, doubles printed with %.17g
+// (round-trip exact): two runs of the same sweep produce byte-identical
+// output regardless of thread count. Wall-clock is excluded unless asked
+// for, precisely so that byte-diffing two runs is meaningful.
+
+#include <string>
+
+#include "sweep/sweep.hpp"
+
+namespace ftnoc::sweep {
+
+/// Serializes one finished point as a single-line JSON object (no trailing
+/// newline): identity fields, the config knobs that define the point, then
+/// every SimResults metric. `include_timing` appends the wall_ms field.
+std::string to_jsonl(const PointResult& pr, bool include_timing = false);
+
+}  // namespace ftnoc::sweep

@@ -1,0 +1,78 @@
+#include "sweep/presets.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ftnoc::sweep {
+
+const std::vector<double>& fig_error_rates() {
+  static const std::vector<double> rates = {1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
+  return rates;
+}
+
+std::string rate_label(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", rate);
+  return buf;
+}
+
+std::vector<SweepPoint> fig05_points(const SimConfig& base) {
+  struct Scheme {
+    const char* name;
+    LinkProtection p;
+  };
+  static constexpr Scheme kSchemes[] = {{"HBH", LinkProtection::kHbh},
+                                        {"E2E", LinkProtection::kE2e},
+                                        {"FEC", LinkProtection::kFec}};
+  std::vector<SweepPoint> points;
+  for (const auto& s : kSchemes) {
+    for (const double rate : fig_error_rates()) {
+      SweepPoint pt;
+      pt.label = std::string("Fig5/") + s.name + "/err=" + rate_label(rate);
+      pt.config = base;
+      pt.config.injection_rate = 0.25;  // The figure's operating point.
+      pt.config.protection = s.p;
+      pt.config.faults.link_error_rate = rate;
+      // The Figure 5 comparison pits *pure* techniques against each other:
+      // the retransmission schemes (HBH, E2E) resend on any detected
+      // error, while FEC corrects what it can and silently passes the
+      // rest. The paper's proposed hybrid (SEC + HBH retransmission of
+      // multi-bit upsets) is what Figures 6/7 sweep.
+      pt.config.ecc_detect_only = s.p != LinkProtection::kFec;
+      points.push_back(std::move(pt));
+    }
+  }
+  return points;
+}
+
+std::vector<SweepPoint> abl_cthres_points(const SimConfig& base) {
+  std::vector<SweepPoint> points;
+  for (const Cycle cthres : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    SweepPoint pt;
+    pt.label = "AblCthres/cthres=" + std::to_string(cthres);
+    pt.config = base;
+    pt.config.routing = RoutingAlgorithm::kMinimalAdaptive;
+    pt.config.num_vcs = 2;            // Fewer VCs: more blocking pressure.
+    pt.config.injection_rate = 0.28;  // Congested, just below AD saturation.
+    pt.config.total_messages =
+        std::min<std::uint64_t>(pt.config.total_messages, 20'000);
+    pt.config.warmup_messages =
+        std::min<std::uint64_t>(pt.config.warmup_messages, 5'000);
+    pt.config.max_cycles = 200'000;
+    pt.config.deadlock.enable_recovery = true;
+    pt.config.deadlock.probe_threshold = cthres;
+    pt.config.deadlock.probe_backoff = cthres / 2 + 1;
+    pt.config.deadlock.probe_timeout = cthres * 2 + 64;
+    points.push_back(std::move(pt));
+  }
+  return points;
+}
+
+std::vector<SweepPoint> preset_points(const std::string& name,
+                                      const SimConfig& base) {
+  if (name == "fig05") return fig05_points(base);
+  if (name == "abl_cthres") return abl_cthres_points(base);
+  return {};
+}
+
+}  // namespace ftnoc::sweep

@@ -1,0 +1,37 @@
+#pragma once
+// Canonical paper grids, shared by the bench binaries and the ftnoc_sweep
+// CLI so "the Fig. 5 sweep" means the same list of points everywhere.
+//
+// Each builder takes a base config (scale knobs: message counts,
+// max_cycles, mesh) and overlays the figure's defining axes on top.
+
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.hpp"
+
+namespace ftnoc::sweep {
+
+/// The link error rates swept by Figures 5-7 and 13.
+const std::vector<double>& fig_error_rates();
+
+/// Formats an error rate the way the figure labels do ("1e-05").
+std::string rate_label(double rate);
+
+/// Figure 5 grid: {HBH, E2E, FEC} x fig_error_rates() at 0.25
+/// flits/node/cycle. The retransmission schemes run detection-only link
+/// codes (pure techniques, resend on any detected error); FEC corrects
+/// what it can and silently passes the rest.
+std::vector<SweepPoint> fig05_points(const SimConfig& base);
+
+/// Cthres ablation grid: the probe threshold swept over two orders of
+/// magnitude under congested adaptive traffic (the paper's §3.2.2 claim is
+/// that latency stays flat while only probe activity changes).
+std::vector<SweepPoint> abl_cthres_points(const SimConfig& base);
+
+/// Maps a preset name ("fig05", "abl_cthres") to its grid; returns an
+/// empty vector for an unknown name.
+std::vector<SweepPoint> preset_points(const std::string& name,
+                                      const SimConfig& base);
+
+}  // namespace ftnoc::sweep

@@ -40,6 +40,36 @@ TEST(Rng, NextBelowOneIsAlwaysZero) {
   for (int i = 0; i < 50; ++i) EXPECT_EQ(r.next_below(1), 0u);
 }
 
+TEST(RngDeathTest, NextBelowZeroFailsTheContractCheck) {
+  // The header documents bound > 0; bound == 0 used to divide by zero in
+  // the rejection threshold (`-bound % bound`).
+  Rng r(1);
+  EXPECT_DEATH(r.next_below(0), "bound > 0");
+}
+
+TEST(Rng, DeriveSeedIsStableAndSpreads) {
+  // Stateless: same (base, index) always gives the same seed.
+  EXPECT_EQ(Rng::derive_seed(42, 7), Rng::derive_seed(42, 7));
+
+  // Nearby indices and bases land on unrelated seeds.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(Rng::derive_seed(1, i));
+    seeds.insert(Rng::derive_seed(2, i));
+  }
+  EXPECT_EQ(seeds.size(), 2000u);
+}
+
+TEST(Rng, DeriveSeedStreamsAreIndependent) {
+  Rng a(Rng::derive_seed(5, 0));
+  Rng b(Rng::derive_seed(5, 1));
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
 TEST(Rng, NextDoubleInUnitInterval) {
   Rng r(11);
   for (int i = 0; i < 1000; ++i) {

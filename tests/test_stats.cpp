@@ -41,6 +41,28 @@ TEST(RunningStat, MergeEqualsCombinedStream) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(RunningStat, MergeTakesMinAndMaxFromEitherSide) {
+  RunningStat mid, wide;
+  mid.add(5.0);
+  mid.add(7.0);
+  wide.add(1.0);
+  wide.add(9.0);
+  mid.merge(wide);
+  EXPECT_DOUBLE_EQ(mid.min(), 1.0);
+  EXPECT_DOUBLE_EQ(mid.max(), 9.0);
+
+  // Disjoint ranges, each side contributing one extreme.
+  RunningStat lo, hi;
+  lo.add(-3.0);
+  lo.add(-1.0);
+  hi.add(10.0);
+  hi.add(20.0);
+  lo.merge(hi);
+  EXPECT_DOUBLE_EQ(lo.min(), -3.0);
+  EXPECT_DOUBLE_EQ(lo.max(), 20.0);
+  EXPECT_EQ(lo.count(), 4u);
+}
+
 TEST(RunningStat, MergeWithEmptyIsIdentity) {
   RunningStat a, empty;
   a.add(3.0);
@@ -72,6 +94,59 @@ TEST(Histogram, QuantileEstimates) {
   EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
   EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
   EXPECT_NEAR(h.quantile(0.0), 1.0, 1.5);
+}
+
+TEST(Histogram, QuantileZeroFindsFirstNonEmptyBucket) {
+  Histogram h(10.0, 5);
+  h.add(25.0);  // Bucket 2; buckets 0-1 are empty.
+  h.add(26.0);
+  h.add(27.0);
+  // q=0 must not report the empty first bucket (the old ceil(0)=0 target
+  // made `seen >= target` true immediately).
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 25.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 25.0);
+}
+
+TEST(Histogram, QuantileReportsBucketMidpoint) {
+  Histogram h(10.0, 5);
+  for (int i = 0; i < 4; ++i) h.add(12.0);  // All in bucket 1: [10, 20).
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 15.0);
+}
+
+TEST(Histogram, QuantileSingleBucket) {
+  Histogram h(5.0, 1);
+  h.add(1.0);
+  h.add(4.0);
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 2.5);
+  }
+}
+
+TEST(Histogram, QuantileOverflowBucketReportsRangeEnd) {
+  Histogram h(1.0, 2);  // Range [0, 2) + overflow.
+  h.add(10.0);
+  h.add(11.0);
+  // Both samples overflow: every quantile is bounded below by the range
+  // end, the tightest estimate the histogram can give.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+
+  // Mixed: the median is in range, the tail is not.
+  Histogram m(1.0, 2);
+  m.add(0.5);
+  m.add(0.5);
+  m.add(10.0);
+  EXPECT_DOUBLE_EQ(m.quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(m.quantile(1.0), 2.0);
+}
+
+TEST(Histogram, QuantileEmptyIsZero) {
+  Histogram h(1.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
 }
 
 TEST(CounterSet, IncrementAndReset) {

@@ -1,0 +1,224 @@
+// Tests for the parallel sweep subsystem: engine determinism across
+// thread counts, in-order streaming, grid expansion, presets and JSONL
+// serialization.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/jsonl.hpp"
+#include "sweep/presets.hpp"
+#include "sweep/sweep.hpp"
+
+namespace ftnoc {
+namespace {
+
+/// Small-but-real points: big enough to exercise the network, small
+/// enough that a whole grid runs in seconds.
+SimConfig tiny_config() {
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.num_vcs = 2;
+  cfg.warmup_messages = 200;
+  cfg.total_messages = 1'200;
+  cfg.max_cycles = 200'000;
+  return cfg;
+}
+
+std::vector<sweep::SweepPoint> tiny_grid() {
+  std::vector<sweep::SweepPoint> points;
+  for (const double rate : {0.05, 0.10, 0.15, 0.20}) {
+    sweep::SweepPoint pt;
+    pt.label = "inj=" + std::to_string(rate);
+    pt.config = tiny_config();
+    pt.config.injection_rate = rate;
+    pt.config.faults.link_error_rate = 1e-3;
+    points.push_back(std::move(pt));
+  }
+  return points;
+}
+
+TEST(SweepEngine, DeterministicAcrossThreadCounts) {
+  const auto points = tiny_grid();
+
+  auto run_with = [&](int threads) {
+    sweep::SweepOptions opts;
+    opts.num_threads = threads;
+    opts.base_seed = 7;
+    std::vector<std::string> lines;
+    for (const auto& pr : sweep::SweepEngine(opts).run(points)) {
+      lines.push_back(sweep::to_jsonl(pr));
+    }
+    return lines;
+  };
+
+  const auto serial = run_with(1);
+  const auto parallel = run_with(4);
+  ASSERT_EQ(serial.size(), points.size());
+  // Byte-identical records: per-point seeds depend only on (base_seed,
+  // index), and to_jsonl excludes wall-clock.
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepEngine, StreamsResultsInPointOrder) {
+  const auto points = tiny_grid();
+  sweep::SweepOptions opts;
+  opts.num_threads = 4;
+
+  std::vector<std::size_t> emitted;
+  std::size_t last_done = 0;
+  sweep::SweepEngine(opts).run(
+      points,
+      [&](const sweep::PointResult& pr) { emitted.push_back(pr.index); },
+      [&](std::size_t done, std::size_t total, const sweep::PointResult&) {
+        EXPECT_EQ(done, last_done + 1);
+        EXPECT_EQ(total, points.size());
+        last_done = done;
+      });
+
+  ASSERT_EQ(emitted.size(), points.size());
+  for (std::size_t i = 0; i < emitted.size(); ++i) EXPECT_EQ(emitted[i], i);
+  EXPECT_EQ(last_done, points.size());
+}
+
+TEST(SweepEngine, SeedPolicies) {
+  std::vector<sweep::SweepPoint> points(2);
+  points[0].label = "a";
+  points[0].config = tiny_config();
+  points[0].config.seed = 1234;
+  points[1].label = "b";
+  points[1].config = tiny_config();
+  points[1].config.seed = 1234;
+
+  sweep::SweepOptions keep;
+  keep.num_threads = 1;
+  keep.seed_policy = sweep::SeedPolicy::kUseConfigSeed;
+  const auto kept = sweep::SweepEngine(keep).run(points);
+  EXPECT_EQ(kept[0].config.seed, 1234u);
+  EXPECT_EQ(kept[1].config.seed, 1234u);
+
+  sweep::SweepOptions derive;
+  derive.num_threads = 1;
+  derive.base_seed = 99;
+  const auto derived = sweep::SweepEngine(derive).run(points);
+  EXPECT_EQ(derived[0].config.seed, Rng::derive_seed(99, 0));
+  EXPECT_EQ(derived[1].config.seed, Rng::derive_seed(99, 1));
+  EXPECT_NE(derived[0].config.seed, derived[1].config.seed);
+}
+
+TEST(SweepEngine, EmptySweepIsANoop) {
+  sweep::SweepEngine engine;
+  EXPECT_TRUE(engine.run({}).empty());
+}
+
+TEST(SweepGrid, ParseAxis) {
+  sweep::GridAxis axis;
+  EXPECT_EQ(sweep::parse_axis("injection_rate=0.1,0.2,0.3", axis),
+            std::nullopt);
+  EXPECT_EQ(axis.key, "injection_rate");
+  EXPECT_EQ(axis.values,
+            (std::vector<std::string>{"0.1", "0.2", "0.3"}));
+
+  EXPECT_EQ(sweep::parse_axis("protection=hbh", axis), std::nullopt);
+  EXPECT_EQ(axis.values, std::vector<std::string>{"hbh"});
+
+  EXPECT_NE(sweep::parse_axis("no_equals_sign", axis), std::nullopt);
+  EXPECT_NE(sweep::parse_axis("key=a,,b", axis), std::nullopt);
+  EXPECT_NE(sweep::parse_axis("key=", axis), std::nullopt);
+}
+
+TEST(SweepGrid, ExpandsCartesianProductFirstAxisSlowest) {
+  std::vector<sweep::GridAxis> axes = {
+      {"protection", {"hbh", "fec"}},
+      {"injection_rate", {"0.05", "0.1", "0.15"}},
+      {"total_messages", {"1000"}},  // Single-valued: pins, no label.
+  };
+  std::vector<sweep::SweepPoint> points;
+  ASSERT_EQ(sweep::expand_grid(tiny_config(), axes, points), std::nullopt);
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[0].label, "protection=hbh injection_rate=0.05");
+  EXPECT_EQ(points[1].label, "protection=hbh injection_rate=0.1");
+  EXPECT_EQ(points[3].label, "protection=fec injection_rate=0.05");
+  EXPECT_EQ(points[5].label, "protection=fec injection_rate=0.15");
+  EXPECT_EQ(points[5].config.protection, LinkProtection::kFec);
+  EXPECT_DOUBLE_EQ(points[5].config.injection_rate, 0.15);
+  for (const auto& pt : points) {
+    EXPECT_EQ(pt.config.total_messages, 1000u);
+  }
+}
+
+TEST(SweepGrid, NoAxesYieldsTheBasePoint) {
+  std::vector<sweep::SweepPoint> points;
+  ASSERT_EQ(sweep::expand_grid(tiny_config(), {}, points), std::nullopt);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].label, "base");
+}
+
+TEST(SweepGrid, ReportsOverrideAndValidationErrors) {
+  std::vector<sweep::SweepPoint> points;
+  EXPECT_NE(sweep::expand_grid(tiny_config(), {{"bogus_knob", {"1"}}},
+                               points),
+            std::nullopt);
+  EXPECT_NE(sweep::expand_grid(tiny_config(), {{"num_vcs", {"99"}}}, points),
+            std::nullopt);
+}
+
+TEST(SweepPresets, Fig05GridShape) {
+  const auto points = sweep::fig05_points(tiny_config());
+  ASSERT_EQ(points.size(), 15u);  // 3 schemes x 5 rates.
+  EXPECT_EQ(points[0].label, "Fig5/HBH/err=1e-05");
+  EXPECT_EQ(points[14].label, "Fig5/FEC/err=0.1");
+  for (const auto& pt : points) {
+    EXPECT_EQ(pt.config.validate(), std::nullopt) << pt.label;
+    EXPECT_DOUBLE_EQ(pt.config.injection_rate, 0.25);
+    // Pure-technique comparison: only FEC corrects in place.
+    EXPECT_EQ(pt.config.ecc_detect_only,
+              pt.config.protection != LinkProtection::kFec);
+  }
+}
+
+TEST(SweepPresets, AblCthresGridShape) {
+  const auto points = sweep::abl_cthres_points(tiny_config());
+  ASSERT_EQ(points.size(), 7u);
+  for (const auto& pt : points) {
+    EXPECT_EQ(pt.config.validate(), std::nullopt) << pt.label;
+    EXPECT_TRUE(pt.config.deadlock.enable_recovery);
+  }
+  EXPECT_EQ(points[0].config.deadlock.probe_threshold, 8u);
+  EXPECT_EQ(points[6].config.deadlock.probe_threshold, 512u);
+}
+
+TEST(SweepPresets, UnknownPresetIsEmpty) {
+  EXPECT_TRUE(sweep::preset_points("fig99", tiny_config()).empty());
+}
+
+TEST(SweepJsonl, RecordShapeAndEscaping) {
+  sweep::PointResult pr;
+  pr.index = 3;
+  pr.label = "quote\"back\\slash";
+  pr.config = tiny_config();
+  pr.results.completed = true;
+  pr.results.avg_latency_cycles = 21.5;
+  pr.wall_ms = 12.0;
+
+  const std::string line = sweep::to_jsonl(pr);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"point\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"label\":\"quote\\\"back\\\\slash\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"avg_latency_cycles\":21.5"), std::string::npos);
+  // Wall-clock stays out of the record unless asked for, so byte-diffing
+  // two runs is meaningful.
+  EXPECT_EQ(line.find("wall_ms"), std::string::npos);
+  EXPECT_NE(sweep::to_jsonl(pr, /*include_timing=*/true).find("wall_ms"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftnoc
