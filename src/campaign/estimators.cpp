@@ -1,0 +1,121 @@
+#include "campaign/estimators.hpp"
+
+#include <cmath>
+
+#include "sweep/jsonl.hpp"
+
+namespace ftnoc::campaign {
+
+void PointAggregate::add_replica(const SimResults& r) {
+  ++replicas;
+  if (r.completed) ++completed_replicas;
+
+  latency.add(r.avg_latency_cycles);
+  p99_latency.add(r.p99_latency_cycles);
+  energy.add(r.energy_per_message_nj);
+  throughput.add(r.throughput_flits_node_cycle);
+
+  measured_messages += r.measured_messages;
+  corrupted_delivered += r.corrupted_delivered;
+  packets_created += r.packets_created;
+  messages_ejected += r.messages_ejected;
+  recoveries_entered += r.recoveries_entered;
+  recoveries_exited += r.recoveries_exited;
+}
+
+void PointAggregate::merge(const PointAggregate& wave) {
+  replicas += wave.replicas;
+  completed_replicas += wave.completed_replicas;
+
+  latency.merge(wave.latency);
+  p99_latency.merge(wave.p99_latency);
+  energy.merge(wave.energy);
+  throughput.merge(wave.throughput);
+
+  measured_messages += wave.measured_messages;
+  corrupted_delivered += wave.corrupted_delivered;
+  packets_created += wave.packets_created;
+  messages_ejected += wave.messages_ejected;
+  recoveries_entered += wave.recoveries_entered;
+  recoveries_exited += wave.recoveries_exited;
+}
+
+bool PointAggregate::meets(const StopRule& rule) const {
+  if (!rule.adaptive() || replicas < rule.min_replicas) return false;
+  const double hw = latency_ci();  // +inf below 2 replicas: never met.
+  if (rule.ci_abs > 0.0 && hw <= rule.ci_abs) return true;
+  if (rule.ci_rel > 0.0 && hw <= rule.ci_rel * std::fabs(latency.mean())) {
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+void append_metric(sweep::JsonRecord& o, const char* name,
+                   const RunningStat& s) {
+  std::string key = name;
+  const std::size_t base = key.size();
+  key += "_mean";
+  o.real(key.c_str(), s.mean());
+  key.resize(base);
+  key += "_stddev";
+  o.real(key.c_str(), s.stddev());
+  key.resize(base);
+  key += "_ci95";
+  // A 1-replica point has no CI; emit 0 rather than inf (not valid JSON).
+  o.real(key.c_str(), s.count() < 2 ? 0.0 : mean_ci_halfwidth(s));
+}
+
+void append_rate(sweep::JsonRecord& o, const char* name,
+                 std::uint64_t successes, std::uint64_t trials) {
+  const RateInterval w = wilson_interval(successes, trials);
+  std::string key = name;
+  const std::size_t base = key.size();
+  key += "_events";
+  o.u64(key.c_str(), successes);
+  key.resize(base);
+  key += "_trials";
+  o.u64(key.c_str(), trials);
+  key.resize(base);
+  key += "_rate";
+  o.real(key.c_str(), w.rate);
+  key.resize(base);
+  key += "_lo";
+  o.real(key.c_str(), w.low);
+  key.resize(base);
+  key += "_hi";
+  o.real(key.c_str(), w.high);
+}
+
+}  // namespace
+
+std::string aggregate_line(const PointAggregate& agg,
+                           std::uint64_t campaign_seed) {
+  sweep::JsonRecord o;
+  o.str("type", "point");
+  o.u64("point", agg.point);
+  o.str("label", agg.label);
+  o.u64("campaign_seed", campaign_seed);
+  o.u64("config_hash", agg.config_hash);
+  o.u64("replicas", static_cast<std::uint64_t>(agg.replicas));
+  o.boolean("stopped_early", agg.stopped_early);
+  o.u64("completed_replicas",
+        static_cast<std::uint64_t>(agg.completed_replicas));
+
+  append_metric(o, "latency", agg.latency);
+  append_metric(o, "p99_latency", agg.p99_latency);
+  append_metric(o, "energy", agg.energy);
+  append_metric(o, "throughput", agg.throughput);
+
+  append_rate(o, "corrupt", agg.corrupted_delivered, agg.measured_messages);
+  append_rate(o, "loss", agg.packets_created - agg.messages_ejected,
+              agg.packets_created);
+  append_rate(o, "recovery", agg.recoveries_exited, agg.recoveries_entered);
+  append_rate(o, "replica_completed",
+              static_cast<std::uint64_t>(agg.completed_replicas),
+              static_cast<std::uint64_t>(agg.replicas));
+  return o.close();
+}
+
+}  // namespace ftnoc::campaign

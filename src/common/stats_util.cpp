@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -93,6 +94,32 @@ double Histogram::quantile(double q) const {
   // The target rank lies in the overflow bucket, which has no upper edge;
   // the tightest bounded estimate is its lower edge (the range end).
   return width_ * static_cast<double>(buckets_.size());
+}
+
+double mean_ci_halfwidth(const RunningStat& s, double z) {
+  if (s.count() < 2) return std::numeric_limits<double>::infinity();
+  return z * s.stddev() / std::sqrt(static_cast<double>(s.count()));
+}
+
+RateInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                             double z) {
+  RateInterval r;
+  if (trials == 0) return r;  // Vacuous [0, 1].
+  FTNOC_CHECK(successes <= trials);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  r.rate = p;
+  // At the extremes center == half analytically, but the two expressions
+  // round differently; snap to the exact bound so the interval always
+  // contains p.
+  r.low = successes == 0 ? 0.0 : std::max(0.0, center - half);
+  r.high = successes == trials ? 1.0 : std::min(1.0, center + half);
+  return r;
 }
 
 void CounterSet::reset() {

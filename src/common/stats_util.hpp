@@ -58,6 +58,28 @@ class Histogram {
   std::size_t total_ = 0;
 };
 
+/// z for a two-sided 95% confidence interval (Phi^-1(0.975)).
+inline constexpr double kZ95 = 1.959963984540054;
+
+/// Half-width of the normal-approximation confidence interval for the
+/// mean of `s`: z * stddev / sqrt(n). Returns +infinity for n < 2 — no
+/// variance estimate exists yet, so no CI target can be met.
+double mean_ci_halfwidth(const RunningStat& s, double z = kZ95);
+
+/// A Bernoulli rate estimate with its confidence bounds.
+struct RateInterval {
+  double rate = 0.0;  ///< Point estimate successes/trials (0 if no trials).
+  double low = 0.0;
+  double high = 1.0;
+};
+
+/// Wilson score interval for a Bernoulli success probability. Unlike the
+/// Wald interval it never leaves [0,1] and stays informative at rate 0 or
+/// 1 (the regime of silent-corruption and packet-loss probabilities).
+/// trials == 0 yields the vacuous interval [0, 1].
+RateInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                             double z = kZ95);
+
 /// A simple saturating event counter keyed by small enum-like indices.
 class CounterSet {
  public:

@@ -54,6 +54,8 @@ SimResults Simulator::run() {
   r.p99_latency_cycles = stats.latency_histogram().quantile(0.99);
   r.max_latency_cycles = stats.latency().max();
   r.measured_messages = stats.measured_messages();
+  r.packets_created = stats.packets_created();
+  r.messages_ejected = stats.messages_ejected();
 
   const Cycle measured_cycles =
       net.now() > stats.measure_start() ? net.now() - stats.measure_start()
@@ -77,6 +79,7 @@ SimResults Simulator::run() {
   r.link_single_corrected = stats.link_single_corrected();
   r.link_retransmission_events = stats.link_retransmission_events();
   r.link_flits_retransmitted = stats.link_flits_retransmitted();
+  r.flits_dropped = stats.flits_dropped();
   r.nacks_sent = stats.nacks_sent();
   r.rt_errors_recovered = stats.rt_errors_recovered();
   r.va_errors_recovered = stats.va_errors_recovered();
@@ -89,8 +92,10 @@ SimResults Simulator::run() {
   r.hard_fault_reroutes = stats.hard_fault_reroutes();
 
   r.probes_sent = stats.probes_sent();
+  r.probes_discarded = stats.probes_discarded();
   r.deadlocks_confirmed = stats.deadlocks_confirmed();
   r.recoveries_entered = stats.recoveries_entered();
+  r.recoveries_exited = stats.recoveries_exited();
   r.fallback_recoveries = stats.fallback_recoveries();
   r.flits_absorbed = stats.flits_absorbed();
   return r;

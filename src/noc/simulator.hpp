@@ -28,6 +28,12 @@ struct SimResults {
   std::uint64_t measured_messages = 0;
   double throughput_flits_node_cycle = 0.0;
 
+  // Whole-run delivery accounting (not gated on the measurement window):
+  // created - ejected is the packet-loss population at end of run (drained
+  // packets plus whatever was still in flight when the run stopped).
+  std::uint64_t packets_created = 0;
+  std::uint64_t messages_ejected = 0;
+
   // Energy (measurement window only).
   double energy_per_message_nj = 0.0;
   double total_energy_uj = 0.0;
@@ -41,6 +47,9 @@ struct SimResults {
   std::uint64_t link_single_corrected = 0;
   std::uint64_t link_retransmission_events = 0;
   std::uint64_t link_flits_retransmitted = 0;
+  /// Detected-uncorrectable flits dropped at a receiver (the NACK drop-2
+  /// window plus drops that were never replayed).
+  std::uint64_t flits_dropped = 0;
   std::uint64_t nacks_sent = 0;
   std::uint64_t rt_errors_recovered = 0;
   std::uint64_t va_errors_recovered = 0;
@@ -54,8 +63,10 @@ struct SimResults {
 
   // Deadlock accounting.
   std::uint64_t probes_sent = 0;
+  std::uint64_t probes_discarded = 0;
   std::uint64_t deadlocks_confirmed = 0;
   std::uint64_t recoveries_entered = 0;
+  std::uint64_t recoveries_exited = 0;
   std::uint64_t fallback_recoveries = 0;
   std::uint64_t flits_absorbed = 0;
 

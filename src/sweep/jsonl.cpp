@@ -1,7 +1,6 @@
 #include "sweep/jsonl.hpp"
 
 #include <cstdio>
-#include <string_view>
 
 namespace ftnoc::sweep {
 namespace {
@@ -26,56 +25,45 @@ void append_escaped(std::string& out, std::string_view s) {
   }
 }
 
-class Record {
- public:
-  void str(const char* key, std::string_view v) {
-    open(key);
-    out_ += '"';
-    append_escaped(out_, v);
-    out_ += '"';
-  }
-  void u64(const char* key, std::uint64_t v) {
-    open(key);
-    out_ += std::to_string(v);
-  }
-  void boolean(const char* key, bool v) {
-    open(key);
-    out_ += v ? "true" : "false";
-  }
-  void real(const char* key, double v) {
-    open(key);
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    out_ += buf;
-  }
-  std::string close() {
-    out_ += '}';
-    return std::move(out_);
-  }
-
- private:
-  void open(const char* key) {
-    out_ += out_.empty() ? '{' : ',';
-    out_ += '"';
-    out_ += key;
-    out_ += "\":";
-  }
-  std::string out_;
-};
-
 }  // namespace
 
-std::string to_jsonl(const PointResult& pr, bool include_timing) {
-  const SimConfig& c = pr.config;
-  const SimResults& r = pr.results;
-  Record o;
+void JsonRecord::str(const char* key, std::string_view v) {
+  open(key);
+  out_ += '"';
+  append_escaped(out_, v);
+  out_ += '"';
+}
 
-  // Identity.
-  o.u64("point", pr.index);
-  o.str("label", pr.label);
-  o.u64("seed", c.seed);
+void JsonRecord::u64(const char* key, std::uint64_t v) {
+  open(key);
+  out_ += std::to_string(v);
+}
 
-  // The config knobs that define the point.
+void JsonRecord::boolean(const char* key, bool v) {
+  open(key);
+  out_ += v ? "true" : "false";
+}
+
+void JsonRecord::real(const char* key, double v) {
+  open(key);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+}
+
+std::string JsonRecord::close() {
+  out_ += '}';
+  return std::move(out_);
+}
+
+void JsonRecord::open(const char* key) {
+  out_ += out_.empty() ? '{' : ',';
+  out_ += '"';
+  out_ += key;
+  out_ += "\":";
+}
+
+void append_config_fields(JsonRecord& o, const SimConfig& c) {
   o.u64("mesh_width", static_cast<std::uint64_t>(c.mesh_width));
   o.u64("mesh_height", static_cast<std::uint64_t>(c.mesh_height));
   o.boolean("torus", c.torus);
@@ -105,8 +93,9 @@ std::string to_jsonl(const PointResult& pr, bool include_timing) {
   o.u64("warmup_messages", c.warmup_messages);
   o.u64("total_messages", c.total_messages);
   o.u64("max_cycles", c.max_cycles);
+}
 
-  // Results — every SimResults metric.
+void append_result_fields(JsonRecord& o, const SimResults& r) {
   o.boolean("completed", r.completed);
   o.u64("cycles", r.cycles);
   o.real("avg_latency_cycles", r.avg_latency_cycles);
@@ -116,6 +105,8 @@ std::string to_jsonl(const PointResult& pr, bool include_timing) {
   o.real("max_latency_cycles", r.max_latency_cycles);
   o.u64("measured_messages", r.measured_messages);
   o.real("throughput_flits_node_cycle", r.throughput_flits_node_cycle);
+  o.u64("packets_created", r.packets_created);
+  o.u64("messages_ejected", r.messages_ejected);
   o.real("energy_per_message_nj", r.energy_per_message_nj);
   o.real("total_energy_uj", r.total_energy_uj);
   o.real("tx_buffer_utilization", r.tx_buffer_utilization);
@@ -124,6 +115,7 @@ std::string to_jsonl(const PointResult& pr, bool include_timing) {
   o.u64("link_single_corrected", r.link_single_corrected);
   o.u64("link_retransmission_events", r.link_retransmission_events);
   o.u64("link_flits_retransmitted", r.link_flits_retransmitted);
+  o.u64("flits_dropped", r.flits_dropped);
   o.u64("nacks_sent", r.nacks_sent);
   o.u64("rt_errors_recovered", r.rt_errors_recovered);
   o.u64("va_errors_recovered", r.va_errors_recovered);
@@ -135,10 +127,24 @@ std::string to_jsonl(const PointResult& pr, bool include_timing) {
   o.u64("handshake_errors_corrected", r.handshake_errors_corrected);
   o.u64("hard_fault_reroutes", r.hard_fault_reroutes);
   o.u64("probes_sent", r.probes_sent);
+  o.u64("probes_discarded", r.probes_discarded);
   o.u64("deadlocks_confirmed", r.deadlocks_confirmed);
   o.u64("recoveries_entered", r.recoveries_entered);
+  o.u64("recoveries_exited", r.recoveries_exited);
   o.u64("fallback_recoveries", r.fallback_recoveries);
   o.u64("flits_absorbed", r.flits_absorbed);
+}
+
+std::string to_jsonl(const PointResult& pr, bool include_timing) {
+  JsonRecord o;
+
+  // Identity.
+  o.u64("point", pr.index);
+  o.str("label", pr.label);
+  o.u64("seed", pr.config.seed);
+
+  append_config_fields(o, pr.config);
+  append_result_fields(o, pr.results);
 
   if (include_timing) o.real("wall_ms", pr.wall_ms);
   return o.close();

@@ -68,9 +68,152 @@ std::vector<SweepPoint> abl_cthres_points(const SimConfig& base) {
   return points;
 }
 
+namespace {
+
+struct Pattern {
+  const char* name;
+  TrafficPattern p;
+};
+constexpr Pattern kPatterns[] = {{"NR", TrafficPattern::kUniformRandom},
+                                 {"BC", TrafficPattern::kBitComplement},
+                                 {"TN", TrafficPattern::kTornado}};
+
+/// Shared grid behind Figures 6 and 7 (latency and energy columns of the
+/// same runs): hybrid HBH x NR/BC/TN x the five error-rate decades.
+std::vector<SweepPoint> hbh_pattern_points(const SimConfig& base,
+                                           const char* figure) {
+  std::vector<SweepPoint> points;
+  for (const auto& pat : kPatterns) {
+    for (const double rate : fig_error_rates()) {
+      SweepPoint pt;
+      pt.label = std::string(figure) + "/" + pat.name +
+                 "/err=" + rate_label(rate);
+      pt.config = base;
+      pt.config.injection_rate = 0.25;
+      pt.config.protection = LinkProtection::kHbh;
+      pt.config.pattern = pat.p;
+      pt.config.faults.link_error_rate = rate;
+      points.push_back(std::move(pt));
+    }
+  }
+  return points;
+}
+
+/// Shared grid behind Figures 8 and 9: buffer utilization vs offered load
+/// for adaptive (AD) and deterministic (DT) routing. Deep-saturation
+/// points are cycle-capped (they can never eject the full budget) and AD
+/// pairs with deadlock recovery, as in the paper and the benches.
+std::vector<SweepPoint> buf_util_points(const SimConfig& base,
+                                        const char* figure) {
+  struct Algo {
+    const char* name;
+    RoutingAlgorithm a;
+  };
+  static constexpr Algo kAlgos[] = {{"AD", RoutingAlgorithm::kMinimalAdaptive},
+                                    {"DT", RoutingAlgorithm::kXY}};
+  std::vector<SweepPoint> points;
+  for (const auto& algo : kAlgos) {
+    for (int i = 1; i <= 10; ++i) {
+      const double rate = 0.1 * i;
+      SweepPoint pt;
+      pt.label = std::string(figure) + "/" + algo.name +
+                 "/inj=" + rate_label(rate);
+      pt.config = base;
+      pt.config.routing = algo.a;
+      pt.config.injection_rate = rate;
+      pt.config.max_cycles = std::min<Cycle>(base.max_cycles, 60'000);
+      pt.config.deadlock.enable_recovery =
+          algo.a == RoutingAlgorithm::kMinimalAdaptive;
+      // Early detection is protective under heavy load (DESIGN.md 4.4).
+      pt.config.deadlock.probe_threshold = 16;
+      pt.config.deadlock.probe_backoff = 9;
+      points.push_back(std::move(pt));
+    }
+  }
+  return points;
+}
+
+/// Shared grid behind Figures 13(a)/(b): one fault mechanism active per
+/// series, swept over 1e-5..1e-2.
+std::vector<SweepPoint> mechanism_points(const SimConfig& base,
+                                         const char* figure) {
+  enum class Mechanism { kLink, kRt, kSa };
+  struct Series {
+    const char* name;
+    Mechanism m;
+  };
+  static constexpr Series kSeries[] = {{"LINK-HBH", Mechanism::kLink},
+                                       {"RT-Logic", Mechanism::kRt},
+                                       {"SA-Logic", Mechanism::kSa}};
+  static constexpr double kRates[] = {1e-5, 1e-4, 1e-3, 1e-2};
+  std::vector<SweepPoint> points;
+  for (const auto& s : kSeries) {
+    for (const double rate : kRates) {
+      SweepPoint pt;
+      pt.label =
+          std::string(figure) + "/" + s.name + "/err=" + rate_label(rate);
+      pt.config = base;
+      pt.config.injection_rate = 0.25;
+      pt.config.protection = LinkProtection::kHbh;
+      switch (s.m) {
+        case Mechanism::kLink:
+          pt.config.faults.link_error_rate = rate;
+          break;
+        case Mechanism::kRt:
+          pt.config.faults.rt_error_rate = rate;
+          break;
+        case Mechanism::kSa:
+          pt.config.faults.sa_error_rate = rate;
+          break;
+      }
+      points.push_back(std::move(pt));
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> fig06_points(const SimConfig& base) {
+  return hbh_pattern_points(base, "Fig6");
+}
+
+std::vector<SweepPoint> fig07_points(const SimConfig& base) {
+  return hbh_pattern_points(base, "Fig7");
+}
+
+std::vector<SweepPoint> fig08_points(const SimConfig& base) {
+  return buf_util_points(base, "Fig8");
+}
+
+std::vector<SweepPoint> fig09_points(const SimConfig& base) {
+  return buf_util_points(base, "Fig9");
+}
+
+std::vector<SweepPoint> fig13a_points(const SimConfig& base) {
+  return mechanism_points(base, "Fig13a");
+}
+
+std::vector<SweepPoint> fig13b_points(const SimConfig& base) {
+  return mechanism_points(base, "Fig13b");
+}
+
+const std::vector<std::string>& preset_names() {
+  static const std::vector<std::string> names = {
+      "fig05", "fig06",  "fig07",  "fig08",      "fig09",
+      "fig13a", "fig13b", "abl_cthres"};
+  return names;
+}
+
 std::vector<SweepPoint> preset_points(const std::string& name,
                                       const SimConfig& base) {
   if (name == "fig05") return fig05_points(base);
+  if (name == "fig06") return fig06_points(base);
+  if (name == "fig07") return fig07_points(base);
+  if (name == "fig08") return fig08_points(base);
+  if (name == "fig09") return fig09_points(base);
+  if (name == "fig13a") return fig13a_points(base);
+  if (name == "fig13b") return fig13b_points(base);
   if (name == "abl_cthres") return abl_cthres_points(base);
   return {};
 }

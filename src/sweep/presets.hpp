@@ -29,8 +29,36 @@ std::vector<SweepPoint> fig05_points(const SimConfig& base);
 /// that latency stays flat while only probe activity changes).
 std::vector<SweepPoint> abl_cthres_points(const SimConfig& base);
 
-/// Maps a preset name ("fig05", "abl_cthres") to its grid; returns an
-/// empty vector for an unknown name.
+/// Figures 6/7 grid: the proposed hybrid HBH scheme (SEC in place +
+/// retransmission of multi-bit upsets) under the three destination
+/// distributions NR / BC / TN x fig_error_rates() at injection 0.25.
+/// Figure 6 reads the latency columns, Figure 7 the energy columns; the
+/// grids differ only in their labels.
+std::vector<SweepPoint> fig06_points(const SimConfig& base);
+std::vector<SweepPoint> fig07_points(const SimConfig& base);
+
+/// Figures 8/9 grid: {AD, DT} routing x injection rate 0.1..1.0. Points
+/// past saturation never eject the full budget; they are capped in cycles
+/// (like the benches) and report steady-state buffer utilizations
+/// (completed=false marks them). Figure 8 reads tx_buffer_utilization,
+/// Figure 9 rtx_buffer_utilization.
+std::vector<SweepPoint> fig08_points(const SimConfig& base);
+std::vector<SweepPoint> fig09_points(const SimConfig& base);
+
+/// Figure 13 grid: the three independently-simulated error mechanisms
+/// (LINK-HBH / RT-Logic / SA-Logic) x error rate 1e-5..1e-2 (the paper
+/// stops a decade earlier than Figures 5-7 here). 13(a) reads the
+/// corrected-error counters, 13(b) the energy columns.
+std::vector<SweepPoint> fig13a_points(const SimConfig& base);
+std::vector<SweepPoint> fig13b_points(const SimConfig& base);
+
+/// Every preset name preset_points() accepts, in display order (for
+/// "unknown preset" diagnostics and --help text).
+const std::vector<std::string>& preset_names();
+
+/// Maps a preset name ("fig05" ... "fig13b", "abl_cthres") to its grid;
+/// returns an empty vector for an unknown name (callers should then list
+/// preset_names()).
 std::vector<SweepPoint> preset_points(const std::string& name,
                                       const SimConfig& base);
 

@@ -78,6 +78,14 @@ class SweepEngine {
                                const ResultCallback& on_result = nullptr,
                                const ProgressCallback& on_progress = nullptr);
 
+  /// Generic parallel-for over `count` independent tasks on the engine's
+  /// pool (the primitive run() is built on). `fn(i)` is invoked exactly
+  /// once per index, from whichever worker claims it; fn must be
+  /// thread-safe across distinct indices. The campaign engine schedules
+  /// its replica waves through this hook.
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t)>& fn);
+
   /// The pool size this engine resolved to (after the 0 = hardware rule).
   int num_threads() const { return threads_; }
 

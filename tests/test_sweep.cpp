@@ -192,6 +192,68 @@ TEST(SweepPresets, AblCthresGridShape) {
   EXPECT_EQ(points[6].config.deadlock.probe_threshold, 512u);
 }
 
+TEST(SweepPresets, Fig06And07GridShape) {
+  const auto f6 = sweep::fig06_points(tiny_config());
+  const auto f7 = sweep::fig07_points(tiny_config());
+  ASSERT_EQ(f6.size(), 15u);  // 3 patterns x 5 rates.
+  ASSERT_EQ(f6.size(), f7.size());
+  EXPECT_EQ(f6[0].label, "Fig6/NR/err=1e-05");
+  EXPECT_EQ(f6[14].label, "Fig6/TN/err=0.1");
+  for (std::size_t i = 0; i < f6.size(); ++i) {
+    EXPECT_EQ(f6[i].config.validate(), std::nullopt) << f6[i].label;
+    EXPECT_EQ(f6[i].config.protection, LinkProtection::kHbh);
+    EXPECT_DOUBLE_EQ(f6[i].config.injection_rate, 0.25);
+    // Figures 6 and 7 read different columns of the same runs: the grids
+    // must differ only in their labels.
+    EXPECT_EQ(f7[i].label, "Fig7" + f6[i].label.substr(4));
+    EXPECT_DOUBLE_EQ(f7[i].config.faults.link_error_rate,
+                     f6[i].config.faults.link_error_rate);
+    EXPECT_EQ(f7[i].config.pattern, f6[i].config.pattern);
+  }
+}
+
+TEST(SweepPresets, Fig08And09GridShape) {
+  const auto points = sweep::fig08_points(tiny_config());
+  ASSERT_EQ(points.size(), 20u);  // {AD, DT} x 10 injection rates.
+  EXPECT_EQ(points[0].label, "Fig8/AD/inj=0.1");
+  EXPECT_EQ(points[19].label, "Fig8/DT/inj=1");
+  for (const auto& pt : points) {
+    EXPECT_EQ(pt.config.validate(), std::nullopt) << pt.label;
+    // Saturation points can never eject the full budget: cycle-capped.
+    EXPECT_LE(pt.config.max_cycles, 60'000u);
+    // Adaptive routing pairs with deadlock recovery, XY needs none.
+    EXPECT_EQ(pt.config.deadlock.enable_recovery,
+              pt.config.routing == RoutingAlgorithm::kMinimalAdaptive);
+  }
+  EXPECT_EQ(sweep::fig09_points(tiny_config()).size(), 20u);
+}
+
+TEST(SweepPresets, Fig13GridShape) {
+  const auto points = sweep::fig13a_points(tiny_config());
+  ASSERT_EQ(points.size(), 12u);  // 3 mechanisms x 4 rates.
+  EXPECT_EQ(points[0].label, "Fig13a/LINK-HBH/err=1e-05");
+  EXPECT_EQ(points[11].label, "Fig13a/SA-Logic/err=0.01");
+  for (const auto& pt : points) {
+    EXPECT_EQ(pt.config.validate(), std::nullopt) << pt.label;
+    // One mechanism active per series.
+    const int active = (pt.config.faults.link_error_rate > 0.0 ? 1 : 0) +
+                       (pt.config.faults.rt_error_rate > 0.0 ? 1 : 0) +
+                       (pt.config.faults.sa_error_rate > 0.0 ? 1 : 0);
+    EXPECT_EQ(active, 1) << pt.label;
+  }
+  EXPECT_DOUBLE_EQ(points[4].config.faults.rt_error_rate, 1e-5);
+  EXPECT_DOUBLE_EQ(points[8].config.faults.sa_error_rate, 1e-5);
+  EXPECT_EQ(sweep::fig13b_points(tiny_config()).size(), 12u);
+}
+
+TEST(SweepPresets, EveryListedNameResolves) {
+  const auto& names = sweep::preset_names();
+  ASSERT_GE(names.size(), 8u);
+  for (const auto& name : names) {
+    EXPECT_FALSE(sweep::preset_points(name, tiny_config()).empty()) << name;
+  }
+}
+
 TEST(SweepPresets, UnknownPresetIsEmpty) {
   EXPECT_TRUE(sweep::preset_points("fig99", tiny_config()).empty());
 }

@@ -38,7 +38,7 @@ constexpr const char* kUsage =
     "  --seed=S       base seed for per-point seed derivation (default 1)\n"
     "  --fixed-seed   use each config's own seed= instead of deriving\n"
     "  --out=FILE     write JSONL records to FILE (default stdout)\n"
-    "  --preset=NAME  canonical paper grid: fig05 | abl_cthres\n"
+    "  --preset=NAME  canonical paper grid: fig05..fig13b, abl_cthres\n"
     "  --timing       include per-point wall_ms in records\n"
     "  --quiet        suppress the per-point progress on stderr\n"
     "  --help         this text\n";
@@ -104,8 +104,12 @@ int main(int argc, char** argv) {
     }
     points = sweep::preset_points(preset, base);
     if (points.empty()) {
-      std::fprintf(stderr, "unknown preset: %s (try fig05, abl_cthres)\n",
+      std::fprintf(stderr, "unknown preset: %s\nvalid presets:",
                    preset.c_str());
+      for (const auto& name : sweep::preset_names()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, "\n");
       return 1;
     }
     for (const auto& pt : points) {

@@ -1,18 +1,26 @@
 #!/usr/bin/env python3
-"""Convert ftnoc bench console output into per-figure CSV files.
+"""Convert ftnoc bench or sweep/campaign output into per-figure CSV files.
 
 Usage:
     python3 tools/plot_bench.py bench_output.txt [outdir]
+    python3 tools/plot_bench.py fig05.jsonl [outdir]
 
-Each google-benchmark row like
+Two input flavors, auto-detected per line:
 
-    Fig6/BC/err=0.001/iterations:1  ... latency_cyc=189.517 ... retx_events=28
+* google-benchmark console rows like
 
-becomes a CSV row keyed by its series (BC) and x value (0.001), one CSV per
-figure, ready for any plotting tool.
+      Fig6/BC/err=0.001/iterations:1  ... latency_cyc=189.517 ... retx_events=28
+
+* JSONL records from ftnoc_sweep (one config point per line) or
+  ftnoc_campaign (one aggregate record per point, type="point"; per-replica
+  journal lines are skipped — plot the aggregates they back).
+
+Either way a row is keyed by its series (BC) and x value (0.001) taken
+from the label, one CSV per figure, ready for any plotting tool.
 """
 import collections
 import csv
+import json
 import os
 import re
 import sys
@@ -30,6 +38,56 @@ def parse_value(text):
     return float(text)
 
 
+def split_label(figure_and_series):
+    """Splits ["BC", "err=0.001"]-style label segments into (series, x)."""
+    point = figure_and_series[-1] if len(figure_and_series) > 1 else ""
+    series = ("/".join(figure_and_series[:-1])
+              if len(figure_and_series) > 1 else figure_and_series[0])
+    x = point.split("=", 1)[1] if "=" in point else point
+    return series, x
+
+
+def ingest_bench(line, figures):
+    m = ROW.match(line)
+    if not m:
+        return
+    series, x = split_label(m.group(2).split("/"))
+    row = {"series": series, "x": x}
+    for key, val in COUNTER.findall(line):
+        try:
+            row[key] = parse_value(val)
+        except ValueError:
+            pass
+    figures[m.group(1)].append(row)
+
+
+def ingest_jsonl(line, figures):
+    try:
+        rec = json.loads(line)
+    except json.JSONDecodeError:
+        return
+    if not isinstance(rec, dict) or not isinstance(rec.get("label"), str):
+        return
+    if rec.get("type") == "replica":
+        return  # Journal replica lines; the type="point" aggregates follow.
+    parts = rec["label"].split("/")
+    if len(parts) >= 2:
+        figure = parts[0]
+        series, x = split_label(parts[1:])
+    else:
+        # Ad-hoc grids ("inj=0.05") have no figure prefix; group them all.
+        figure, series, x = "points", rec["label"], ""
+    row = {"series": series, "x": x}
+    for key, val in rec.items():
+        if key in ("label", "type"):
+            continue
+        if isinstance(val, bool):
+            row[key] = int(val)
+        elif isinstance(val, (int, float)):
+            row[key] = val
+    figures[figure].append(row)
+
+
 def main():
     if len(sys.argv) < 2:
         sys.exit(__doc__)
@@ -40,20 +98,11 @@ def main():
     figures = collections.defaultdict(list)
     with open(path) as f:
         for line in f:
-            m = ROW.match(line.strip())
-            if not m:
-                continue
-            figure, rest = m.group(1), m.group(2).split("/")
-            point = rest[-1] if len(rest) > 1 else ""
-            series = "/".join(rest[:-1]) if len(rest) > 1 else rest[0]
-            x = point.split("=", 1)[1] if "=" in point else point
-            row = {"series": series, "x": x}
-            for key, val in COUNTER.findall(line):
-                try:
-                    row[key] = parse_value(val)
-                except ValueError:
-                    pass
-            figures[figure].append(row)
+            line = line.strip()
+            if line.startswith("{"):
+                ingest_jsonl(line, figures)
+            else:
+                ingest_bench(line, figures)
 
     for figure, rows in figures.items():
         keys = ["series", "x"] + sorted(
