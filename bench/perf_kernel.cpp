@@ -1,0 +1,66 @@
+// perf_kernel: microbenchmarks of the per-cycle simulation kernel.
+//
+// Unlike the fig*/table* benches (one simulator run per data point), these
+// time the cycle loop itself: cycles/sec through Network::step() on the
+// paper's platform, the idle-router fast path, and the SEC/DED codec that
+// sits on every hop's receive path. Use before/after pairs of this binary
+// to judge hot-path changes; the golden byte-identity tests pin that such
+// changes stay behaviour-preserving.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "ecc/hamming.hpp"
+#include "noc/simulator.hpp"
+
+namespace ftnoc::bench {
+namespace {
+
+// Steady-state cycle throughput: warm the network into its operating
+// point once, then time raw Network::step() iterations.
+void BM_CycleKernelBusy(benchmark::State& state) {
+  SimConfig cfg = paper_config();
+  cfg.protection = LinkProtection::kHbh;
+  cfg.faults.link_error_rate = 1e-3;
+  Simulator sim(cfg);
+  Network& net = sim.network();
+  for (int i = 0; i < 2'000; ++i) net.step();
+  for (auto _ : state) {
+    net.step();
+  }
+  state.SetItemsProcessed(state.iterations());  // items/sec == cycles/sec.
+}
+BENCHMARK(BM_CycleKernelBusy)->Unit(benchmark::kMicrosecond);
+
+// The quiescent fast path: an idle network's cycle must cost almost
+// nothing (work masks empty, wires silent — step() returns immediately).
+void BM_CycleKernelIdle(benchmark::State& state) {
+  SimConfig cfg = paper_config();
+  cfg.injection_rate = 0.0;
+  Simulator sim(cfg);
+  Network& net = sim.network();
+  for (auto _ : state) {
+    net.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CycleKernelIdle)->Unit(benchmark::kMicrosecond);
+
+// SEC/DED codec: one encode + decode round trip (every hop's receive path
+// under HBH/FEC runs the decode half).
+void BM_HammingRoundTrip(benchmark::State& state) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const ecc::Codeword cw = ecc::encode(x);
+    const ecc::DecodeResult r = ecc::decode(cw);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HammingRoundTrip);
+
+}  // namespace
+}  // namespace ftnoc::bench
+
+BENCHMARK_MAIN();

@@ -1,8 +1,16 @@
 #include "common/log.hpp"
 
+#include <cstdlib>
+
 namespace ftnoc {
 namespace {
-LogLevel g_level = LogLevel::kOff;
+
+LogLevel initial_level() {
+  // Backwards-compatible debug hook: FTNOC_DBG in the environment enables
+  // the protocol traces (historically an ad-hoc fprintf switch in Router).
+  if (std::getenv("FTNOC_DBG") != nullptr) return LogLevel::kTrace;
+  return LogLevel::kOff;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -14,20 +22,19 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-LogLevel log_level() {
-  return g_level;
-}
-
-void set_log_level(LogLevel level) {
-  g_level = level;
-}
-
 namespace detail {
+LogLevel g_log_level = initial_level();
+
 void log_line(LogLevel level, const std::string& msg) {
   std::fprintf(stderr, "[ftnoc %s] %s\n", level_tag(level), msg.c_str());
 }
 }  // namespace detail
+
+void set_log_level(LogLevel level) {
+  detail::g_log_level = level;
+}
 
 }  // namespace ftnoc

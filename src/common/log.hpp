@@ -1,6 +1,16 @@
 #pragma once
 // Minimal leveled logging. Off by default; enabled per-run for debugging
 // (e.g. tracing a deadlock recovery episode in an example binary).
+//
+// The level check is an inline load of a plain global, so a disabled log
+// statement in a hot loop costs one predictable branch and — because the
+// message expression sits inside the guard — zero formatting work.
+// FTNOC_MIN_LOG_LEVEL additionally compiles statements above the floor out
+// entirely (e.g. -DFTNOC_MIN_LOG_LEVEL=0 strips all logging).
+//
+// Setting FTNOC_DBG in the environment seeds the level to kTrace at
+// startup, which is how the deadlock-protocol traces in Router are turned
+// on without recompiling.
 
 #include <cstdio>
 #include <string>
@@ -15,22 +25,35 @@ enum class LogLevel : int {
   kTrace = 4,
 };
 
+namespace detail {
 /// Global log threshold. Not thread-safe by design: the simulator is
-/// single-threaded and benches set this once at startup.
-LogLevel log_level();
+/// single-threaded per Simulator and benches set this once at startup.
+extern LogLevel g_log_level;
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+inline LogLevel log_level() { return detail::g_log_level; }
 void set_log_level(LogLevel level);
 
-namespace detail {
-void log_line(LogLevel level, const std::string& msg);
+/// Cheap inline guard for callers that want to batch several statements
+/// (or precompute a message) under one check.
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(detail::g_log_level);
 }
 
 }  // namespace ftnoc
 
+/// Statements above this level are removed at compile time.
+#ifndef FTNOC_MIN_LOG_LEVEL
+#define FTNOC_MIN_LOG_LEVEL 4
+#endif
+
 #define FTNOC_LOG(level, msg)                                     \
   do {                                                            \
-    if (static_cast<int>(level) <=                                \
-        static_cast<int>(::ftnoc::log_level())) {                 \
-      ::ftnoc::detail::log_line((level), (msg));                  \
+    if constexpr (static_cast<int>(level) <= FTNOC_MIN_LOG_LEVEL) { \
+      if (::ftnoc::log_enabled(level)) {                          \
+        ::ftnoc::detail::log_line((level), (msg));                \
+      }                                                           \
     }                                                             \
   } while (false)
 

@@ -1,0 +1,73 @@
+#pragma once
+// Fixed-capacity FIFO ring for hot-path queues whose depth is bounded by
+// construction (e.g. an input VC buffer is bounded by vc_buffer_depth).
+// One allocation at reset_capacity(); push/pop never touch the heap and
+// the elements stay contiguous-ish for cache friendliness — unlike
+// std::deque, which allocates a fresh chunk whenever a queue straddles a
+// chunk boundary (measured at hundreds of thousands of allocations per
+// sweep point).
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ftnoc {
+
+template <typename T>
+class RingQueue {
+ public:
+  /// (Re)allocates storage for exactly `cap` elements and empties the
+  /// queue. Must be called before the first push.
+  void reset_capacity(std::size_t cap) {
+    slots_ = std::make_unique<T[]>(cap);
+    cap_ = cap;
+    head_ = 0;
+    size_ = 0;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  T& front() {
+    FTNOC_DCHECK(size_ > 0);
+    return slots_[head_];
+  }
+  const T& front() const {
+    FTNOC_DCHECK(size_ > 0);
+    return slots_[head_];
+  }
+
+  /// i-th element counted from the front.
+  T& operator[](std::size_t i) {
+    FTNOC_DCHECK(i < size_);
+    return slots_[wrap(head_ + i)];
+  }
+  const T& operator[](std::size_t i) const {
+    FTNOC_DCHECK(i < size_);
+    return slots_[wrap(head_ + i)];
+  }
+
+  void push_back(T v) {
+    FTNOC_CHECK(size_ < cap_);
+    slots_[wrap(head_ + size_)] = std::move(v);
+    ++size_;
+  }
+
+  void pop_front() {
+    FTNOC_DCHECK(size_ > 0);
+    head_ = wrap(head_ + 1);
+    --size_;
+  }
+
+ private:
+  std::size_t wrap(std::size_t i) const { return i < cap_ ? i : i - cap_; }
+
+  std::unique_ptr<T[]> slots_;
+  std::size_t cap_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ftnoc

@@ -106,8 +106,14 @@ class DeadlockAgent {
   void exit_recovery();
 
   bool waiting_for_probe() const { return outstanding_.has_value(); }
+  /// Id of the in-flight probe, if any (routers GC per-probe bookkeeping
+  /// for every id except this one — a live probe's return still needs it).
+  const std::optional<std::uint32_t>& outstanding_probe() const {
+    return outstanding_;
+  }
   NodeId self() const { return self_; }
   Cycle probe_threshold() const { return probe_threshold_; }
+  Cycle probe_timeout() const { return probe_timeout_; }
 
   /// Consecutive probes that expired unreturned since the last local
   /// progress — the trigger for the fallback self-recovery (a dependency

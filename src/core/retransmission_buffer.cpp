@@ -13,50 +13,50 @@ RetransmissionBuffer::RetransmissionBuffer(int depth, Cycle nack_window)
 void RetransmissionBuffer::record_transmission(const Flit& f, Cycle now) {
   // If the transmitted flit is the front of the pending region, this
   // transmission consumes it (replay or absorbed-flit send).
-  if (!pending_.empty() && pending_.front().flit.packet_id == f.packet_id &&
-      pending_.front().flit.seq == f.seq) {
-    pending_.pop_front();
+  if (!pending_.empty() && pending_[0].flit.packet_id == f.packet_id &&
+      pending_[0].flit.seq == f.seq) {
+    pending_.erase_at(0);
   }
   if (occupancy() >= depth_) {
     // Barrel-shifter retirement: the oldest sent flit falls off. Callers
     // process NACKs before transmitting, so its NACK window has passed.
     FTNOC_CHECK(!sent_.empty());
-    FTNOC_DCHECK(now - sent_.front().sent_at >= nack_window_);
-    sent_.pop_front();
+    FTNOC_DCHECK(now - sent_[0].sent_at >= nack_window_);
+    sent_.erase_at(0);
   }
   sent_.push_back({f, now});
 }
 
 void RetransmissionBuffer::retire_expired(Cycle now) {
-  while (!sent_.empty() && now - sent_.front().sent_at > nack_window_) {
-    sent_.pop_front();
+  while (!sent_.empty() && now - sent_[0].sent_at > nack_window_) {
+    sent_.erase_at(0);
   }
 }
 
 int RetransmissionBuffer::on_nack() {
   const int n = static_cast<int>(sent_.size());
   // Preserve order: sent flits are older than anything already pending.
-  while (!sent_.empty()) {
-    pending_.push_front({sent_.back().flit, /*credit_held=*/true});
-    sent_.pop_back();
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    pending_.insert_at(i, {sent_[i].flit, /*credit_held=*/true});
   }
+  sent_.clear();
   return n;
 }
 
 const Flit& RetransmissionBuffer::front_pending() const {
   FTNOC_CHECK(!pending_.empty());
-  return pending_.front().flit;
+  return pending_[0].flit;
 }
 
 bool RetransmissionBuffer::front_pending_credit_held() const {
   FTNOC_CHECK(!pending_.empty());
-  return pending_.front().credit_held;
+  return pending_[0].credit_held;
 }
 
 Flit RetransmissionBuffer::pop_pending() {
   FTNOC_CHECK(!pending_.empty());
-  Flit f = pending_.front().flit;
-  pending_.pop_front();
+  Flit f = pending_[0].flit;
+  pending_.erase_at(0);
   return f;
 }
 
@@ -73,9 +73,9 @@ void RetransmissionBuffer::push_pending_back(const Flit& f) {
 void RetransmissionBuffer::absorb_as_owner(const Flit& f,
                                            PacketId owner_pid) {
   FTNOC_CHECK(free_slots() > 0);
-  auto it = pending_.begin();
-  while (it != pending_.end() && it->flit.packet_id == owner_pid) ++it;
-  pending_.insert(it, {f, /*credit_held=*/false});
+  std::size_t i = 0;
+  while (i < pending_.size() && pending_[i].flit.packet_id == owner_pid) ++i;
+  pending_.insert_at(i, {f, /*credit_held=*/false});
 }
 
 bool RetransmissionBuffer::contains_packet(PacketId pid) const {

@@ -22,8 +22,8 @@
 // a downstream credit when they are finally transmitted.
 
 #include <cstddef>
-#include <deque>
 
+#include "common/inline_vec.hpp"
 #include "common/types.hpp"
 #include "core/flit.hpp"
 
@@ -67,7 +67,7 @@ class RetransmissionBuffer {
   /// stalls on a depth-3 buffer).
   bool can_accept(Cycle now) const {
     if (free_slots() > 0) return true;
-    return !sent_.empty() && now - sent_.front().sent_at >= nack_window_;
+    return !sent_.empty() && now - sent_[0].sent_at >= nack_window_;
   }
 
   /// A NACK arrived: every sent-but-unretired flit must be replayed.
@@ -130,8 +130,11 @@ class RetransmissionBuffer {
 
   int depth_;
   Cycle nack_window_;
-  std::deque<SentEntry> sent_;        ///< Oldest at front.
-  std::deque<PendingEntry> pending_;  ///< Next to transmit at front.
+  // sent + pending together hold at most depth_ entries (default 3), so
+  // inline storage keeps the whole barrel heap-free; deeper configurations
+  // spill once and keep the capacity.
+  InlineVec<SentEntry, 4> sent_;        ///< Oldest at front ([0]).
+  InlineVec<PendingEntry, 4> pending_;  ///< Next to transmit at front ([0]).
   std::uint64_t util_cycles_ = 0;
   std::uint64_t util_occupied_slot_cycles_ = 0;
 };

@@ -54,32 +54,25 @@ int overall_parity(const Codeword& cw) {
          1;
 }
 
+// The data positions (everything except 0 and the powers of two) form six
+// contiguous runs: 3, 5-7, 9-15, 17-31, 33-63 and 65-71. Scattering and
+// gathering are therefore six shift-and-mask segments instead of a 64-step
+// bit loop; kMasks.data_pos still defines the authoritative layout and the
+// unit tests pin the two formulations against each other.
+
 }  // namespace
-
-bool Codeword::bit(int pos) const {
-  FTNOC_DCHECK(pos >= 0 && pos < kCodewordBits);
-  if (pos < 64) return (lo >> pos) & 1;
-  return (hi >> (pos - 64)) & 1;
-}
-
-void Codeword::flip(int pos) {
-  FTNOC_DCHECK(pos >= 0 && pos < kCodewordBits);
-  if (pos < 64) {
-    lo ^= (1ULL << pos);
-  } else {
-    hi = static_cast<std::uint8_t>(hi ^ (1u << (pos - 64)));
-  }
-}
 
 Codeword encode(std::uint64_t data) {
   Codeword cw;
   // Scatter data bits into their codeword positions.
-  for (int i = 0; i < kDataBits; ++i) {
-    if ((data >> i) & 1) cw.flip(kMasks.data_pos[i]);
-  }
+  cw.lo = ((data & 0x1ULL) << 3) | (((data >> 1) & 0x7ULL) << 5) |
+          (((data >> 4) & 0x7FULL) << 9) |
+          (((data >> 11) & 0x7FFFULL) << 17) |
+          (((data >> 26) & 0x7FFFFFFFULL) << 33);
+  cw.hi = static_cast<std::uint8_t>(((data >> 57) & 0x7FULL) << 1);
   // Set each check bit so its group's parity is even. The check bit at
-  // position 2^g participates in group g, so flipping it fixes exactly that
-  // group.
+  // position 2^g participates in group g, so setting it fixes exactly that
+  // group (all check positions are still zero here).
   for (int g = 0; g < kCheckBits; ++g) {
     if (group_parity(cw, g)) cw.flip(1 << g);
   }
@@ -89,11 +82,11 @@ Codeword encode(std::uint64_t data) {
 }
 
 std::uint64_t extract_data(const Codeword& cw) {
-  std::uint64_t data = 0;
-  for (int i = 0; i < kDataBits; ++i) {
-    if (cw.bit(kMasks.data_pos[i])) data |= (1ULL << i);
-  }
-  return data;
+  return ((cw.lo >> 3) & 0x1ULL) | (((cw.lo >> 5) & 0x7ULL) << 1) |
+         (((cw.lo >> 9) & 0x7FULL) << 4) |
+         (((cw.lo >> 17) & 0x7FFFULL) << 11) |
+         (((cw.lo >> 33) & 0x7FFFFFFFULL) << 26) |
+         ((static_cast<std::uint64_t>(cw.hi >> 1) & 0x7FULL) << 57);
 }
 
 DecodeResult decode(const Codeword& cw) {

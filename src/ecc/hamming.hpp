@@ -14,14 +14,25 @@
 namespace ftnoc::ecc {
 
 /// A 72-bit codeword: `lo` holds bit positions 0..63, `hi` positions 64..71.
+/// bit()/flip() are inline — they sit on the fault-injection and decode hot
+/// paths (one call per corrupted bit per flit per hop).
 struct Codeword {
   std::uint64_t lo = 0;
   std::uint8_t hi = 0;
 
   friend bool operator==(const Codeword&, const Codeword&) = default;
 
-  bool bit(int pos) const;
-  void flip(int pos);
+  bool bit(int pos) const {
+    if (pos < 64) return (lo >> pos) & 1;
+    return (hi >> (pos - 64)) & 1;
+  }
+  void flip(int pos) {
+    if (pos < 64) {
+      lo ^= (1ULL << pos);
+    } else {
+      hi = static_cast<std::uint8_t>(hi ^ (1u << (pos - 64)));
+    }
+  }
 };
 
 inline constexpr int kCodewordBits = 72;

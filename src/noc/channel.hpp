@@ -49,26 +49,32 @@ class Channel {
 
 /// A channel that can carry several independent values per cycle (used for
 /// credits: distinct VCs may each return a credit in the same cycle).
+/// The three backing vectors are rotated by swap, never reallocated, so a
+/// steady credit stream costs no heap traffic.
 template <typename T>
 class MultiChannel {
  public:
   void write(const T& v) { next_.push_back(v); }
 
-  /// Reads and consumes all of this cycle's values.
-  std::vector<T> read() {
-    std::vector<T> v = std::move(cur_);
+  bool empty() const { return cur_.empty(); }
+
+  /// Reads and consumes all of this cycle's values. The returned reference
+  /// is valid until the next read() or tick().
+  const std::vector<T>& read() {
+    scratch_.swap(cur_);
     cur_.clear();
-    return v;
+    return scratch_;
   }
 
   void tick() {
-    cur_ = std::move(next_);
+    cur_.swap(next_);
     next_.clear();
   }
 
  private:
   std::vector<T> cur_;
   std::vector<T> next_;
+  std::vector<T> scratch_;
 };
 
 }  // namespace ftnoc

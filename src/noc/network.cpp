@@ -322,13 +322,22 @@ void Network::step() {
                   recovery_line_ || routers_[i]->in_recovery());
   }
   for (auto& r : routers_) r->step(now_);
-  stats_.sample_buffers(tx_buffer_fraction(), rtx_buffer_fraction());
+  // Buffer-utilization sampling scans every router; sample_buffers drops
+  // pre-measurement samples anyway, so skip the scan entirely until the
+  // warmup ends.
+  if (stats_.measuring()) {
+    stats_.sample_buffers(tx_buffer_fraction(), rtx_buffer_fraction());
+  }
 
+  // The wired-OR recovery line can only be asserted when deadlock recovery
+  // exists at all; skip the router scan otherwise.
   recovery_line_ = false;
-  for (const auto& r : routers_) {
-    if (r->in_recovery()) {
-      recovery_line_ = true;
-      break;
+  if (cfg_.deadlock.enable_recovery) {
+    for (const auto& r : routers_) {
+      if (r->in_recovery()) {
+        recovery_line_ = true;
+        break;
+      }
     }
   }
 

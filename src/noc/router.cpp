@@ -1,21 +1,27 @@
 #include "noc/router.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdarg>
 #include <cstdio>
-#include <cstdlib>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "core/logic_error_model.hpp"
 
 namespace ftnoc {
 namespace {
 constexpr PortId kLocalPort = static_cast<PortId>(Direction::kLocal);
 
-// Deadlock-protocol event tracing, enabled by setting FTNOC_DBG in the
-// environment (used by the deadlock_rescue example and for debugging).
-bool trace_enabled() {
-  static const bool enabled = std::getenv("FTNOC_DBG") != nullptr;
-  return enabled;
+// Formats a deadlock-protocol trace line. Only ever called inside the
+// FTNOC_TRACE guard, so the formatting work vanishes when tracing is off.
+std::string trace_fmt(const char* fmt, ...) {
+  char buf[192];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return std::string(buf);
 }
 }
 
@@ -37,10 +43,17 @@ Router::Router(NodeId id, const SimConfig& cfg, const Topology& topo,
       sa_out_arbs_(kNumDirections, kNumDirections),
       replay_arbs_(kNumDirections, cfg.num_vcs) {
   const int pv = num_ports_ * num_vcs_;
+  FTNOC_CHECK(pv <= 32);  // Work masks are 32-bit (5 ports x <= 6 VCs).
   inputs_.resize(static_cast<std::size_t>(pv));
+  for (auto& in : inputs_) {
+    in.buf.reset_capacity(static_cast<std::size_t>(cfg_.vc_buffer_depth));
+  }
   outputs_.resize(static_cast<std::size_t>(pv));
   drop_until_.assign(static_cast<std::size_t>(pv), 0);
   va_rotation_.assign(static_cast<std::size_t>(pv), 0);
+  va_reqs_.assign(static_cast<std::size_t>(pv), 0);
+  va_want_.assign(static_cast<std::size_t>(pv),
+                  {kInvalidPort, kInvalidVc});
 
   // Retransmission buffers exist on network output VCs when the link
   // protection scheme is HBH or when deadlock recovery (which reuses them)
@@ -70,6 +83,7 @@ void Router::connect(PortId p, Wire* in, Wire* out) {
   FTNOC_CHECK(p < num_ports_);
   in_wires_[p] = in;
   out_wires_[p] = out;
+  tx_slots_cache_ = rtx_slots_cache_ = -1;
 }
 
 bool Router::port_has_neighbor(PortId p) const {
@@ -90,7 +104,32 @@ void Router::charge(power::EnergyEvent e, std::uint64_t times) {
   if (meter_) meter_->charge(e, times);
 }
 
+bool Router::quiescent() const {
+  // Internal state: no buffered or stateful VCs, no staged flit, no queued
+  // control signals or NACKs, no pending progress note, not recovering.
+  if (in_work_ != 0 || out_work_ != 0 || staged_count_ != 0) return false;
+  if (!pending_nacks_.empty() || !outbox_.empty()) return false;
+  if (progress_this_cycle_ || agent_.in_recovery()) return false;
+  if (!own_probe_route_.empty()) return false;
+  // External state: nothing arriving on any wire this cycle.
+  for (PortId p = 0; p < num_ports_; ++p) {
+    if (Wire* w = in_wires_[p]) {
+      if (w->flit.peek() || w->probe.peek() || w->activation.peek()) {
+        return false;
+      }
+    }
+    if (Wire* w = out_wires_[p]) {
+      if (!w->credit.empty() || w->nack.peek()) return false;
+    }
+  }
+  return true;
+}
+
 void Router::step(Cycle now) {
+  // Idle fast path: a quiescent router's phases are all provable no-ops —
+  // no charges, no stats, no RNG draws, no arbiter advances — so skipping
+  // them is behaviour-preserving (the golden byte-identity tests pin this).
+  if (quiescent()) return;
   std::fill(port_busy_.begin(), port_busy_.end(), false);
   phase_maintenance(now);
   phase_receive(now);
@@ -125,18 +164,23 @@ void Router::step(Cycle now) {
 // ---------------------------------------------------------------------------
 
 void Router::phase_maintenance(Cycle now) {
-  flush_outbox();
+  if (!outbox_.empty()) flush_outbox();
 
-  for (PortId p = 0; p < num_ports_; ++p) {
-    for (VcId v = 0; v < num_vcs_; ++v) {
-      auto& out = ovc(p, v);
-      if (out.rtx) out.rtx->retire_expired(now);
+  // Retransmission-barrel aging: only occupied barrels (out_work_) can
+  // have anything to retire.
+  for (std::uint32_t m = out_work_; m != 0; m &= m - 1) {
+    const int og = std::countr_zero(m);
+    auto& out = outputs_[static_cast<std::size_t>(og)];
+    if (out.rtx && out.rtx->occupancy() > 0) {
+      out.rtx->retire_expired(now);
+      update_output_work(og);
     }
   }
 
   for (PortId p = 0; p < num_ports_; ++p) {
     Wire* w = out_wires_[p];
     if (w == nullptr) continue;
+    if (w->credit.empty() && !w->nack.peek()) continue;
     for (const Credit& c : w->credit.read()) {
       // §4.6: transient fault on a handshake line. With TMR the voter
       // recovers the credit; without it the credit pulse is lost and the
@@ -181,7 +225,9 @@ void Router::phase_maintenance(Cycle now) {
               out.rtx->front_pending().seq == s.seq;
           if (!still_pending) out.rtx->push_pending_back(s);
           staged_[p].reset();
+          --staged_count_;
         }
+        update_output_work(gid(p, nack->vc));
         if (stats_) {
           stats_->on_link_retransmission(static_cast<std::uint64_t>(n));
         }
@@ -193,27 +239,29 @@ void Router::phase_maintenance(Cycle now) {
   // the retransmission-barrel copy now so a flit's NACK window starts when
   // it actually hits the wires. Runs after NACK processing: a squashed
   // register never reaches the link.
-  for (PortId p = 0; p < num_ports_; ++p) {
-    if (staged_[p]) {
-      FTNOC_CHECK(out_wires_[p] != nullptr);
-      finalize_transmission(p, staged_[p]->vc, staged_[p]->stored, now);
-      out_wires_[p]->flit.write(staged_[p]->wire);
-      staged_[p].reset();
+  if (staged_count_ != 0) {
+    for (PortId p = 0; p < num_ports_; ++p) {
+      if (staged_[p]) {
+        FTNOC_CHECK(out_wires_[p] != nullptr);
+        finalize_transmission(p, staged_[p]->vc, staged_[p]->stored, now);
+        out_wires_[p]->flit.write(staged_[p]->wire);
+        staged_[p].reset();
+        --staged_count_;
+      }
     }
   }
 
   // Send NACKs whose one-cycle check stage has elapsed.
-  auto it = pending_nacks_.begin();
-  while (it != pending_nacks_.end()) {
-    if (it->send_at <= now) {
-      Wire* w = in_wires_[it->port];
+  for (std::size_t i = 0; i < pending_nacks_.size();) {
+    if (pending_nacks_[i].send_at <= now) {
+      Wire* w = in_wires_[pending_nacks_[i].port];
       FTNOC_CHECK(w != nullptr);
       FTNOC_CHECK(w->nack.can_write());
-      w->nack.write({it->vc});
+      w->nack.write({pending_nacks_[i].vc});
       charge(power::EnergyEvent::kNackSignal);
-      it = pending_nacks_.erase(it);
+      pending_nacks_.erase_at(i);
     } else {
-      ++it;
+      ++i;
     }
   }
 }
@@ -227,14 +275,14 @@ void Router::phase_receive(Cycle now) {
   for (PortId p = 0; p < num_ports_; ++p) {
     Wire* w = in_wires_[p];
     if (w == nullptr) continue;
-    if (auto f = w->flit.read()) {
-      handle_incoming_flit(p, std::move(*f), now);
+    if (w->flit.peek()) {
+      handle_incoming_flit(p, std::move(*w->flit.read()), now);
     }
-    if (auto pr = w->probe.read()) {
-      handle_probe(p, *pr, now);
+    if (w->probe.peek()) {
+      handle_probe(p, *w->probe.read(), now);
     }
-    if (auto a = w->activation.read()) {
-      handle_activation(*a, now);
+    if (w->activation.peek()) {
+      handle_activation(*w->activation.read(), now);
     }
   }
 }
@@ -261,10 +309,11 @@ void Router::handle_incoming_flit(PortId p, Flit f, Cycle now) {
           // Detected flit error: drop, NACK one cycle later (the check
           // stage), and drop the in-flight followers (two for the paper's
           // 3-cycle loop, Figure 4; three when the sender has a dedicated
-          // ST stage).
+          // ST stage and thus a third flit in flight).
           if (stats_) stats_->on_nack_sent();
           pending_nacks_.push_back({p, f.vc, now + 1});
-          drop_until_[gid(p, f.vc)] = now + 2;
+          drop_until_[gid(p, f.vc)] =
+              now + (cfg_.pipeline_stages == 4 ? 3 : 2);
           return;
         }
         if (c == FlitCheck::kCorrected) {
@@ -294,8 +343,11 @@ void Router::handle_incoming_flit(PortId p, Flit f, Cycle now) {
 void Router::accept_flit(PortId p, Flit f, Cycle now) {
   auto& vc = ivc(p, f.vc);
   FTNOC_CHECK(static_cast<int>(vc.buf.size()) < cfg_.vc_buffer_depth);
+  const VcId v = f.vc;
   f.arrived_cycle = now;
   vc.buf.push_back(std::move(f));
+  ++tx_occ_;
+  update_input_work(gid(p, v));
   charge(power::EnergyEvent::kBufferWrite);
 }
 
@@ -304,15 +356,21 @@ void Router::accept_flit(PortId p, Flit f, Cycle now) {
 // ---------------------------------------------------------------------------
 
 void Router::phase_replay_and_switch(Cycle now) {
+  const std::uint32_t vmask = (1u << num_vcs_) - 1u;
+
   // (a) Retransmissions and absorbed-flit transmissions take priority on
   // each output port: in-order delivery per VC requires the pending region
-  // to drain before any new flit of that VC moves.
+  // to drain before any new flit of that VC moves. Only output VCs in the
+  // work set can have pending flits.
   for (PortId o = 0; o < num_ports_; ++o) {
     if (o == kLocalPort || out_wires_[o] == nullptr) continue;
+    std::uint32_t cand = (out_work_ >> (o * num_vcs_)) & vmask;
+    if (cand == 0) continue;
     if (cfg_.pipeline_stages == 4 && staged_[o].has_value()) continue;
     std::uint32_t mask = 0;
-    for (VcId v = 0; v < num_vcs_; ++v) {
-      auto& out = ovc(o, v);
+    for (std::uint32_t cm = cand; cm != 0; cm &= cm - 1) {
+      const int v = std::countr_zero(cm);
+      auto& out = ovc(o, static_cast<VcId>(v));
       if (!out.rtx || !out.rtx->has_pending()) continue;
       // Pending flits transmit in order, but only once their packet owns
       // the output VC: a recovery waiter queued behind the current owner
@@ -335,13 +393,17 @@ void Router::phase_replay_and_switch(Cycle now) {
              /*consume_credit=*/!credit_held);
   }
 
-  // (b) SA input stage: each input port nominates one VC.
+  // (b) SA input stage: each input port nominates one VC. Only input VCs
+  // in the work set can be active with buffered flits.
   std::array<int, kNumDirections> nominee;
   nominee.fill(-1);
+  bool any_nominee = false;
   for (PortId p = 0; p < num_ports_; ++p) {
     std::uint32_t mask = 0;
-    for (VcId v = 0; v < num_vcs_; ++v) {
-      auto& vc = ivc(p, v);
+    for (std::uint32_t cm = (in_work_ >> (p * num_vcs_)) & vmask; cm != 0;
+         cm &= cm - 1) {
+      const int v = std::countr_zero(cm);
+      auto& vc = ivc(p, static_cast<VcId>(v));
       if (vc.state != VcState::kActive || vc.buf.empty()) continue;
       if (vc.buf.front().arrived_cycle >= now) continue;
       if (now < vc.stall_until) continue;
@@ -360,8 +422,10 @@ void Router::phase_replay_and_switch(Cycle now) {
     }
     if (mask != 0) {
       nominee[p] = sa_in_arbs_.at(p).arbitrate(mask);
+      any_nominee = true;
     }
   }
+  if (!any_nominee) return;
 
   // (c) SA output stage: each output port picks one requesting input port.
   for (PortId o = 0; o < num_ports_; ++o) {
@@ -400,6 +464,7 @@ void Router::phase_replay_and_switch(Cycle now) {
 
     Flit f = vc.buf.front();
     vc.buf.pop_front();
+    --tx_occ_;
     charge(power::EnergyEvent::kBufferRead);
     charge(power::EnergyEvent::kCrossbarTraversal);
     const bool tail = is_tail(f.type);
@@ -408,12 +473,19 @@ void Router::phase_replay_and_switch(Cycle now) {
 
     if (vc.out_port == kLocalPort) {
       eject(f, static_cast<PortId>(p), v, now);
-      if (tail) ovc(kLocalPort, vc.out_vc).allocated = false;
+      if (tail) {
+        ovc(kLocalPort, vc.out_vc).allocated = false;
+        update_output_work(gid(kLocalPort, vc.out_vc));
+      }
     } else {
       transmit(vc.out_port, vc.out_vc, std::move(f), now,
                /*consume_credit=*/true, corrupt_in_flight);
     }
-    if (tail) release_input_after_tail(static_cast<PortId>(p), v, now);
+    if (tail) {
+      release_input_after_tail(static_cast<PortId>(p), v, now);
+    } else {
+      update_input_work(gid(static_cast<PortId>(p), v));
+    }
   }
 }
 
@@ -448,6 +520,7 @@ void Router::finalize_transmission(PortId o, VcId v, const Flit& f,
     }
   }
   out.rtx->record_transmission(stored, now);
+  update_output_work(gid(o, v));
   charge(power::EnergyEvent::kRtxBufferWrite);
 }
 
@@ -474,7 +547,9 @@ void Router::transmit(PortId o, VcId v, Flit f, Cycle now,
   if (cfg_.pipeline_stages == 4) {
     // The dedicated ST stage: barrel recording happens at flush time so
     // the NACK-loop ages line up with the wire.
+    FTNOC_CHECK(!staged_[o].has_value());
     staged_[o] = StagedFlit{std::move(wire), std::move(f), v};
+    ++staged_count_;
   } else {
     finalize_transmission(o, v, f, now);
     FTNOC_CHECK(out_wires_[o]->flit.can_write());
@@ -501,34 +576,37 @@ void Router::release_input_after_tail(PortId p, VcId v, Cycle now) {
   vc.out_port = kInvalidPort;
   vc.out_vc = kInvalidVc;
   vc.state_since = now;
+  update_input_work(gid(p, v));
 }
 
 void Router::maybe_release_outputs(Cycle now) {
-  for (PortId p = 0; p < num_ports_; ++p) {
-    for (VcId v = 0; v < num_vcs_; ++v) {
-      auto& out = ovc(p, v);
-      if (!out.allocated || !out.tail_sent) continue;
-      if (out.rtx && out.rtx->contains_packet(out.owner_pid)) continue;
-      out.allocated = false;
-      out.tail_sent = false;
-      if (out.has_waiter) {
-        // Deferred allocation (deadlock recovery): the queued waiter
-        // inherits the output VC; its absorbed flits can now replay out.
-        out.allocated = true;
-        out.owner_gid = out.waiter_gid;
-        out.owner_pid = out.waiter_pid;
-        out.has_waiter = false;
-        // If the waiter's stream is still (partly) in its input buffer the
-        // input VC resumes as a normal active wormhole; if the packet was
-        // wholly absorbed the input VC has already been recycled.
-        auto& wvc = inputs_[out.owner_gid];
-        if (wvc.state == VcState::kVaReserved && wvc.out_port == p &&
-            wvc.out_vc == v) {
-          wvc.state = VcState::kActive;
-          wvc.state_since = now;
-        }
+  for (std::uint32_t m = out_work_; m != 0; m &= m - 1) {
+    const int og = std::countr_zero(m);
+    auto& out = outputs_[static_cast<std::size_t>(og)];
+    if (!out.allocated || !out.tail_sent) continue;
+    if (out.rtx && out.rtx->contains_packet(out.owner_pid)) continue;
+    out.allocated = false;
+    out.tail_sent = false;
+    if (out.has_waiter) {
+      // Deferred allocation (deadlock recovery): the queued waiter
+      // inherits the output VC; its absorbed flits can now replay out.
+      out.allocated = true;
+      out.owner_gid = out.waiter_gid;
+      out.owner_pid = out.waiter_pid;
+      out.has_waiter = false;
+      // If the waiter's stream is still (partly) in its input buffer the
+      // input VC resumes as a normal active wormhole; if the packet was
+      // wholly absorbed the input VC has already been recycled.
+      auto& wvc = inputs_[out.owner_gid];
+      const PortId p = static_cast<PortId>(og / num_vcs_);
+      const VcId v = static_cast<VcId>(og % num_vcs_);
+      if (wvc.state == VcState::kVaReserved && wvc.out_port == p &&
+          wvc.out_vc == v) {
+        wvc.state = VcState::kActive;
+        wvc.state_since = now;
       }
     }
+    update_output_work(og);
   }
 }
 
@@ -588,12 +666,12 @@ void Router::phase_va(Cycle now) {
   // while its router recovers. Packets already inside the network keep
   // being allocated: ejection-ready and transit packets are part of the
   // configuration being drained, not new entrants.
-  const int pv = num_ports_ * num_vcs_;
-  std::vector<std::uint32_t> reqs(static_cast<std::size_t>(pv), 0);
-  std::vector<std::pair<PortId, VcId>> want(
-      static_cast<std::size_t>(pv), {kInvalidPort, kInvalidVc});
-
-  for (int g = 0; g < pv; ++g) {
+  // Per-cycle request state lives in preallocated scratch: va_req_ogs_
+  // marks which va_reqs_ entries are valid this cycle, so nothing needs
+  // clearing up front. Only input VCs in the work set can be in kVaWait.
+  va_req_ogs_ = 0;
+  for (std::uint32_t m = in_work_; m != 0; m &= m - 1) {
+    const int g = std::countr_zero(m);
     auto& vc = inputs_[static_cast<std::size_t>(g)];
     if (vc.state != VcState::kVaWait || vc.buf.empty()) continue;
     if (now < vc.stall_until) continue;
@@ -649,17 +727,22 @@ void Router::phase_va(Cycle now) {
                                va_rotation_[static_cast<std::size_t>(g)]++);
     if (!req) continue;  // All candidate output VCs busy; retry next cycle.
     const int og = gid(req->first, req->second);
-    reqs[static_cast<std::size_t>(og)] |= (1u << g);
-    want[static_cast<std::size_t>(g)] = *req;
+    if (va_req_ogs_ & (1u << og)) {
+      va_reqs_[static_cast<std::size_t>(og)] |= (1u << g);
+    } else {
+      va_reqs_[static_cast<std::size_t>(og)] = (1u << g);
+      va_req_ogs_ |= (1u << og);
+    }
+    va_want_[static_cast<std::size_t>(g)] = *req;
   }
 
-  for (int og = 0; og < pv; ++og) {
-    if (reqs[static_cast<std::size_t>(og)] == 0) continue;
-    const int g = va_arbs_.at(og).arbitrate(reqs[static_cast<std::size_t>(og)]);
+  for (std::uint32_t m = va_req_ogs_; m != 0; m &= m - 1) {
+    const int og = std::countr_zero(m);
+    const int g = va_arbs_.at(og).arbitrate(va_reqs_[static_cast<std::size_t>(og)]);
     FTNOC_CHECK(g >= 0);
     auto& vc = inputs_[static_cast<std::size_t>(g)];
-    const PortId o = want[static_cast<std::size_t>(g)].first;
-    const VcId v = want[static_cast<std::size_t>(g)].second;
+    const PortId o = va_want_[static_cast<std::size_t>(g)].first;
+    const VcId v = va_want_[static_cast<std::size_t>(g)].second;
     charge(power::EnergyEvent::kVcAllocation);
 
     if (faults_ && faults_->upset_va_allocation()) {
@@ -676,6 +759,7 @@ void Router::phase_va(Cycle now) {
     out.owner_gid = static_cast<std::uint16_t>(g);
     out.owner_pid = vc.buf.front().packet_id;
     out.tail_sent = false;
+    update_output_work(og);
   }
 }
 
@@ -792,14 +876,16 @@ PortMask Router::apply_rt_fault(InputVc& vc, PortMask correct, Cycle now) {
 }
 
 void Router::phase_rt(Cycle now) {
-  const int pv = num_ports_ * num_vcs_;
-  for (int g = 0; g < pv; ++g) {
+  // Only input VCs in the work set can be draining or hold a head flit.
+  for (std::uint32_t m = in_work_; m != 0; m &= m - 1) {
+    const int g = std::countr_zero(m);
     auto& vc = inputs_[static_cast<std::size_t>(g)];
 
     if (vc.state == VcState::kDraining) {
       if (!vc.buf.empty() && vc.buf.front().arrived_cycle < now) {
         const Flit f = vc.buf.front();
         vc.buf.pop_front();
+        --tx_occ_;
         charge(power::EnergyEvent::kBufferRead);
         send_credit(static_cast<PortId>(g / num_vcs_),
                     static_cast<VcId>(g % num_vcs_));
@@ -808,6 +894,7 @@ void Router::phase_rt(Cycle now) {
           vc.state = VcState::kRouting;
           vc.state_since = now;
         }
+        update_input_work(g);
       }
       continue;
     }
@@ -820,12 +907,14 @@ void Router::phase_rt(Cycle now) {
       // never replayed (possible only when the NACK path itself is faulty,
       // e.g. unprotected handshake lines, §4.6). Discard the stray flit.
       vc.buf.pop_front();
+      --tx_occ_;
       send_credit(static_cast<PortId>(g / num_vcs_),
                   static_cast<VcId>(g % num_vcs_));
       if (stats_) {
         stats_->on_flit_dropped();
         stats_->on_unprotected_error();
       }
+      update_input_work(g);
       continue;
     }
 
@@ -872,23 +961,27 @@ void Router::queue_control(PortId port, const ActivationSignal& a) {
 }
 
 void Router::flush_outbox() {
-  auto it = outbox_.begin();
-  while (it != outbox_.end()) {
-    Wire* w = out_wires_[it->port];
+  for (std::size_t i = 0; i < outbox_.size();) {
+    const OutboxItem& item = outbox_[i];
+    Wire* w = out_wires_[item.port];
     FTNOC_CHECK(w != nullptr);
     bool sent = false;
-    if (it->is_probe) {
+    if (item.is_probe) {
       if (w->probe.can_write()) {
-        w->probe.write(it->probe);
+        w->probe.write(item.probe);
         sent = true;
       }
     } else {
       if (w->activation.can_write()) {
-        w->activation.write(it->activation);
+        w->activation.write(item.activation);
         sent = true;
       }
     }
-    it = sent ? outbox_.erase(it) : std::next(it);
+    if (sent) {
+      outbox_.erase_at(i);
+    } else {
+      ++i;
+    }
   }
 }
 
@@ -922,15 +1015,23 @@ void Router::handle_probe(PortId /*from*/, const ProbeSignal& probe,
     return;
   }
   if (probe.origin == id_) {
-    if (trace_enabled()) std::fprintf(stderr, "[%llu] r%u probe id=%u RETURNED\n", (unsigned long long)now, id_, probe.probe_id);
+    FTNOC_TRACE(trace_fmt("[%llu] r%u probe id=%u RETURNED",
+                          (unsigned long long)now, id_, probe.probe_id));
     if (agent_.on_probe_returned(probe)) {
       // The probe circled the suspected cycle: genuine deadlock. Send the
       // activation around the same path (Rule 3 consumers are the nodes
-      // that relayed our probe).
+      // that relayed our probe). The route entry is guaranteed live: GC
+      // never touches the agent's outstanding probe, and a confirmed
+      // return implies this id was outstanding.
       if (stats_) stats_->on_deadlock_confirmed();
       const auto it = own_probe_route_.find(probe.probe_id);
       FTNOC_CHECK(it != own_probe_route_.end());
-      queue_control(it->second, ActivationSignal{id_, probe.probe_id});
+      queue_control(it->second.port, ActivationSignal{id_, probe.probe_id});
+      own_probe_route_.erase(it);
+    } else {
+      // Stale or duplicate return: the bookkeeping (if any survived GC)
+      // is dead weight now.
+      own_probe_route_.erase(probe.probe_id);
     }
     return;
   }
@@ -945,7 +1046,14 @@ void Router::handle_probe(PortId /*from*/, const ProbeSignal& probe,
   }
 
   const ProbeAction action = agent_.on_probe(probe, fwd.has_value());
-  if (trace_enabled()) std::fprintf(stderr, "[%llu] r%u probe(o=%u,id=%u) tgt(%d,%d) act=%d fwd=%d tstate=%d tcand=%02x tblocked=%d rec=%d\n", (unsigned long long)now, id_, probe.origin, probe.probe_id, (int)probe.in_port, (int)probe.in_vc, (int)action, fwd ? (int)fwd->first : -1, (int)target.state, (unsigned)target.candidates, (int)vc_blocked(target, now), (int)agent_.in_recovery());
+  FTNOC_TRACE(trace_fmt(
+      "[%llu] r%u probe(o=%u,id=%u) tgt(%d,%d) act=%d fwd=%d tstate=%d "
+      "tcand=%02x tblocked=%d rec=%d",
+      (unsigned long long)now, id_, probe.origin, probe.probe_id,
+      (int)probe.in_port, (int)probe.in_vc, (int)action,
+      fwd ? (int)fwd->first : -1, (int)target.state,
+      (unsigned)target.candidates, (int)vc_blocked(target, now),
+      (int)agent_.in_recovery()));
   if (action == ProbeAction::kForward && fwd) {
     ProbeSignal next = probe;
     next.hops = probe.hops + 1;
@@ -988,18 +1096,38 @@ void Router::enter_recovery(Cycle) {
 }
 
 void Router::phase_deadlock(Cycle now) {
-  if (!cfg_.deadlock.enable_recovery) return;
-
+  // Progress must be noted (and the flag cleared) even with recovery
+  // disabled: a stale flag would otherwise defeat the idle fast path.
   if (progress_this_cycle_) {
     agent_.note_progress();
     progress_this_cycle_ = false;
+  }
+  if (!cfg_.deadlock.enable_recovery) return;
+
+  // GC own-probe bookkeeping for probes past their timeout, sparing the
+  // agent's outstanding probe: a late return can still be confirmed and
+  // must find its forward port. Everything else is unreachable (a return
+  // for a non-outstanding id is always discarded).
+  if (!own_probe_route_.empty()) {
+    const auto& live = agent_.outstanding_probe();
+    for (auto it = own_probe_route_.begin();
+         it != own_probe_route_.end();) {
+      const bool spared = live.has_value() && *live == it->first;
+      if (!spared && now - it->second.sent_at > agent_.probe_timeout()) {
+        it = own_probe_route_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 
   // Rule 1: launch a probe for an over-threshold blocked VC. Both
   // established wormholes (credit-blocked) and VA-waiting heads
   // (channel-blocked) can anchor a deadlock; for the latter the chain is
-  // resolved through the local holder of the wanted output VC.
-  for (int g = 0; g < num_ports_ * num_vcs_; ++g) {
+  // resolved through the local holder of the wanted output VC. Only input
+  // VCs in the work set can hold buffered flits.
+  for (std::uint32_t m = in_work_; m != 0; m &= m - 1) {
+    const int g = std::countr_zero(m);
     auto& vc = inputs_[static_cast<std::size_t>(g)];
     if (vc.buf.empty()) continue;
     if (vc.state != VcState::kActive && vc.state != VcState::kVaWait) {
@@ -1025,8 +1153,15 @@ void Router::phase_deadlock(Cycle now) {
       }
       break;
     }
-    if (trace_enabled()) std::fprintf(stderr, "[%llu] r%u PROBE id=%u via port %d target(%d,%d)\n", (unsigned long long)now, id_, pr.probe_id, (int)chain->first, (int)pr.in_port, (int)pr.in_vc);
-    own_probe_route_[pr.probe_id] = chain->first;
+    FTNOC_TRACE(trace_fmt("[%llu] r%u PROBE id=%u via port %d target(%d,%d)",
+                          (unsigned long long)now, id_, pr.probe_id,
+                          (int)chain->first, (int)pr.in_port,
+                          (int)pr.in_vc));
+    // A freshly minted probe supersedes all older bookkeeping: the agent
+    // allows one live probe at a time, so prior entries can never be
+    // confirmed again (bounds the map at one entry).
+    own_probe_route_.clear();
+    own_probe_route_[pr.probe_id] = ProbeRoute{chain->first, now};
     queue_control(chain->first, pr);
     if (stats_) stats_->on_probe_sent();
     charge(power::EnergyEvent::kProbeHop);
@@ -1046,9 +1181,9 @@ void Router::phase_deadlock(Cycle now) {
   //    the current owner's; they replay out after the ownership transfer.
   //  * kActive / kVaReserved wormholes out of credits: they park flits in
   //    their own output VC's barrel until downstream space frees.
-  std::vector<bool> absorbed(static_cast<std::size_t>(num_ports_ * num_vcs_),
-                             false);
-  for (int g = 0; g < num_ports_ * num_vcs_; ++g) {
+  absorbed_ = 0;
+  for (std::uint32_t m = in_work_; m != 0; m &= m - 1) {
+    const int g = std::countr_zero(m);
     auto& vc = inputs_[static_cast<std::size_t>(g)];
     if (vc.buf.empty() || vc.buf.front().arrived_cycle >= now) continue;
     const auto in_port = static_cast<PortId>(g / num_vcs_);
@@ -1081,7 +1216,11 @@ void Router::phase_deadlock(Cycle now) {
       out.has_waiter = true;
       out.waiter_gid = static_cast<std::uint16_t>(g);
       out.waiter_pid = vc.buf.front().packet_id;
-      if (trace_enabled()) std::fprintf(stderr, "[%llu] r%u register waiter pkt%llu on %d_%d\n", (unsigned long long)now, id_, (unsigned long long)out.waiter_pid, (int)o, (int)v);
+      update_output_work(gid(o, v));
+      FTNOC_TRACE(trace_fmt("[%llu] r%u register waiter pkt%llu on %d_%d",
+                            (unsigned long long)now, id_,
+                            (unsigned long long)out.waiter_pid, (int)o,
+                            (int)v));
       vc.state = VcState::kVaReserved;
       vc.out_port = o;
       vc.out_vc = v;
@@ -1099,7 +1238,7 @@ void Router::phase_deadlock(Cycle now) {
                       out.owner_pid == vc.buf.front().packet_id;
     if (owns && out.credits > 0) continue;  // Normal progress possible.
     const int og = gid(vc.out_port, vc.out_vc);
-    if (absorbed[static_cast<std::size_t>(og)]) continue;
+    if (absorbed_ & (1u << og)) continue;
     if (out.rtx->free_slots() <= 0) continue;
     // A waiter only absorbs its own stream, and must leave one slot for
     // the owner: the owner's tail is exactly what releases this VC to the
@@ -1109,6 +1248,7 @@ void Router::phase_deadlock(Cycle now) {
 
     Flit f = vc.buf.front();
     vc.buf.pop_front();
+    --tx_occ_;
     f.vc = vc.out_vc;
     if (owns) {
       // Owner flits go ahead of any queued waiter's in the pending region
@@ -1117,13 +1257,18 @@ void Router::phase_deadlock(Cycle now) {
     } else {
       out.rtx->absorb(f);
     }
-    absorbed[static_cast<std::size_t>(og)] = true;
+    absorbed_ |= (1u << og);
+    update_output_work(og);
     charge(power::EnergyEvent::kBufferRead);
     charge(power::EnergyEvent::kRtxBufferWrite);
     send_credit(in_port, in_vc);
     if (stats_) stats_->on_flit_absorbed();
     vc.last_advance = now;
-    if (is_tail(f.type)) release_input_after_tail(in_port, in_vc, now);
+    if (is_tail(f.type)) {
+      release_input_after_tail(in_port, in_vc, now);
+    } else {
+      update_input_work(g);
+    }
   }
 
   // Exit recovery as soon as every absorbed flit has drained back out of
@@ -1135,7 +1280,8 @@ void Router::phase_deadlock(Cycle now) {
   // router that never exits keeps the chip-wide injection gate asserted
   // forever — a livelock (observed with aggressive Cthres values).
   bool pending = false;
-  for (const auto& out : outputs_) {
+  for (std::uint32_t m = out_work_; m != 0; m &= m - 1) {
+    const auto& out = outputs_[static_cast<std::size_t>(std::countr_zero(m))];
     if (out.rtx && out.rtx->has_pending()) {
       pending = true;
       break;
@@ -1145,7 +1291,8 @@ void Router::phase_deadlock(Cycle now) {
   // router in recovery (its absorption capacity stays available and the
   // chip-wide injection gate stays asserted so the region keeps draining).
   bool blocked_long = false;
-  for (const auto& in : inputs_) {
+  for (std::uint32_t m = in_work_; m != 0; m &= m - 1) {
+    const auto& in = inputs_[static_cast<std::size_t>(std::countr_zero(m))];
     if ((in.state == VcState::kActive || in.state == VcState::kVaWait ||
          in.state == VcState::kVaReserved) &&
         !in.buf.empty() &&
@@ -1156,7 +1303,8 @@ void Router::phase_deadlock(Cycle now) {
   }
   if (!pending && !blocked_long) {
     agent_.exit_recovery();
-    if (trace_enabled()) std::fprintf(stderr, "[%llu] r%u exit recovery\n", (unsigned long long)now, id_);
+    FTNOC_TRACE(trace_fmt("[%llu] r%u exit recovery",
+                          (unsigned long long)now, id_));
     if (stats_) stats_->on_recovery_exited();
   }
 }
@@ -1167,48 +1315,45 @@ void Router::phase_deadlock(Cycle now) {
 
 // Utilization counts only physically present buffers: mesh-edge ports have
 // no link and their VCs can never hold a flit, so including them would
-// dilute the Figure 8/9 numbers.
-int Router::tx_buffer_occupancy() const {
-  int n = 0;
-  for (PortId p = 0; p < num_ports_; ++p) {
-    if (in_wires_[p] == nullptr) continue;
-    for (VcId v = 0; v < num_vcs_; ++v) {
-      n += static_cast<int>(ivc(p, v).buf.size());
-    }
-  }
-  return n;
-}
+// dilute the Figure 8/9 numbers. Input-buffer occupancy is a running
+// counter bumped at every push/pop; barrel occupancy sums are O(set bits)
+// of the output work mask (a clear bit proves an empty barrel). Flits only
+// ever arrive through connected wires.
+int Router::tx_buffer_occupancy() const { return tx_occ_; }
 
 int Router::tx_buffer_slots() const {
-  int ports = 0;
-  for (PortId p = 0; p < num_ports_; ++p) {
-    if (in_wires_[p] != nullptr) ++ports;
+  if (tx_slots_cache_ < 0) {
+    int ports = 0;
+    for (PortId p = 0; p < num_ports_; ++p) {
+      if (in_wires_[p] != nullptr) ++ports;
+    }
+    tx_slots_cache_ = ports * num_vcs_ * cfg_.vc_buffer_depth;
   }
-  return ports * num_vcs_ * cfg_.vc_buffer_depth;
+  return tx_slots_cache_;
 }
 
 int Router::rtx_buffer_occupancy() const {
   int n = 0;
-  for (PortId p = 0; p < num_ports_; ++p) {
-    if (out_wires_[p] == nullptr) continue;
-    for (VcId v = 0; v < num_vcs_; ++v) {
-      const auto& out = ovc(p, v);
-      if (out.rtx) n += out.rtx->occupancy();
-    }
+  for (std::uint32_t m = out_work_; m != 0; m &= m - 1) {
+    const auto& out = outputs_[static_cast<std::size_t>(std::countr_zero(m))];
+    if (out.rtx) n += out.rtx->occupancy();
   }
   return n;
 }
 
 int Router::rtx_buffer_slots() const {
-  int n = 0;
-  for (PortId p = 0; p < num_ports_; ++p) {
-    if (out_wires_[p] == nullptr) continue;
-    for (VcId v = 0; v < num_vcs_; ++v) {
-      const auto& out = ovc(p, v);
-      if (out.rtx) n += out.rtx->depth();
+  if (rtx_slots_cache_ < 0) {
+    int n = 0;
+    for (PortId p = 0; p < num_ports_; ++p) {
+      if (out_wires_[p] == nullptr) continue;
+      for (VcId v = 0; v < num_vcs_; ++v) {
+        const auto& out = ovc(p, v);
+        if (out.rtx) n += out.rtx->depth();
+      }
     }
+    rtx_slots_cache_ = n;
   }
-  return n;
+  return rtx_slots_cache_;
 }
 
 int Router::input_buffer_size(PortId p, VcId v) const {

@@ -23,13 +23,14 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/inline_vec.hpp"
+#include "common/ring_queue.hpp"
 #include "common/types.hpp"
 #include "core/allocation_comparator.hpp"
 #include "core/deadlock.hpp"
@@ -109,6 +110,10 @@ class Router {
   int rtx_buffer_slots() const;
   bool in_recovery() const { return agent_.in_recovery(); }
   const DeadlockAgent& deadlock_agent() const { return agent_; }
+  /// Live entries in the own-probe route map (bounded-memory test).
+  std::size_t probe_route_entries() const { return own_probe_route_.size(); }
+  /// Whether the next step() would be a no-op (idle fast path, tests).
+  bool quiescent() const;
 
   /// Occupancy of one input VC buffer (tests).
   int input_buffer_size(PortId p, VcId v) const;
@@ -130,7 +135,7 @@ class Router {
   };
 
   struct InputVc {
-    std::deque<Flit> buf;
+    RingQueue<Flit> buf;  ///< Capacity fixed at vc_buffer_depth.
     VcState state = VcState::kRouting;
     PortMask candidates = 0;
     PortId out_port = kInvalidPort;
@@ -167,6 +172,12 @@ class Router {
     ActivationSignal activation;
   };
 
+  /// Forward port (and mint time, for GC) of a probe this router launched.
+  struct ProbeRoute {
+    PortId port = kInvalidPort;
+    Cycle sent_at = 0;
+  };
+
   // --- Phases --------------------------------------------------------------
   void phase_maintenance(Cycle now);
   void phase_receive(Cycle now);
@@ -181,6 +192,25 @@ class Router {
   OutputVc& ovc(PortId p, VcId v) { return outputs_[gid(p, v)]; }
   const OutputVc& ovc(PortId p, VcId v) const { return outputs_[gid(p, v)]; }
   int gid(PortId p, VcId v) const { return p * num_vcs_ + v; }
+
+  // --- Work lists --------------------------------------------------------
+  // One bit per (port, VC) gid; P*V <= 30 so a 32-bit mask covers both
+  // sides. A clear input bit proves the VC is empty and idle-routing; a
+  // clear output bit proves the VC is unallocated, waiterless and has an
+  // empty retransmission barrel. Every phase iterates set bits in
+  // ascending gid order — the same order as the full scans they replace —
+  // so arbiter, RNG and energy-charge sequences are bit-for-bit identical.
+  void update_input_work(int g) {
+    const InputVc& vc = inputs_[static_cast<std::size_t>(g)];
+    const bool busy = !vc.buf.empty() || vc.state != VcState::kRouting;
+    in_work_ = busy ? (in_work_ | (1u << g)) : (in_work_ & ~(1u << g));
+  }
+  void update_output_work(int og) {
+    const OutputVc& out = outputs_[static_cast<std::size_t>(og)];
+    const bool busy = out.allocated || out.has_waiter ||
+                      (out.rtx && out.rtx->occupancy() > 0);
+    out_work_ = busy ? (out_work_ | (1u << og)) : (out_work_ & ~(1u << og));
+  }
 
   bool port_has_neighbor(PortId p) const;
   /// Neighbour exists and the link is not hard-failed.
@@ -271,13 +301,25 @@ class Router {
     VcId vc;
   };
   std::array<std::optional<StagedFlit>, kNumDirections> staged_;
-  std::vector<PendingNack> pending_nacks_;
-  std::vector<OutboxItem> outbox_;
-  std::unordered_map<std::uint32_t, PortId> own_probe_route_;
+  int staged_count_ = 0;  ///< Occupied entries of staged_ (fast skip).
+  InlineVec<PendingNack, 8> pending_nacks_;
+  InlineVec<OutboxItem, 8> outbox_;
+  std::unordered_map<std::uint32_t, ProbeRoute> own_probe_route_;
   /// Any input-buffer slot freed this cycle (SA, drain, absorb, eject) —
   /// feeds DeadlockAgent::note_progress for the fallback-recovery trigger.
   bool progress_this_cycle_ = false;
   std::uint32_t probe_ttl_ = 0;
+
+  // --- Hot-path scratch and work masks -----------------------------------
+  std::uint32_t in_work_ = 0;   ///< Input VCs with buffered flits or state.
+  std::uint32_t out_work_ = 0;  ///< Output VCs allocated/waited/occupied.
+  std::vector<std::uint32_t> va_reqs_;  // per output gid: requesting inputs
+  std::vector<std::pair<PortId, VcId>> va_want_;  // per input gid: request
+  std::uint32_t va_req_ogs_ = 0;  ///< Output gids with requests this cycle.
+  std::uint32_t absorbed_ = 0;    ///< Output gids absorbed-into this cycle.
+  int tx_occ_ = 0;  ///< Running sum of input-buffer occupancy (sampling).
+  mutable int tx_slots_cache_ = -1;
+  mutable int rtx_slots_cache_ = -1;
 };
 
 }  // namespace ftnoc

@@ -198,10 +198,59 @@ std::vector<SweepPoint> fig13b_points(const SimConfig& base) {
   return mechanism_points(base, "Fig13b");
 }
 
+std::vector<SweepPoint> perf_points(const SimConfig& base) {
+  // One point per distinct hot path. The scale is pinned here (not taken
+  // from the base config) so cycles/sec measurements compare like for
+  // like across builds; the mesh/topology knobs still follow `base`.
+  struct Variant {
+    const char* name;
+    void (*tweak)(SimConfig&);
+  };
+  static constexpr Variant kVariants[] = {
+      {"HBH", [](SimConfig& c) {
+         c.protection = LinkProtection::kHbh;
+         c.faults.link_error_rate = 1e-3;
+       }},
+      {"FEC", [](SimConfig& c) {
+         c.protection = LinkProtection::kFec;
+         c.faults.link_error_rate = 1e-3;
+       }},
+      {"E2E", [](SimConfig& c) {
+         c.protection = LinkProtection::kE2e;
+         c.faults.link_error_rate = 1e-3;
+       }},
+      {"AD-recovery", [](SimConfig& c) {
+         c.routing = RoutingAlgorithm::kMinimalAdaptive;
+         c.num_vcs = 2;
+         c.deadlock.enable_recovery = true;
+         c.deadlock.probe_threshold = 64;
+       }},
+      {"4-stage", [](SimConfig& c) {
+         c.protection = LinkProtection::kHbh;
+         c.pipeline_stages = 4;
+         c.retransmission_depth = 4;
+         c.faults.link_error_rate = 1e-3;
+       }},
+  };
+  std::vector<SweepPoint> points;
+  for (const auto& v : kVariants) {
+    SweepPoint pt;
+    pt.label = std::string("Perf/") + v.name;
+    pt.config = base;
+    pt.config.injection_rate = 0.25;
+    pt.config.total_messages = 2'000;
+    pt.config.warmup_messages = 500;
+    pt.config.max_cycles = 300'000;
+    v.tweak(pt.config);
+    points.push_back(std::move(pt));
+  }
+  return points;
+}
+
 const std::vector<std::string>& preset_names() {
   static const std::vector<std::string> names = {
       "fig05", "fig06",  "fig07",  "fig08",      "fig09",
-      "fig13a", "fig13b", "abl_cthres"};
+      "fig13a", "fig13b", "abl_cthres", "perf"};
   return names;
 }
 
@@ -215,6 +264,7 @@ std::vector<SweepPoint> preset_points(const std::string& name,
   if (name == "fig13a") return fig13a_points(base);
   if (name == "fig13b") return fig13b_points(base);
   if (name == "abl_cthres") return abl_cthres_points(base);
+  if (name == "perf") return perf_points(base);
   return {};
 }
 

@@ -52,6 +52,13 @@ std::vector<SweepPoint> fig09_points(const SimConfig& base);
 std::vector<SweepPoint> fig13a_points(const SimConfig& base);
 std::vector<SweepPoint> fig13b_points(const SimConfig& base);
 
+/// Performance-smoke grid for ftnoc_perf / CI: a handful of short,
+/// deterministic points spanning the simulator's distinct hot paths
+/// (each protection scheme, adaptive routing with deadlock recovery, a
+/// 4-stage pipeline). Scale knobs are pinned by the preset itself so two
+/// builds' cycles/sec numbers compare like for like.
+std::vector<SweepPoint> perf_points(const SimConfig& base);
+
 /// Every preset name preset_points() accepts, in display order (for
 /// "unknown preset" diagnostics and --help text).
 const std::vector<std::string>& preset_names();

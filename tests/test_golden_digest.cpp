@@ -1,0 +1,79 @@
+// Golden byte-identity tests: the fig05/fig06 preset sweeps at CI scale,
+// pinned by an FNV-1a digest of the exact JSONL byte stream.
+//
+// These digests are the determinism contract for hot-path work on the
+// router kernel (DESIGN.md "Active-list cycle kernel"): any change to the
+// simulation — iteration order, RNG draw order, energy-charge order,
+// floating-point accumulation order — shows up here as a digest mismatch,
+// while a pure performance change keeps the bytes bit-for-bit identical.
+// If a deliberate behaviour change moves the digests, re-pin them with:
+//
+//   build/tools/ftnoc_sweep --preset=fig05 --threads=1 --quiet
+//     total_messages=600 warmup_messages=150 max_cycles=300000
+//     mesh_width=4 mesh_height=4      (one command; fnv1a over lines
+//                                      including each trailing newline)
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hpp"
+#include "sweep/jsonl.hpp"
+#include "sweep/presets.hpp"
+#include "sweep/sweep.hpp"
+
+namespace ftnoc {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
+  for (const unsigned char b : s) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Replicates the ftnoc_sweep invocation in the header comment exactly:
+// default base config + scale overrides, preset axes, default engine
+// seeding (base_seed 1, per-point derivation), one JSONL line + '\n' per
+// point in point order.
+std::uint64_t preset_digest(const std::string& preset) {
+  SimConfig base;
+  base.total_messages = 600;
+  base.warmup_messages = 150;
+  base.max_cycles = 300'000;
+  base.mesh_width = 4;
+  base.mesh_height = 4;
+
+  const auto points = sweep::preset_points(preset, base);
+  EXPECT_FALSE(points.empty());
+
+  sweep::SweepOptions opts;
+  opts.num_threads = 2;  // Digest is thread-count-invariant by design.
+  std::uint64_t h = kFnvOffset;
+  for (const auto& pr : sweep::SweepEngine(opts).run(points)) {
+    h = fnv1a(sweep::to_jsonl(pr) + "\n", h);
+  }
+  return h;
+}
+
+TEST(GoldenDigest, Fig05PresetByteIdentical) {
+  const std::uint64_t h = preset_digest("fig05");
+  EXPECT_EQ(h, 0x8d2e0d339df31f1dull)
+      << "fig05 JSONL digest moved: 0x" << std::hex << h
+      << " — the simulation is no longer byte-identical to the pinned run";
+}
+
+TEST(GoldenDigest, Fig06PresetByteIdentical) {
+  const std::uint64_t h = preset_digest("fig06");
+  EXPECT_EQ(h, 0x601a10743b2187aeull)
+      << "fig06 JSONL digest moved: 0x" << std::hex << h
+      << " — the simulation is no longer byte-identical to the pinned run";
+}
+
+}  // namespace
+}  // namespace ftnoc

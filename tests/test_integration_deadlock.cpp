@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "noc/simulator.hpp"
 
 namespace ftnoc {
@@ -112,6 +114,39 @@ TEST(IntegrationDeadlock, HighLoadUniformAdaptiveCompletesWithRecovery) {
   const SimResults r = run_simulation(cfg);
   EXPECT_TRUE(r.completed);
   EXPECT_EQ(r.corrupted_delivered, 0u);
+}
+
+TEST(IntegrationDeadlock, ProbeRouteMapStaysBounded) {
+  // Regression: under congested-but-deadlock-free traffic most probes are
+  // discarded downstream and never return, and the origin's probe-route
+  // map used to keep one stale entry per unreturned probe for the rest of
+  // the run. With per-mint reset and timeout GC the map can never hold
+  // more than the single live probe.
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.num_vcs = 2;
+  cfg.routing = RoutingAlgorithm::kXY;  // Deadlock-free: probes never return.
+  cfg.injection_rate = 0.5;             // Past saturation: heavy blocking.
+  cfg.warmup_messages = 200;
+  cfg.total_messages = 2'000;
+  cfg.max_cycles = 300'000;
+  cfg.deadlock.enable_recovery = true;
+  cfg.deadlock.probe_threshold = 16;
+  cfg.deadlock.probe_backoff = 8;
+  Simulator sim(cfg);
+  Network& net = sim.network();
+  std::size_t max_entries = 0;
+  for (int c = 0; c < 20'000; ++c) {
+    net.step();
+    for (NodeId n = 0; n < 16; ++n) {
+      const std::size_t e = net.router(n).probe_route_entries();
+      max_entries = std::max(max_entries, e);
+      ASSERT_LE(e, 1u) << "node " << n << " cycle " << c;
+    }
+  }
+  // Probing actually fired (otherwise the bound is vacuous).
+  EXPECT_EQ(max_entries, 1u);
 }
 
 TEST(IntegrationDeadlock, ProbesWithoutDeadlockAreHarmless) {

@@ -284,5 +284,101 @@ TEST_F(RouterHarness, FourStageStagedFlitSquashedOnNack) {
   EXPECT_EQ(std::count(seqs.begin(), seqs.end(), 3), 1);
 }
 
+TEST_F(RouterHarness, FourStageHbhDropWindowCoversThirdFollower) {
+  // Regression (§3.1, Figure 4): a sender with a dedicated ST stage has
+  // THREE flits in flight behind an errored one (link + check + the extra
+  // pipe stage), so the receiver's drop window must span three cycles.
+  // With the old two-cycle window the third follower was accepted stale
+  // into the open wormhole ahead of its own replay, wrecking flit order.
+  cfg_.pipeline_stages = 4;
+  cfg_.retransmission_depth = 4;
+  cfg_.vc_buffer_depth = 6;
+  build();
+  auto pkt = make_packet(7, /*dest=*/0, 6);  // Ejects locally at router 0.
+  Flit corrupt = pkt[2];
+  corrupt.codeword.flip(3);
+  corrupt.codeword.flip(7);  // Two flips: uncorrectable, forces a NACK.
+  // Wall-clock script of the fake East neighbour: the wormhole opens
+  // cleanly (seq 0-1), seq 2 arrives wrecked, seq 3-5 are already in
+  // flight behind it and arrive back-to-back, and after seeing the NACK
+  // the neighbour replays seq 2-5.
+  int nacks_seen = 0;
+  for (int c = 0; c < 40; ++c) {
+    switch (c) {
+      case 0: east_in_.flit.write(pkt[0]); break;
+      case 1: east_in_.flit.write(pkt[1]); break;
+      case 2: east_in_.flit.write(corrupt); break;
+      case 3: east_in_.flit.write(pkt[3]); break;   // In flight: must drop.
+      case 4: east_in_.flit.write(pkt[4]); break;   // In flight: must drop.
+      case 5: east_in_.flit.write(pkt[5]); break;   // In flight: must drop.
+      case 10: east_in_.flit.write(pkt[2]); break;  // Replay, clean.
+      case 11: east_in_.flit.write(pkt[3]); break;
+      case 12: east_in_.flit.write(pkt[4]); break;
+      case 13: east_in_.flit.write(pkt[5]); break;
+      default: break;
+    }
+    if (east_in_.nack.read()) ++nacks_seen;
+    tick();
+  }
+  EXPECT_EQ(nacks_seen, 1);
+  // Exactly one clean copy of every flit, in order — no stale follower
+  // delivered ahead of its replay, no duplicates.
+  ASSERT_EQ(ejected_.size(), 6u);
+  for (std::uint8_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(ejected_[i].first.seq, i) << "position " << int(i);
+  }
+}
+
+TEST(RouterIdle, QuiescentCycleChangesNothingAndChargesNothing) {
+  // The idle fast path: a quiescent router's step() must be a provable
+  // no-op — no energy charges, no arbiter movement, no state change —
+  // which is what lets the kernel skip idle routers wholesale without
+  // breaking byte-identity.
+  SimConfig cfg;
+  cfg.mesh_width = 2;
+  cfg.mesh_height = 1;
+  cfg.num_vcs = 2;
+  cfg.protection = LinkProtection::kHbh;
+  Topology topo(2, 1, false);
+  power::EnergyMeter meter;
+  StatsCollector stats;
+  Router r(0, cfg, topo, nullptr, &meter, &stats);
+  Wire east_in, east_out, local_in;
+  r.connect(kE, &east_in, &east_out);
+  r.connect(kL, &local_in, nullptr);
+  std::vector<std::pair<Flit, Cycle>> ejected;
+  r.set_eject_fn([&](const Flit& f, Cycle now) { ejected.push_back({f, now}); });
+
+  EXPECT_TRUE(r.quiescent());
+  for (Cycle c = 1; c <= 1'000; ++c) {
+    r.step(c);
+    east_in.tick();
+    east_out.tick();
+    local_in.tick();
+    EXPECT_TRUE(r.quiescent()) << "cycle " << c;
+  }
+  EXPECT_EQ(meter.total_pj(), 0.0);
+  EXPECT_EQ(r.tx_buffer_occupancy(), 0);
+  EXPECT_EQ(r.rtx_buffer_occupancy(), 0);
+  EXPECT_EQ(r.probe_route_entries(), 0u);
+  EXPECT_TRUE(ejected.empty());
+
+  // A flit on a wire breaks quiescence, and the router actually works.
+  Flit f = make_flit(FlitType::kHeadTail, 1, 1, 0, 0, 1'000, 0xBEEF);
+  f.vc = 0;
+  east_in.flit.write(f);
+  east_in.tick();
+  EXPECT_FALSE(r.quiescent());
+  for (Cycle c = 1'001; c <= 1'020; ++c) {
+    r.step(c);
+    east_in.tick();
+    east_out.tick();
+    local_in.tick();
+  }
+  ASSERT_EQ(ejected.size(), 1u);
+  EXPECT_GT(meter.total_pj(), 0.0);
+  EXPECT_TRUE(r.quiescent());  // Drained back to idle.
+}
+
 }  // namespace
 }  // namespace ftnoc

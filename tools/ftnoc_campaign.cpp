@@ -14,9 +14,9 @@
 // the hard points need.
 //
 //   ftnoc_campaign --preset=fig05 --replicas=16
-//   ftnoc_campaign --preset=fig05 --replicas=64 --ci-rel=0.05 \
+//   ftnoc_campaign --preset=fig05 --replicas=64 --ci-rel=0.05
 //       --journal=fig05.journal --out=fig05.agg.jsonl
-//   ftnoc_campaign --preset=fig05 --replicas=64 --ci-rel=0.05 \
+//   ftnoc_campaign --preset=fig05 --replicas=64 --ci-rel=0.05
 //       --resume=fig05.journal --out=fig05.agg.jsonl   # after a crash
 //
 // Output is byte-identical for any --threads value, and a run resumed
