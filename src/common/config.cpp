@@ -73,6 +73,26 @@ std::optional<std::string> SimConfig::validate() const {
   if (deadlock.enable_recovery && deadlock.probe_threshold == 0) {
     return err("probe_threshold must be > 0");
   }
+  if (deadlock.enable_recovery) {
+    // Eq. (1), uniform per-node buffers: recovery is guaranteed iff
+    //   sum_i (T_i + R_i) > M * sum_i ceil(T_i / M)
+    // which with identical nodes reduces to (T + R) > M * ceil(T / M),
+    // independent of the cycle length. At equality the absorbed flits
+    // exactly refill the freed slots and recovery livelocks, so refuse
+    // the configuration outright instead of wedging at runtime.
+    const long long m = packet_length;
+    const long long t = vc_buffer_depth;
+    const long long r = retransmission_depth;
+    const long long bound = m * ((t + m - 1) / m);
+    if (t + r <= bound) {
+      return err(
+          "deadlock recovery violates Eq. (1): vc_buffer_depth + "
+          "retransmission_depth (" +
+          std::to_string(t + r) + ") must exceed packet_length * "
+          "ceil(vc_buffer_depth / packet_length) (" + std::to_string(bound) +
+          ") or recovery cannot guarantee forward progress");
+    }
+  }
   if (routing == RoutingAlgorithm::kAdaptiveEscape && num_vcs < 2) {
     return err("escape routing needs >= 2 VCs (VC 0 is the escape lane)");
   }
@@ -230,6 +250,12 @@ std::optional<std::string> apply_override(SimConfig& cfg,
       default: return bad();
     }
     cfg.dead_links.emplace_back(static_cast<NodeId>(node), d);
+  } else if (key == "check_invariants") {
+    if (!parse_bool(val, cfg.check_invariants)) return bad();
+  } else if (key == "reference_router") {
+    if (!parse_bool(val, cfg.use_reference_router)) return bad();
+  } else if (key == "test_mutation") {
+    cfg.test_mutation = val;
   } else if (key == "seed") {
     if (!parse_u64(val, cfg.seed)) return bad();
   } else if (key == "warmup_messages") {

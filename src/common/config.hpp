@@ -141,6 +141,21 @@ struct SimConfig {
   FaultConfig faults;
   DeadlockConfig deadlock;
 
+  // --- Verification / debug (not part of the sweep JSONL output) ---
+  /// Attach the cycle-level InvariantMonitor (DESIGN.md §4.8). Requires a
+  /// build with FTNOC_ENABLE_INVARIANTS (the default); a violation logs a
+  /// structured diagnostic and aborts.
+  bool check_invariants = false;
+  /// Build the network out of ReferenceRouter instances (the deliberately
+  /// simple, allocation-happy model) instead of the optimized Router. Used
+  /// by the differential fuzz harness; behaviour must be bit-identical.
+  bool use_reference_router = false;
+  /// Name of a deliberately planted bug, applied to the *optimized* router
+  /// only ("" = none). The fuzz harness plants one to prove it can detect
+  /// divergences end to end. Known names: "drop_window" (reverts the
+  /// 4-stage HBH drop window to the pre-fix now+2).
+  std::string test_mutation;
+
   // --- Run control ---
   std::uint64_t seed = 1;
   std::uint64_t warmup_messages = 100'000;  ///< Paper: 100k warm-up.

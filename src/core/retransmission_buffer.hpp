@@ -114,11 +114,21 @@ class RetransmissionBuffer {
 
   void clear();
 
+  // --- Entry introspection (invariant monitor, state digests) -------------
+  const Flit& sent_flit(int i) const { return sent_[as_idx(i)].flit; }
+  Cycle sent_time(int i) const { return sent_[as_idx(i)].sent_at; }
+  const Flit& pending_flit(int i) const { return pending_[as_idx(i)].flit; }
+  bool pending_credit_held(int i) const {
+    return pending_[as_idx(i)].credit_held;
+  }
+
   /// Lifetime utilization accounting: call once per cycle.
   void tick_utilization();
   double mean_utilization() const;
 
  private:
+  static std::size_t as_idx(int i) { return static_cast<std::size_t>(i); }
+
   struct SentEntry {
     Flit flit;
     Cycle sent_at;

@@ -25,6 +25,9 @@ class RoundRobinArbiter {
 
   int size() const { return n_; }
 
+  /// Rotation state (state digests): index of the previous winner.
+  int last_grant() const { return last_grant_; }
+
  private:
   int pick(std::uint32_t requests) const;
 

@@ -66,6 +66,9 @@ class MultiChannel {
     return scratch_;
   }
 
+  /// Non-consuming view of this cycle's values (invariant walks, digests).
+  const std::vector<T>& peek() const { return cur_; }
+
   void tick() {
     cur_.swap(next_);
     next_.clear();

@@ -1,0 +1,59 @@
+#pragma once
+// FNV-1a state-digest mixer shared by Router::state_digest() and
+// ReferenceRouter::state_digest(). Both implementations traverse their
+// architectural state in the same fixed order and feed it through these
+// leaf encoders, so equal state always hashes equal — the property the
+// differential fuzz harness's lock-step comparison rests on.
+
+#include <cstdint>
+
+#include "core/deadlock.hpp"
+#include "core/flit.hpp"
+
+namespace ftnoc::digest {
+
+class Fnv {
+ public:
+  std::uint64_t value() const { return h_; }
+
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (i * 8)) & 0xffu;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+
+  void mix_flit(const Flit& f) {
+    mix(static_cast<std::uint64_t>(f.type));
+    mix(f.packet_id);
+    mix(static_cast<std::uint64_t>(f.src));
+    mix(static_cast<std::uint64_t>(f.dest));
+    mix(f.seq);
+    mix(static_cast<std::uint64_t>(f.birth_cycle));
+    mix(static_cast<std::uint64_t>(f.inject_cycle));
+    mix(f.payload);
+    mix(f.codeword.lo);
+    mix(f.codeword.hi);
+    mix(static_cast<std::uint64_t>(f.vc));
+    mix(static_cast<std::uint64_t>(f.arrived_cycle));
+    mix(f.hops);
+  }
+
+  void mix_probe(const ProbeSignal& p) {
+    mix(static_cast<std::uint64_t>(p.origin));
+    mix(p.probe_id);
+    mix(static_cast<std::uint64_t>(p.in_port));
+    mix(static_cast<std::uint64_t>(p.in_vc));
+    mix(p.hops);
+  }
+
+  void mix_activation(const ActivationSignal& a) {
+    mix(static_cast<std::uint64_t>(a.origin));
+    mix(a.probe_id);
+  }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace ftnoc::digest

@@ -4,10 +4,26 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "noc/digest.hpp"
+#include "noc/reference_router.hpp"
 
 namespace ftnoc {
 namespace {
 constexpr PortId kLocalPort = static_cast<PortId>(Direction::kLocal);
+
+void mix_wire(digest::Fnv& h, const Wire& w) {
+  h.mix(w.flit.peek().has_value());
+  if (w.flit.peek()) h.mix_flit(*w.flit.peek());
+  const auto& credits = w.credit.peek();
+  h.mix(credits.size());
+  for (const Credit& c : credits) h.mix(static_cast<std::uint64_t>(c.vc));
+  h.mix(w.nack.peek().has_value());
+  if (w.nack.peek()) h.mix(static_cast<std::uint64_t>(w.nack.peek()->vc));
+  h.mix(w.probe.peek().has_value());
+  if (w.probe.peek()) h.mix_probe(*w.probe.peek());
+  h.mix(w.activation.peek().has_value());
+  if (w.activation.peek()) h.mix_activation(*w.activation.peek());
+}
 }
 
 // ---------------------------------------------------------------------------
@@ -120,6 +136,36 @@ void ProcessingElement::step(Cycle now, PacketId& next_packet_id,
   }
 }
 
+std::uint64_t ProcessingElement::state_digest() const {
+  digest::Fnv h;
+  h.mix(static_cast<std::uint64_t>(self_));
+  h.mix(static_cast<std::uint64_t>(send_rotation_));
+  h.mix(lanes_.size());
+  for (const auto& lane : lanes_) {
+    h.mix(lane.busy);
+    h.mix(static_cast<std::uint64_t>(lane.credits));
+    h.mix(lane.flits.size());
+    for (const Flit& f : lane.flits) h.mix_flit(f);
+  }
+  h.mix(pending_.size());
+  for (const auto& pkt : pending_) {
+    h.mix(pkt.size());
+    for (const Flit& f : pkt) h.mix_flit(f);
+  }
+  // e2e_buffer_ is unordered; fold entry hashes order-independently.
+  h.mix(e2e_buffer_.size());
+  std::uint64_t sum = 0;
+  for (const auto& [pid, flits] : e2e_buffer_) {
+    digest::Fnv e;
+    e.mix(pid);
+    e.mix(flits.size());
+    for (const Flit& f : flits) e.mix_flit(f);
+    sum += e.value();
+  }
+  h.mix(sum);
+  return h.value();
+}
+
 // ---------------------------------------------------------------------------
 // Network
 // ---------------------------------------------------------------------------
@@ -138,8 +184,24 @@ Network::Network(const SimConfig& cfg)
 
   routers_.reserve(static_cast<std::size_t>(n));
   for (NodeId i = 0; i < n; ++i) {
-    routers_.push_back(std::make_unique<Router>(i, cfg_, topo_, &faults_,
-                                                &meter_, &stats_));
+    if (cfg_.use_reference_router) {
+      routers_.push_back(std::make_unique<ReferenceRouter>(
+          i, cfg_, topo_, &faults_, &meter_, &stats_));
+    } else {
+      routers_.push_back(std::make_unique<Router>(i, cfg_, topo_, &faults_,
+                                                  &meter_, &stats_));
+    }
+  }
+
+  if (cfg_.check_invariants) {
+#if FTNOC_ENABLE_INVARIANTS
+    monitor_ = std::make_unique<InvariantMonitor>(cfg_);
+    for (auto& r : routers_) r->set_monitor(monitor_.get());
+#else
+    FTNOC_WARN(
+        "check_invariants requested but the monitor hooks were compiled "
+        "out (-DFTNOC_INVARIANTS=OFF); running unchecked");
+#endif
   }
 
   // Wires. link_wires_[node*4 + d] is the directed wire leaving `node`
@@ -345,7 +407,111 @@ void Network::step() {
     if (w) w->tick();
   }
   for (auto& w : local_wires_) w->tick();
+#if FTNOC_ENABLE_INVARIANTS
+  // After the wire ticks everything in flight is visible in a channel's
+  // current value, so the structural walks see a settled snapshot.
+  if (monitor_) run_invariant_walks();
+#endif
   ++now_;
+}
+
+Router& Network::router(NodeId n) {
+  FTNOC_CHECK(!cfg_.use_reference_router);
+  return static_cast<Router&>(*routers_.at(n));
+}
+
+const Router& Network::router(NodeId n) const {
+  FTNOC_CHECK(!cfg_.use_reference_router);
+  return static_cast<const Router&>(*routers_.at(n));
+}
+
+std::uint64_t Network::state_digest() const {
+  digest::Fnv h;
+  h.mix(static_cast<std::uint64_t>(now_));
+  h.mix(next_packet_id_);
+  h.mix(recovery_line_);
+  for (const auto& r : routers_) h.mix(r->state_digest());
+  for (const auto& w : link_wires_) {
+    h.mix(w != nullptr);
+    if (w) mix_wire(h, *w);
+  }
+  for (const auto& w : local_wires_) mix_wire(h, *w);
+  for (const auto& pe : pes_) h.mix(pe->state_digest());
+  h.mix(edge_events_.size());
+  for (const auto& [cyc, ev] : edge_events_) {
+    h.mix(static_cast<std::uint64_t>(cyc));
+    h.mix(static_cast<std::uint64_t>(ev.target));
+    h.mix(ev.pid);
+    h.mix(ev.is_nack);
+  }
+  for (const auto& m : eject_state_) {
+    h.mix(m.size());
+    std::uint64_t sum = 0;
+    for (const auto& [pid, rec] : m) {
+      digest::Fnv e;
+      e.mix(pid);
+      e.mix(rec.bad);
+      e.mix(static_cast<std::uint64_t>(rec.flits));
+      sum += e.value();
+    }
+    h.mix(sum);
+  }
+  return h.value();
+}
+
+void Network::run_invariant_walks() {
+  for (auto& r : routers_) r->check_local_invariants(now_);
+
+  // Flit conservation: live instances live in router state (input buffers,
+  // ST registers, barrel pending regions) and on inter-router wires. Local
+  // wires are excluded on both sides of the ledger: a flit enters it only
+  // when the router accepts it from the PE and leaves it at ejection.
+  long long live = 0;
+  for (const auto& r : routers_) live += r->live_flit_count();
+  for (const auto& w : link_wires_) {
+    if (w && w->flit.peek()) ++live;
+  }
+  monitor_->check_flit_conservation(now_, live);
+
+  // Credit conservation, one directed link and VC at a time. The sender
+  // side holds free credits plus credits bound to staged/rolled-back
+  // flits; in-flight instances sit on the forward flit wire (each
+  // transmitted flit owns a downstream slot) and the reverse credit wire;
+  // the receiver side is plain buffer occupancy.
+  const int n = topo_.num_nodes();
+  for (NodeId i = 0; i < n; ++i) {
+    for (int d = 0; d < 4; ++d) {
+      const Wire* w = link_wires_[static_cast<std::size_t>(i) * 4 + d].get();
+      if (!w) continue;
+      const auto nb = topo_.neighbor(i, static_cast<Direction>(d));
+      FTNOC_CHECK(nb.has_value());
+      const auto back =
+          static_cast<PortId>(opposite(static_cast<Direction>(d)));
+      for (VcId v = 0; v < cfg_.num_vcs; ++v) {
+        int total = routers_[i]->held_credits(static_cast<PortId>(d), v);
+        if (w->flit.peek() && w->flit.peek()->vc == v) ++total;
+        for (const Credit& c : w->credit.peek()) {
+          if (c.vc == v) ++total;
+        }
+        total += routers_[*nb]->input_buffer_size(back, v);
+        monitor_->check_credit_sum(now_, i, d, v, total,
+                                   cfg_.vc_buffer_depth);
+      }
+    }
+    // The PE -> router injection link: the sender-side counter is the PE
+    // lane's credit balance.
+    const Wire* w = local_wires_[i].get();
+    for (VcId v = 0; v < cfg_.num_vcs; ++v) {
+      int total = pes_[i]->lane_credits(v);
+      if (w->flit.peek() && w->flit.peek()->vc == v) ++total;
+      for (const Credit& c : w->credit.peek()) {
+        if (c.vc == v) ++total;
+      }
+      total += routers_[i]->input_buffer_size(kLocalPort, v);
+      monitor_->check_credit_sum(now_, i, kLocalPort, v, total,
+                                 cfg_.vc_buffer_depth);
+    }
+  }
 }
 
 }  // namespace ftnoc

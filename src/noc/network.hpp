@@ -17,7 +17,9 @@
 #include "common/types.hpp"
 #include "core/fault_injector.hpp"
 #include "core/flit.hpp"
+#include "core/invariants.hpp"
 #include "noc/router.hpp"
+#include "noc/router_iface.hpp"
 #include "noc/stats.hpp"
 #include "noc/topology.hpp"
 #include "noc/trace.hpp"
@@ -55,6 +57,12 @@ class ProcessingElement {
 
   std::size_t pending_packets() const { return pending_.size(); }
   std::size_t e2e_buffer_occupancy() const { return e2e_buffer_.size(); }
+
+  /// Free injection credits of one local-VC lane (credit-conservation walk).
+  int lane_credits(VcId v) const { return lanes_.at(v).credits; }
+
+  /// Architectural-state hash (lock-step differential comparison).
+  std::uint64_t state_digest() const;
 
  private:
   struct Lane {
@@ -98,9 +106,22 @@ class Network {
   power::EnergyMeter& meter() { return meter_; }
   FaultInjector& faults() { return faults_; }
 
-  Router& router(NodeId n) { return *routers_.at(n); }
-  const Router& router(NodeId n) const { return *routers_.at(n); }
+  /// The concrete optimized router (tests poking kernel internals). Only
+  /// legal when the network was not built with `use_reference_router`.
+  Router& router(NodeId n);
+  const Router& router(NodeId n) const;
+  /// Implementation-agnostic view (fuzz harness, generic instrumentation).
+  RouterIface& router_base(NodeId n) { return *routers_.at(n); }
+  const RouterIface& router_base(NodeId n) const { return *routers_.at(n); }
   ProcessingElement& pe(NodeId n) { return *pes_.at(n); }
+
+  /// Null unless the config asked for invariant checking (and the hooks
+  /// were compiled in).
+  InvariantMonitor* monitor() { return monitor_.get(); }
+
+  /// Architectural-state hash over routers, wires and PEs — the lock-step
+  /// comparison point of the differential fuzz harness.
+  std::uint64_t state_digest() const;
 
   /// Builds and queues a packet for injection at `src` (tests/examples).
   PacketId inject_packet(NodeId src, NodeId dest, int length);
@@ -123,6 +144,9 @@ class Network {
   void on_eject(NodeId dest, const Flit& f, Cycle now);
   void fire_due_events();
   int hop_distance(NodeId a, NodeId b) const;
+  /// End-of-cycle structural walks: per-router local checks, the
+  /// network-wide flit-conservation ledger and the per-link credit sums.
+  void run_invariant_walks();
 
   struct EdgeEvent {
     NodeId target;      ///< PE that receives the control message (source).
@@ -139,8 +163,9 @@ class Network {
   Cycle now_ = 0;
   PacketId next_packet_id_ = 1;
 
-  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<RouterIface>> routers_;
   std::vector<std::unique_ptr<ProcessingElement>> pes_;
+  std::unique_ptr<InvariantMonitor> monitor_;
   // Directed inter-router wires: index = node * 4 + direction.
   std::vector<std::unique_ptr<Wire>> link_wires_;
   // PE -> router wires (local injection channel), one per node.

@@ -1,7 +1,6 @@
-#include "noc/router.hpp"
+#include "noc/reference_router.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cstdarg>
 #include <cstdio>
 
@@ -10,13 +9,16 @@
 #include "core/logic_error_model.hpp"
 #include "noc/digest.hpp"
 
+// This file is a deliberate transliteration of router.cpp with every piece
+// of PR 3 derived state removed (see reference_router.hpp). When editing
+// router behaviour, mirror the change here — the differential fuzz harness
+// exists to catch the two drifting apart.
+
 namespace ftnoc {
 namespace {
 constexpr PortId kLocalPort = static_cast<PortId>(Direction::kLocal);
 
-// Formats a deadlock-protocol trace line. Only ever called inside the
-// FTNOC_TRACE guard, so the formatting work vanishes when tracing is off.
-std::string trace_fmt(const char* fmt, ...) {
+std::string ref_trace_fmt(const char* fmt, ...) {
   char buf[192];
   va_list ap;
   va_start(ap, fmt);
@@ -26,9 +28,10 @@ std::string trace_fmt(const char* fmt, ...) {
 }
 }
 
-Router::Router(NodeId id, const SimConfig& cfg, const Topology& topo,
-               FaultInjector* faults, power::EnergyMeter* meter,
-               StatsCollector* stats)
+ReferenceRouter::ReferenceRouter(NodeId id, const SimConfig& cfg,
+                                 const Topology& topo, FaultInjector* faults,
+                                 power::EnergyMeter* meter,
+                                 StatsCollector* stats)
     : id_(id),
       cfg_(cfg),
       topo_(topo),
@@ -44,30 +47,18 @@ Router::Router(NodeId id, const SimConfig& cfg, const Topology& topo,
       sa_out_arbs_(kNumDirections, kNumDirections),
       replay_arbs_(kNumDirections, cfg.num_vcs) {
   const int pv = num_ports_ * num_vcs_;
-  FTNOC_CHECK(pv <= 32);  // Work masks are 32-bit (5 ports x <= 6 VCs).
+  FTNOC_CHECK(pv <= 32);  // VA request masks are 32-bit input-gid sets.
   inputs_.resize(static_cast<std::size_t>(pv));
-  for (auto& in : inputs_) {
-    in.buf.reset_capacity(static_cast<std::size_t>(cfg_.vc_buffer_depth));
-  }
   outputs_.resize(static_cast<std::size_t>(pv));
   drop_until_.assign(static_cast<std::size_t>(pv), 0);
   va_rotation_.assign(static_cast<std::size_t>(pv), 0);
-  va_reqs_.assign(static_cast<std::size_t>(pv), 0);
-  va_want_.assign(static_cast<std::size_t>(pv),
-                  {kInvalidPort, kInvalidVc});
 
-  // Retransmission buffers exist on network output VCs when the link
-  // protection scheme is HBH or when deadlock recovery (which reuses them)
-  // is enabled — mirroring the paper's observation that forgoing deadlock
-  // recovery support needs only the 3-deep link-error buffers.
   const bool use_rtx =
       cfg_.protection == LinkProtection::kHbh || cfg_.deadlock.enable_recovery;
   for (PortId p = 0; p < num_ports_; ++p) {
     for (VcId v = 0; v < num_vcs_; ++v) {
       auto& out = ovc(p, v);
       if (p == kLocalPort) {
-        // Ejection channel: the PE always sinks flits; model as unbounded
-        // credit and no retransmission buffer.
         out.credits = 1 << 28;
       } else {
         out.credits = cfg_.vc_buffer_depth;
@@ -80,76 +71,48 @@ Router::Router(NodeId id, const SimConfig& cfg, const Topology& topo,
                    : static_cast<std::uint32_t>(4 * topo_.num_nodes());
 }
 
-void Router::connect(PortId p, Wire* in, Wire* out) {
+void ReferenceRouter::connect(PortId p, Wire* in, Wire* out) {
   FTNOC_CHECK(p < num_ports_);
   in_wires_[p] = in;
   out_wires_[p] = out;
-  tx_slots_cache_ = rtx_slots_cache_ = -1;
 }
 
-bool Router::port_has_neighbor(PortId p) const {
+bool ReferenceRouter::port_has_neighbor(PortId p) const {
   if (p == kLocalPort) return false;
   return topo_.has_neighbor(id_, static_cast<Direction>(p));
 }
 
-bool Router::port_usable(PortId p) const {
+bool ReferenceRouter::port_usable(PortId p) const {
   return port_has_neighbor(p) && !link_dead_[p];
 }
 
-void Router::fail_link(PortId p) {
+void ReferenceRouter::fail_link(PortId p) {
   FTNOC_CHECK(p < num_ports_ && p != kLocalPort);
   link_dead_[p] = true;
 }
 
-void Router::charge(power::EnergyEvent e, std::uint64_t times) {
+void ReferenceRouter::charge(power::EnergyEvent e, std::uint64_t times) {
   if (meter_) meter_->charge(e, times);
 }
 
-bool Router::quiescent() const {
-  // Internal state: no buffered or stateful VCs, no staged flit, no queued
-  // control signals or NACKs, no pending progress note, not recovering.
-  if (in_work_ != 0 || out_work_ != 0 || staged_count_ != 0) return false;
-  if (!pending_nacks_.empty() || !outbox_.empty()) return false;
-  if (progress_this_cycle_ || agent_.in_recovery()) return false;
-  if (!own_probe_route_.empty()) return false;
-  // External state: nothing arriving on any wire this cycle.
-  for (PortId p = 0; p < num_ports_; ++p) {
-    if (Wire* w = in_wires_[p]) {
-      if (w->flit.peek() || w->probe.peek() || w->activation.peek()) {
-        return false;
-      }
-    }
-    if (Wire* w = out_wires_[p]) {
-      if (!w->credit.empty() || w->nack.peek()) return false;
-    }
-  }
-  return true;
-}
-
-void Router::step(Cycle now) {
-  // Idle fast path: a quiescent router's phases are all provable no-ops —
-  // no charges, no stats, no RNG draws, no arbiter advances — so skipping
-  // them is behaviour-preserving (the golden byte-identity tests pin this).
-  if (quiescent()) return;
+void ReferenceRouter::step(Cycle now) {
+  // No quiescent fast path: on an idle router every phase is a no-op, and
+  // the differential comparison against the optimized kernel checks that.
   std::fill(port_busy_.begin(), port_busy_.end(), false);
   phase_maintenance(now);
   phase_receive(now);
   switch (cfg_.pipeline_stages) {
     case 1:
-      // Single-stage router: RT, VA, SA and ST all collapse into one cycle.
       phase_rt(now);
       phase_va(now);
       phase_replay_and_switch(now);
       break;
     case 2:
-      // Look-ahead + speculation: RT and VA share a stage.
       phase_replay_and_switch(now);
       phase_rt(now);
       phase_va(now);
       break;
     default:
-      // 3-/4-stage: one stage per atomic module (Figure 2). Phase order
-      // SA -> VA -> RT gives each module its own cycle.
       phase_replay_and_switch(now);
       phase_va(now);
       phase_rt(now);
@@ -159,23 +122,11 @@ void Router::step(Cycle now) {
   maybe_release_outputs(now);
 }
 
-// ---------------------------------------------------------------------------
-// Maintenance: staged output register, control retries, retransmission
-// buffer aging, credits and NACKs.
-// ---------------------------------------------------------------------------
-
-void Router::phase_maintenance(Cycle now) {
+void ReferenceRouter::phase_maintenance(Cycle now) {
   if (!outbox_.empty()) flush_outbox();
 
-  // Retransmission-barrel aging: only occupied barrels (out_work_) can
-  // have anything to retire.
-  for (std::uint32_t m = out_work_; m != 0; m &= m - 1) {
-    const int og = std::countr_zero(m);
-    auto& out = outputs_[static_cast<std::size_t>(og)];
-    if (out.rtx && out.rtx->occupancy() > 0) {
-      out.rtx->retire_expired(now);
-      update_output_work(og);
-    }
+  for (auto& out : outputs_) {
+    if (out.rtx && out.rtx->occupancy() > 0) out.rtx->retire_expired(now);
   }
 
   for (PortId p = 0; p < num_ports_; ++p) {
@@ -183,9 +134,6 @@ void Router::phase_maintenance(Cycle now) {
     if (w == nullptr) continue;
     if (w->credit.empty() && !w->nack.peek()) continue;
     for (const Credit& c : w->credit.read()) {
-      // §4.6: transient fault on a handshake line. With TMR the voter
-      // recovers the credit; without it the credit pulse is lost and the
-      // sender's view of the downstream buffer leaks a slot forever.
       if (faults_ && faults_->upset_handshake()) {
         if (cfg_.tmr_handshaking) {
           if (stats_) stats_->on_handshake_error_corrected();
@@ -203,8 +151,6 @@ void Router::phase_maintenance(Cycle now) {
         if (cfg_.tmr_handshaking) {
           if (stats_) stats_->on_handshake_error_corrected();
         } else {
-          // Lost NACK: the receiver dropped flits that will never be
-          // replayed — the packet arrives incomplete.
           if (stats_) stats_->on_unprotected_error();
           nack.reset();
         }
@@ -213,14 +159,7 @@ void Router::phase_maintenance(Cycle now) {
         auto& out = ovc(p, nack->vc);
         FTNOC_CHECK(out.rtx.has_value());
         const int n = out.rtx->on_nack();
-        // Each rolled-back flit re-materializes a live instance whose wire
-        // copy the receiver dropped (or will drop inside its window).
         FTNOC_INVARIANT_HOOK(if (mon_) mon_->on_restored(n));
-        // 4-stage: a flit of this VC sitting in the switch-traversal
-        // register is squashed — it is in flight inside our own pipe and
-        // must be replayed after the rolled-back flits, not transmitted
-        // stale ahead of them. (A staged *replay* was never consumed from
-        // the pending region, so it simply stays queued.)
         if (staged_[p] && staged_[p]->vc == nack->vc) {
           const Flit& s = staged_[p]->stored;
           const bool still_pending =
@@ -229,9 +168,7 @@ void Router::phase_maintenance(Cycle now) {
               out.rtx->front_pending().seq == s.seq;
           if (!still_pending) out.rtx->push_pending_back(s);
           staged_[p].reset();
-          --staged_count_;
         }
-        update_output_work(gid(p, nack->vc));
         if (stats_) {
           stats_->on_link_retransmission(static_cast<std::uint64_t>(n));
         }
@@ -239,23 +176,15 @@ void Router::phase_maintenance(Cycle now) {
     }
   }
 
-  // 4-stage: flush the switch-traversal register onto the links, taking
-  // the retransmission-barrel copy now so a flit's NACK window starts when
-  // it actually hits the wires. Runs after NACK processing: a squashed
-  // register never reaches the link.
-  if (staged_count_ != 0) {
-    for (PortId p = 0; p < num_ports_; ++p) {
-      if (staged_[p]) {
-        FTNOC_CHECK(out_wires_[p] != nullptr);
-        finalize_transmission(p, staged_[p]->vc, staged_[p]->stored, now);
-        out_wires_[p]->flit.write(staged_[p]->wire);
-        staged_[p].reset();
-        --staged_count_;
-      }
+  for (PortId p = 0; p < num_ports_; ++p) {
+    if (staged_[p]) {
+      FTNOC_CHECK(out_wires_[p] != nullptr);
+      finalize_transmission(p, staged_[p]->vc, staged_[p]->stored, now);
+      out_wires_[p]->flit.write(staged_[p]->wire);
+      staged_[p].reset();
     }
   }
 
-  // Send NACKs whose one-cycle check stage has elapsed.
   for (std::size_t i = 0; i < pending_nacks_.size();) {
     if (pending_nacks_[i].send_at <= now) {
       Wire* w = in_wires_[pending_nacks_[i].port];
@@ -263,19 +192,15 @@ void Router::phase_maintenance(Cycle now) {
       FTNOC_CHECK(w->nack.can_write());
       w->nack.write({pending_nacks_[i].vc});
       charge(power::EnergyEvent::kNackSignal);
-      pending_nacks_.erase_at(i);
+      pending_nacks_.erase(pending_nacks_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
     } else {
       ++i;
     }
   }
 }
 
-// ---------------------------------------------------------------------------
-// Receive: flits (with link fault injection + protection policy), probes,
-// activations.
-// ---------------------------------------------------------------------------
-
-void Router::phase_receive(Cycle now) {
+void ReferenceRouter::phase_receive(Cycle now) {
   for (PortId p = 0; p < num_ports_; ++p) {
     Wire* w = in_wires_[p];
     if (w == nullptr) continue;
@@ -291,16 +216,12 @@ void Router::phase_receive(Cycle now) {
   }
 }
 
-void Router::handle_incoming_flit(PortId p, Flit f, Cycle now) {
+void ReferenceRouter::handle_incoming_flit(PortId p, Flit f, Cycle now) {
   if (p != kLocalPort) {
-    // Inter-router link: the flit just traversed real wires. Inject faults
-    // and run the link-protection policy.
     if (faults_) faults_->maybe_corrupt_link(f);
     switch (cfg_.protection) {
       case LinkProtection::kHbh: {
         if (now <= drop_until_[gid(p, f.vc)]) {
-          // Retransmission in progress: this is one of the in-flight flits
-          // behind the errored one (Figure 4, "DROP").
           if (stats_) stats_->on_flit_dropped();
           FTNOC_INVARIANT_HOOK(if (mon_) mon_->on_dropped());
           return;
@@ -311,19 +232,12 @@ void Router::handle_incoming_flit(PortId p, Flit f, Cycle now) {
             c == FlitCheck::kUncorrectable ||
             (cfg_.ecc_detect_only && c == FlitCheck::kCorrected);
         if (must_retransmit) {
-          // Detected flit error: drop, NACK one cycle later (the check
-          // stage), and drop the in-flight followers (two for the paper's
-          // 3-cycle loop, Figure 4; three when the sender has a dedicated
-          // ST stage and thus a third flit in flight).
           if (stats_) stats_->on_nack_sent();
           pending_nacks_.push_back({p, f.vc, now + 1});
-          // A sender with a dedicated ST stage has a third flit in flight,
-          // so its drop window is one cycle longer. The "drop_window"
-          // planted mutation reverts that fix (fuzz-harness self-test): a
-          // stale third follower is then accepted out of order.
-          const bool long_window =
-              cfg_.pipeline_stages == 4 && cfg_.test_mutation != "drop_window";
-          drop_until_[gid(p, f.vc)] = now + (long_window ? 3 : 2);
+          // The reference model never applies test mutations: a 4-stage
+          // sender always gets the full 3-cycle drop window.
+          drop_until_[gid(p, f.vc)] =
+              now + (cfg_.pipeline_stages == 4 ? 3 : 2);
           FTNOC_INVARIANT_HOOK(if (mon_) mon_->on_dropped());
           return;
         }
@@ -338,60 +252,37 @@ void Router::handle_incoming_flit(PortId p, Flit f, Cycle now) {
         if (c == FlitCheck::kCorrected) {
           if (stats_) stats_->on_link_single_corrected();
         }
-        // Uncorrectable flits travel on, silently corrupt — FEC has no
-        // retransmission path. Corruption is accounted at ejection.
         break;
       }
       case LinkProtection::kE2e:
       case LinkProtection::kNone:
-        // No per-hop checking.
         break;
     }
   }
   accept_flit(p, std::move(f), now);
 }
 
-void Router::accept_flit(PortId p, Flit f, Cycle now) {
+void ReferenceRouter::accept_flit(PortId p, Flit f, Cycle now) {
   auto& vc = ivc(p, f.vc);
   FTNOC_CHECK(static_cast<int>(vc.buf.size()) < cfg_.vc_buffer_depth);
-  const VcId v = f.vc;
   f.arrived_cycle = now;
   FTNOC_INVARIANT_HOOK(if (mon_) {
-    // Injection is counted where a flit enters the conservation ledger's
-    // domain: acceptance from the local PE.
     if (p == kLocalPort) mon_->on_injected();
     mon_->on_flit_accepted(now, id_, p, f);
   });
   vc.buf.push_back(std::move(f));
-  ++tx_occ_;
-  update_input_work(gid(p, v));
   charge(power::EnergyEvent::kBufferWrite);
 }
 
-// ---------------------------------------------------------------------------
-// Replay + switch allocation + switch traversal.
-// ---------------------------------------------------------------------------
-
-void Router::phase_replay_and_switch(Cycle now) {
-  const std::uint32_t vmask = (1u << num_vcs_) - 1u;
-
-  // (a) Retransmissions and absorbed-flit transmissions take priority on
-  // each output port: in-order delivery per VC requires the pending region
-  // to drain before any new flit of that VC moves. Only output VCs in the
-  // work set can have pending flits.
+void ReferenceRouter::phase_replay_and_switch(Cycle now) {
+  // (a) Retransmissions and absorbed-flit transmissions take priority.
   for (PortId o = 0; o < num_ports_; ++o) {
     if (o == kLocalPort || out_wires_[o] == nullptr) continue;
-    std::uint32_t cand = (out_work_ >> (o * num_vcs_)) & vmask;
-    if (cand == 0) continue;
     if (cfg_.pipeline_stages == 4 && staged_[o].has_value()) continue;
     std::uint32_t mask = 0;
-    for (std::uint32_t cm = cand; cm != 0; cm &= cm - 1) {
-      const int v = std::countr_zero(cm);
-      auto& out = ovc(o, static_cast<VcId>(v));
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      auto& out = ovc(o, v);
       if (!out.rtx || !out.rtx->has_pending()) continue;
-      // Pending flits transmit in order, but only once their packet owns
-      // the output VC: a recovery waiter queued behind the current owner
-      // must hold until the deferred ownership transfer.
       if (!out.allocated ||
           out.rtx->front_pending().packet_id != out.owner_pid) {
         continue;
@@ -410,17 +301,14 @@ void Router::phase_replay_and_switch(Cycle now) {
              /*consume_credit=*/!credit_held);
   }
 
-  // (b) SA input stage: each input port nominates one VC. Only input VCs
-  // in the work set can be active with buffered flits.
+  // (b) SA input stage: each input port nominates one VC.
   std::array<int, kNumDirections> nominee;
   nominee.fill(-1);
   bool any_nominee = false;
   for (PortId p = 0; p < num_ports_; ++p) {
     std::uint32_t mask = 0;
-    for (std::uint32_t cm = (in_work_ >> (p * num_vcs_)) & vmask; cm != 0;
-         cm &= cm - 1) {
-      const int v = std::countr_zero(cm);
-      auto& vc = ivc(p, static_cast<VcId>(v));
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      auto& vc = ivc(p, v);
       if (vc.state != VcState::kActive || vc.buf.empty()) continue;
       if (vc.buf.front().arrived_cycle >= now) continue;
       if (now < vc.stall_until) continue;
@@ -429,9 +317,6 @@ void Router::phase_replay_and_switch(Cycle now) {
       if (o != kLocalPort) {
         if (cfg_.pipeline_stages == 4 && staged_[o].has_value()) continue;
         auto& out = ovc(o, vc.out_vc);
-        // In-order delivery: this packet's own pending (older) flits must
-        // replay first. A recovery waiter's pending flits do not block the
-        // current owner.
         if (out.rtx && out.rtx->has_pending_for(out.owner_pid)) continue;
         if (out.credits <= 0) continue;
       }
@@ -463,9 +348,6 @@ void Router::phase_replay_and_switch(Cycle now) {
     bool corrupt_in_flight = false;
     if (faults_ && faults_->upset_sa_grant()) {
       if (cfg_.enable_ac) {
-        // The AC's third comparison (Figure 12) catches the bad grant in
-        // the crossbar-traversal stage; neighbours are NACKed to ignore the
-        // transmission (§4.3) and the grant is redone next cycle.
         charge(power::EnergyEvent::kAcCheck);
         if (ac_requires_neighbor_nack(cfg_.pipeline_stages)) {
           charge(power::EnergyEvent::kNackSignal);
@@ -473,15 +355,12 @@ void Router::phase_replay_and_switch(Cycle now) {
         if (stats_) stats_->on_sa_error_recovered();
         continue;
       }
-      // Unprotected: the flit collides / is steered wrong — it leaves this
-      // router corrupted (cases (b)-(d) of §4.3 all end in a wrecked flit).
       if (stats_) stats_->on_unprotected_error();
       corrupt_in_flight = true;
     }
 
     Flit f = vc.buf.front();
     vc.buf.pop_front();
-    --tx_occ_;
     charge(power::EnergyEvent::kBufferRead);
     charge(power::EnergyEvent::kCrossbarTraversal);
     const bool tail = is_tail(f.type);
@@ -492,7 +371,6 @@ void Router::phase_replay_and_switch(Cycle now) {
       eject(f, static_cast<PortId>(p), v, now);
       if (tail) {
         ovc(kLocalPort, vc.out_vc).allocated = false;
-        update_output_work(gid(kLocalPort, vc.out_vc));
       }
     } else {
       transmit(vc.out_port, vc.out_vc, std::move(f), now,
@@ -500,49 +378,35 @@ void Router::phase_replay_and_switch(Cycle now) {
     }
     if (tail) {
       release_input_after_tail(static_cast<PortId>(p), v, now);
-    } else {
-      update_input_work(gid(static_cast<PortId>(p), v));
     }
   }
 }
 
-void Router::finalize_transmission(PortId o, VcId v, const Flit& f,
-                                   Cycle now) {
+void ReferenceRouter::finalize_transmission(PortId o, VcId v, const Flit& f,
+                                            Cycle now) {
   auto& out = ovc(o, v);
   if (is_tail(f.type)) out.tail_sent = true;
-  // Keep the NACK-window copy. A replay (the flit is the front pending
-  // entry) always records: the pop-and-reinsert cannot overflow. For fresh
-  // transmissions, the barrel may be occupied by a recovery waiter's
-  // absorbed flits; link protection is then briefly suspended for this VC
-  // (the paper's single-fault model: link errors and deadlock recovery do
-  // not overlap).
   if (!out.rtx) return;
   const bool is_replay = out.rtx->has_pending() &&
                          out.rtx->front_pending().packet_id == f.packet_id &&
                          out.rtx->front_pending().seq == f.seq;
   if (!is_replay && !out.rtx->can_accept(now)) return;
-  // §4.5: a soft error can corrupt the *stored* copy. The duplicate buffer
-  // recovers it; without one the corrupt copy persists, and if the
-  // original transmission is NACKed the replay resends the same broken
-  // word forever — the endless retransmission loop.
   Flit stored = f;
   if (faults_ && faults_->upset_rtx_copy()) {
     if (cfg_.duplicate_rtx_buffers) {
       if (stats_) stats_->on_rtx_error_corrected();
-      charge(power::EnergyEvent::kRtxBufferWrite);  // Duplicate access.
+      charge(power::EnergyEvent::kRtxBufferWrite);
     } else {
-      // Latent fault: harmless unless this copy is ever replayed.
       stored.codeword.flip(static_cast<int>(faults_->random_below(36)));
       stored.codeword.flip(36 + static_cast<int>(faults_->random_below(36)));
     }
   }
   out.rtx->record_transmission(stored, now);
-  update_output_work(gid(o, v));
   charge(power::EnergyEvent::kRtxBufferWrite);
 }
 
-void Router::transmit(PortId o, VcId v, Flit f, Cycle now,
-                      bool consume_credit, bool corrupt_on_wire) {
+void ReferenceRouter::transmit(PortId o, VcId v, Flit f, Cycle now,
+                               bool consume_credit, bool corrupt_on_wire) {
   FTNOC_CHECK(o != kLocalPort);
   FTNOC_CHECK(out_wires_[o] != nullptr);
   auto& out = ovc(o, v);
@@ -555,18 +419,12 @@ void Router::transmit(PortId o, VcId v, Flit f, Cycle now,
   charge(power::EnergyEvent::kLinkTraversal);
   Flit wire = f;
   if (corrupt_on_wire) {
-    // In-crossbar upset (unprotected SA error): the wire copy is wrecked
-    // but the barrel copy stays clean, so a NACKed replay recovers the
-    // data.
     wire.codeword.flip(static_cast<int>(faults_->random_below(36)));
     wire.codeword.flip(36 + static_cast<int>(faults_->random_below(36)));
   }
   if (cfg_.pipeline_stages == 4) {
-    // The dedicated ST stage: barrel recording happens at flush time so
-    // the NACK-loop ages line up with the wire.
     FTNOC_CHECK(!staged_[o].has_value());
     staged_[o] = StagedFlit{std::move(wire), std::move(f), v};
-    ++staged_count_;
   } else {
     finalize_transmission(o, v, f, now);
     FTNOC_CHECK(out_wires_[o]->flit.can_write());
@@ -575,46 +433,40 @@ void Router::transmit(PortId o, VcId v, Flit f, Cycle now,
   port_busy_[o] = true;
 }
 
-void Router::eject(const Flit& f, PortId in_port, VcId in_vc, Cycle now) {
+void ReferenceRouter::eject(const Flit& f, PortId in_port, VcId in_vc,
+                            Cycle now) {
   (void)in_port;
   (void)in_vc;
   FTNOC_INVARIANT_HOOK(if (mon_) mon_->on_ejected());
   if (eject_) eject_(f, now);
 }
 
-void Router::send_credit(PortId p, VcId v) {
-  progress_this_cycle_ = true;  // A buffer slot was freed.
+void ReferenceRouter::send_credit(PortId p, VcId v) {
+  progress_this_cycle_ = true;
   if (in_wires_[p]) in_wires_[p]->credit.write({v});
 }
 
-void Router::release_input_after_tail(PortId p, VcId v, Cycle now) {
+void ReferenceRouter::release_input_after_tail(PortId p, VcId v, Cycle now) {
   auto& vc = ivc(p, v);
   vc.state = VcState::kRouting;
   vc.candidates = 0;
   vc.out_port = kInvalidPort;
   vc.out_vc = kInvalidVc;
   vc.state_since = now;
-  update_input_work(gid(p, v));
 }
 
-void Router::maybe_release_outputs(Cycle now) {
-  for (std::uint32_t m = out_work_; m != 0; m &= m - 1) {
-    const int og = std::countr_zero(m);
+void ReferenceRouter::maybe_release_outputs(Cycle now) {
+  for (int og = 0; og < num_ports_ * num_vcs_; ++og) {
     auto& out = outputs_[static_cast<std::size_t>(og)];
     if (!out.allocated || !out.tail_sent) continue;
     if (out.rtx && out.rtx->contains_packet(out.owner_pid)) continue;
     out.allocated = false;
     out.tail_sent = false;
     if (out.has_waiter) {
-      // Deferred allocation (deadlock recovery): the queued waiter
-      // inherits the output VC; its absorbed flits can now replay out.
       out.allocated = true;
       out.owner_gid = out.waiter_gid;
       out.owner_pid = out.waiter_pid;
       out.has_waiter = false;
-      // If the waiter's stream is still (partly) in its input buffer the
-      // input VC resumes as a normal active wormhole; if the packet was
-      // wholly absorbed the input VC has already been recycled.
       auto& wvc = inputs_[out.owner_gid];
       const PortId p = static_cast<PortId>(og / num_vcs_);
       const VcId v = static_cast<VcId>(og % num_vcs_);
@@ -624,27 +476,11 @@ void Router::maybe_release_outputs(Cycle now) {
         wvc.state_since = now;
       }
     }
-    update_output_work(og);
   }
 }
 
-// ---------------------------------------------------------------------------
-// VC allocation.
-// ---------------------------------------------------------------------------
-
-std::optional<std::pair<PortId, VcId>> Router::pick_va_request(InputVc& vc,
-                                                               PortId in_port,
-                                                               VcId in_vc,
-                                                               int rotation) {
-  // Gather the free output VCs on all valid candidate ports, then pick one
-  // by the input VC's rotating preference (the input stage of a separable
-  // allocator).
-  //
-  // Escape-VC policy (Duato-style avoidance): VC 0 is the escape lane,
-  // reachable only through the deadlock-free XY direction; adaptive
-  // traffic uses VCs 1..V-1 on any productive port. A packet that arrived
-  // *on* the escape VC stays in the escape subnetwork until delivery,
-  // which keeps the extended channel dependency graph acyclic.
+std::optional<std::pair<PortId, VcId>> ReferenceRouter::pick_va_request(
+    InputVc& vc, PortId in_port, VcId in_vc, int rotation) {
   const bool escape_mode = cfg_.routing == RoutingAlgorithm::kAdaptiveEscape;
   const bool escape_bound =
       escape_mode && in_port != kLocalPort && in_vc == 0;
@@ -677,28 +513,17 @@ std::optional<std::pair<PortId, VcId>> Router::pick_va_request(InputVc& vc,
   return options[rotation % n];
 }
 
-void Router::phase_va(Cycle now) {
-  // Note on recovery: "no new packets are allowed to enter the
-  // transmission buffers involved in the deadlock recovery" (§3.2.1) is
-  // enforced at the injection boundary — the PE stops *starting* packets
-  // while its router recovers. Packets already inside the network keep
-  // being allocated: ejection-ready and transit packets are part of the
-  // configuration being drained, not new entrants.
-  // Per-cycle request state lives in preallocated scratch: va_req_ogs_
-  // marks which va_reqs_ entries are valid this cycle, so nothing needs
-  // clearing up front. Only input VCs in the work set can be in kVaWait.
-  va_req_ogs_ = 0;
-  for (std::uint32_t m = in_work_; m != 0; m &= m - 1) {
-    const int g = std::countr_zero(m);
+void ReferenceRouter::phase_va(Cycle now) {
+  const int pv = num_ports_ * num_vcs_;
+  std::vector<std::uint32_t> reqs(static_cast<std::size_t>(pv), 0);
+  std::vector<std::pair<PortId, VcId>> want(
+      static_cast<std::size_t>(pv), {kInvalidPort, kInvalidVc});
+  for (int g = 0; g < pv; ++g) {
     auto& vc = inputs_[static_cast<std::size_t>(g)];
     if (vc.state != VcState::kVaWait || vc.buf.empty()) continue;
     if (now < vc.stall_until) continue;
     FTNOC_CHECK(is_head(vc.buf.front().type));
 
-    // A candidate set with no usable port can only come from an upset
-    // routing computation (mesh edge / wrong-PE ejection): the VA catches
-    // it from its link-state table (§4.2) and the RT redoes the route —
-    // a single-cycle penalty in current-node-routing pipelines.
     bool any_valid = false;
     bool dead_candidate = false;
     for (PortId o = 0; o < num_ports_; ++o) {
@@ -714,10 +539,6 @@ void Router::phase_va(Cycle now) {
     if (!any_valid) {
       if (dead_candidate &&
           cfg_.routing != RoutingAlgorithm::kXY) {
-        // Every minimal direction crosses a hard-failed link: detour
-        // non-minimally over any live port; the next hop re-routes
-        // minimally from there (the paper's "redirect blocked flits to
-        // another direction using an adaptive routing scheme", 3.2.2).
         PortMask live = 0;
         for (PortId o = 0; o < num_ports_; ++o) {
           if (o != kLocalPort && port_usable(o)) live |= port_bit(o);
@@ -725,14 +546,10 @@ void Router::phase_va(Cycle now) {
         if (live != 0) {
           vc.candidates = live;
           if (stats_) stats_->on_hard_fault_reroute();
-          // Fall through: request an output VC on the detour this cycle.
         } else {
-          continue;  // Fully cut off; nothing to do.
+          continue;
         }
       } else {
-        // Upset routing computation (mesh edge / wrong-PE ejection): the
-        // VA catches it from its link-state table (4.2) and the RT redoes
-        // the route - a single-cycle penalty.
         if (stats_) stats_->on_rt_error_recovered();
         vc.state = VcState::kRouting;
         vc.candidates = 0;
@@ -743,24 +560,19 @@ void Router::phase_va(Cycle now) {
     auto req = pick_va_request(vc, static_cast<PortId>(g / num_vcs_),
                                static_cast<VcId>(g % num_vcs_),
                                va_rotation_[static_cast<std::size_t>(g)]++);
-    if (!req) continue;  // All candidate output VCs busy; retry next cycle.
+    if (!req) continue;
     const int og = gid(req->first, req->second);
-    if (va_req_ogs_ & (1u << og)) {
-      va_reqs_[static_cast<std::size_t>(og)] |= (1u << g);
-    } else {
-      va_reqs_[static_cast<std::size_t>(og)] = (1u << g);
-      va_req_ogs_ |= (1u << og);
-    }
-    va_want_[static_cast<std::size_t>(g)] = *req;
+    reqs[static_cast<std::size_t>(og)] |= (1u << g);
+    want[static_cast<std::size_t>(g)] = *req;
   }
 
-  for (std::uint32_t m = va_req_ogs_; m != 0; m &= m - 1) {
-    const int og = std::countr_zero(m);
-    const int g = va_arbs_.at(og).arbitrate(va_reqs_[static_cast<std::size_t>(og)]);
+  for (int og = 0; og < pv; ++og) {
+    if (reqs[static_cast<std::size_t>(og)] == 0) continue;
+    const int g = va_arbs_.at(og).arbitrate(reqs[static_cast<std::size_t>(og)]);
     FTNOC_CHECK(g >= 0);
     auto& vc = inputs_[static_cast<std::size_t>(g)];
-    const PortId o = va_want_[static_cast<std::size_t>(g)].first;
-    const VcId v = va_want_[static_cast<std::size_t>(g)].second;
+    const PortId o = want[static_cast<std::size_t>(g)].first;
+    const VcId v = want[static_cast<std::size_t>(g)].second;
     charge(power::EnergyEvent::kVcAllocation);
 
     if (faults_ && faults_->upset_va_allocation()) {
@@ -777,15 +589,11 @@ void Router::phase_va(Cycle now) {
     out.owner_gid = static_cast<std::uint16_t>(g);
     out.owner_pid = vc.buf.front().packet_id;
     out.tail_sent = false;
-    update_output_work(og);
   }
 }
 
-void Router::run_ac_on_va(std::size_t g, Cycle now) {
+void ReferenceRouter::run_ac_on_va(std::size_t g, Cycle now) {
   auto& vc = inputs_[g];
-  // Build the corrupted VA state entry the soft error produced. The upset
-  // manifests as one of the §4.1 scenarios; we synthesize it and feed the
-  // *actual* AC comparator so the detection path is exercised for real.
   std::vector<RoutingStateEntry> rt_state;
   std::vector<VaStateEntry> va_state;
   std::vector<SaStateEntry> sa_state;
@@ -802,11 +610,11 @@ void Router::run_ac_on_va(std::size_t g, Cycle now) {
 
   VaStateEntry bad{static_cast<std::uint16_t>(g), kInvalidPort, kInvalidVc};
   switch (faults_->random_below(3)) {
-    case 0:  // Scenario (1): invalid output VC id.
+    case 0:
       bad.out_port = first_port(vc.candidates);
       bad.out_vc = static_cast<VcId>(num_vcs_);
       break;
-    case 1: {  // Scenario (4b): output VC on a PC the RT never returned.
+    case 1: {
       PortId wrong = static_cast<PortId>(faults_->random_below(
           static_cast<std::uint64_t>(num_ports_)));
       while (mask_has(vc.candidates, wrong)) {
@@ -816,7 +624,7 @@ void Router::run_ac_on_va(std::size_t g, Cycle now) {
       bad.out_vc = 0;
       break;
     }
-    default: {  // Scenarios (2)/(3): duplicate/reserved output VC.
+    default: {
       bad.out_port = first_port(vc.candidates);
       bad.out_vc = kInvalidVc;
       for (VcId v = 0; v < num_vcs_; ++v) {
@@ -826,7 +634,7 @@ void Router::run_ac_on_va(std::size_t g, Cycle now) {
         }
       }
       if (bad.out_vc == kInvalidVc) {
-        bad.out_vc = static_cast<VcId>(num_vcs_);  // Fall back to invalid id.
+        bad.out_vc = static_cast<VcId>(num_vcs_);
       }
       break;
     }
@@ -837,27 +645,18 @@ void Router::run_ac_on_va(std::size_t g, Cycle now) {
     const AcReport report = ac_.check(rt_state, va_state, sa_state);
     charge(power::EnergyEvent::kAcCheck);
     FTNOC_CHECK(report.any_error());
-    // Invalidate the previous cycle's allocation: the input VC stays in
-    // kVaWait and re-arbitrates — exactly one cycle lost (§4.1).
     if (stats_) stats_->on_va_error_recovered();
     (void)now;
     return;
   }
-  // Unprotected VA upset: the packet inherits a broken (or duplicate)
-  // wormhole and its flits are effectively lost (§4.1 scenarios 1-3).
   if (stats_) stats_->on_unprotected_error();
   vc.state = VcState::kDraining;
 }
 
-// ---------------------------------------------------------------------------
-// Routing stage.
-// ---------------------------------------------------------------------------
-
-PortMask Router::apply_rt_fault(InputVc& vc, PortMask correct, Cycle now) {
+PortMask ReferenceRouter::apply_rt_fault(InputVc& vc, PortMask correct,
+                                         Cycle now) {
   if (!faults_ || !faults_->upset_routing()) return correct;
 
-  // Pick the erroneous direction uniformly among ports outside the correct
-  // set (a flip landing inside the set is not observable as an error).
   std::array<PortId, kNumDirections> wrongs{};
   int n = 0;
   for (PortId o = 0; o < num_ports_; ++o) {
@@ -868,16 +667,9 @@ PortMask Router::apply_rt_fault(InputVc& vc, PortMask correct, Cycle now) {
 
   const bool functional = (w != kLocalPort) && port_usable(w);
   if (!functional) {
-    // Blocked/invalid direction: the local VA will catch it against its
-    // link-state table (§4.2) — return the corrupted candidate set.
     return port_bit(w);
   }
   if (cfg_.routing == RoutingAlgorithm::kXY) {
-    // Functional misdirection under deterministic routing: the *receiving*
-    // router detects the DOR violation and NACKs; recovery costs
-    // 1 (NACK) + n (re-route + retransmission) cycles (§4.2). We charge the
-    // penalty and the signalling energy without physically bouncing the
-    // header, which keeps the wormhole state machine exact.
     if (stats_) stats_->on_rt_error_recovered();
     charge(power::EnergyEvent::kNackSignal);
     charge(power::EnergyEvent::kRetransmission);
@@ -887,23 +679,17 @@ PortMask Router::apply_rt_fault(InputVc& vc, PortMask correct, Cycle now) {
                   RtMisrouteKind::kFunctionalDeterministic));
     return correct;
   }
-  // Adaptive routing: the misdirection is undetectable and benign — the
-  // packet physically takes the wrong turn and re-routes minimally from
-  // there (§4.2).
   return port_bit(w);
 }
 
-void Router::phase_rt(Cycle now) {
-  // Only input VCs in the work set can be draining or hold a head flit.
-  for (std::uint32_t m = in_work_; m != 0; m &= m - 1) {
-    const int g = std::countr_zero(m);
+void ReferenceRouter::phase_rt(Cycle now) {
+  for (int g = 0; g < num_ports_ * num_vcs_; ++g) {
     auto& vc = inputs_[static_cast<std::size_t>(g)];
 
     if (vc.state == VcState::kDraining) {
       if (!vc.buf.empty() && vc.buf.front().arrived_cycle < now) {
         const Flit f = vc.buf.front();
         vc.buf.pop_front();
-        --tx_occ_;
         FTNOC_INVARIANT_HOOK(if (mon_) mon_->on_dropped());
         charge(power::EnergyEvent::kBufferRead);
         send_credit(static_cast<PortId>(g / num_vcs_),
@@ -913,7 +699,6 @@ void Router::phase_rt(Cycle now) {
           vc.state = VcState::kRouting;
           vc.state_since = now;
         }
-        update_input_work(g);
       }
       continue;
     }
@@ -922,11 +707,7 @@ void Router::phase_rt(Cycle now) {
     if (vc.buf.front().arrived_cycle >= now) continue;
     if (now < vc.stall_until) continue;
     if (!is_head(vc.buf.front().type)) {
-      // A body/tail flit with no open wormhole: its header was dropped and
-      // never replayed (possible only when the NACK path itself is faulty,
-      // e.g. unprotected handshake lines, §4.6). Discard the stray flit.
       vc.buf.pop_front();
-      --tx_occ_;
       FTNOC_INVARIANT_HOOK(if (mon_) mon_->on_dropped());
       send_credit(static_cast<PortId>(g / num_vcs_),
                   static_cast<VcId>(g % num_vcs_));
@@ -934,7 +715,6 @@ void Router::phase_rt(Cycle now) {
         stats_->on_flit_dropped();
         stats_->on_unprotected_error();
       }
-      update_input_work(g);
       continue;
     }
 
@@ -947,15 +727,7 @@ void Router::phase_rt(Cycle now) {
   }
 }
 
-// ---------------------------------------------------------------------------
-// Deadlock detection (probing) and recovery (absorption).
-// ---------------------------------------------------------------------------
-
-bool Router::vc_blocked(const InputVc& vc, Cycle now) const {
-  // A VC is blocked if it holds flits that made no progress recently,
-  // whether it already owns an output VC (kActive), is waiting for one
-  // (kVaWait — the classic wormhole channel-wait), or has been queued by
-  // the recovery machinery (kVaReserved).
+bool ReferenceRouter::vc_blocked(const InputVc& vc, Cycle now) const {
   if (vc.buf.empty() && vc.state != VcState::kVaReserved) return false;
   if (vc.state != VcState::kActive && vc.state != VcState::kVaWait &&
       vc.state != VcState::kVaReserved) {
@@ -964,7 +736,7 @@ bool Router::vc_blocked(const InputVc& vc, Cycle now) const {
   return now - vc.last_advance >= 2;
 }
 
-void Router::queue_control(PortId port, const ProbeSignal& p) {
+void ReferenceRouter::queue_control(PortId port, const ProbeSignal& p) {
   OutboxItem item;
   item.port = port;
   item.is_probe = true;
@@ -972,7 +744,7 @@ void Router::queue_control(PortId port, const ProbeSignal& p) {
   outbox_.push_back(item);
 }
 
-void Router::queue_control(PortId port, const ActivationSignal& a) {
+void ReferenceRouter::queue_control(PortId port, const ActivationSignal& a) {
   OutboxItem item;
   item.port = port;
   item.is_probe = false;
@@ -980,7 +752,7 @@ void Router::queue_control(PortId port, const ActivationSignal& a) {
   outbox_.push_back(item);
 }
 
-void Router::flush_outbox() {
+void ReferenceRouter::flush_outbox() {
   for (std::size_t i = 0; i < outbox_.size();) {
     const OutboxItem& item = outbox_[i];
     Wire* w = out_wires_[item.port];
@@ -998,18 +770,14 @@ void Router::flush_outbox() {
       }
     }
     if (sent) {
-      outbox_.erase_at(i);
+      outbox_.erase(outbox_.begin() + static_cast<std::ptrdiff_t>(i));
     } else {
       ++i;
     }
   }
 }
 
-// The next link of a blocked-dependency chain through `vc`: its own output
-// if the wormhole is established (kActive / kVaReserved), or the output VC
-// held by the packet it is waiting on (kVaWait) — the chain then continues
-// at the downstream router's matching input VC.
-std::optional<std::pair<PortId, VcId>> Router::resolve_chain(
+std::optional<std::pair<PortId, VcId>> ReferenceRouter::resolve_chain(
     const InputVc& vc) const {
   if ((vc.state == VcState::kActive || vc.state == VcState::kVaReserved) &&
       vc.out_port != kLocalPort && vc.out_port != kInvalidPort) {
@@ -1026,23 +794,17 @@ std::optional<std::pair<PortId, VcId>> Router::resolve_chain(
   return std::nullopt;
 }
 
-void Router::handle_probe(PortId /*from*/, const ProbeSignal& probe,
-                          Cycle now) {
+void ReferenceRouter::handle_probe(PortId /*from*/, const ProbeSignal& probe,
+                                   Cycle now) {
   charge(power::EnergyEvent::kProbeHop);
   if (probe.hops > probe_ttl_) {
-    // The probe is orbiting a cycle that does not contain its origin.
     if (stats_) stats_->on_probe_discarded();
     return;
   }
   if (probe.origin == id_) {
-    FTNOC_TRACE(trace_fmt("[%llu] r%u probe id=%u RETURNED",
-                          (unsigned long long)now, id_, probe.probe_id));
+    FTNOC_TRACE(ref_trace_fmt("[%llu] r%u probe id=%u RETURNED",
+                              (unsigned long long)now, id_, probe.probe_id));
     if (agent_.on_probe_returned(probe)) {
-      // The probe circled the suspected cycle: genuine deadlock. Send the
-      // activation around the same path (Rule 3 consumers are the nodes
-      // that relayed our probe). The route entry is guaranteed live: GC
-      // never touches the agent's outstanding probe, and a confirmed
-      // return implies this id was outstanding.
       if (stats_) stats_->on_deadlock_confirmed();
       FTNOC_INVARIANT_HOOK(
           if (mon_) mon_->on_probe_confirmed(now, id_, probe.probe_id));
@@ -1051,15 +813,11 @@ void Router::handle_probe(PortId /*from*/, const ProbeSignal& probe,
       queue_control(it->second.port, ActivationSignal{id_, probe.probe_id});
       own_probe_route_.erase(it);
     } else {
-      // Stale or duplicate return: the bookkeeping (if any survived GC)
-      // is dead weight now.
       own_probe_route_.erase(probe.probe_id);
     }
     return;
   }
 
-  // Rule 2: inspect the named buffer; forward along the blocked chain or
-  // discard.
   FTNOC_CHECK(probe.in_port < num_ports_ && probe.in_vc < num_vcs_);
   const auto& target = ivc(probe.in_port, probe.in_vc);
   std::optional<std::pair<PortId, VcId>> fwd;
@@ -1068,7 +826,7 @@ void Router::handle_probe(PortId /*from*/, const ProbeSignal& probe,
   }
 
   const ProbeAction action = agent_.on_probe(probe, fwd.has_value());
-  FTNOC_TRACE(trace_fmt(
+  FTNOC_TRACE(ref_trace_fmt(
       "[%llu] r%u probe(o=%u,id=%u) tgt(%d,%d) act=%d fwd=%d tstate=%d "
       "tcand=%02x tblocked=%d rec=%d",
       (unsigned long long)now, id_, probe.origin, probe.probe_id,
@@ -1092,7 +850,8 @@ void Router::handle_probe(PortId /*from*/, const ProbeSignal& probe,
   }
 }
 
-void Router::handle_activation(const ActivationSignal& act, Cycle now) {
+void ReferenceRouter::handle_activation(const ActivationSignal& act,
+                                        Cycle now) {
   if (act.origin == id_) {
     const bool was = agent_.in_recovery();
     agent_.on_activation_returned(act);
@@ -1119,25 +878,13 @@ void Router::handle_activation(const ActivationSignal& act, Cycle now) {
   }
 }
 
-void Router::enter_recovery(Cycle) {
-  const bool was = agent_.in_recovery();
-  agent_.enter_recovery();
-  if (!was && stats_) stats_->on_recovery_entered();
-}
-
-void Router::phase_deadlock(Cycle now) {
-  // Progress must be noted (and the flag cleared) even with recovery
-  // disabled: a stale flag would otherwise defeat the idle fast path.
+void ReferenceRouter::phase_deadlock(Cycle now) {
   if (progress_this_cycle_) {
     agent_.note_progress();
     progress_this_cycle_ = false;
   }
   if (!cfg_.deadlock.enable_recovery) return;
 
-  // GC own-probe bookkeeping for probes past their timeout, sparing the
-  // agent's outstanding probe: a late return can still be confirmed and
-  // must find its forward port. Everything else is unreachable (a return
-  // for a non-outstanding id is always discarded).
   if (!own_probe_route_.empty()) {
     const auto& live = agent_.outstanding_probe();
     for (auto it = own_probe_route_.begin();
@@ -1151,13 +898,7 @@ void Router::phase_deadlock(Cycle now) {
     }
   }
 
-  // Rule 1: launch a probe for an over-threshold blocked VC. Both
-  // established wormholes (credit-blocked) and VA-waiting heads
-  // (channel-blocked) can anchor a deadlock; for the latter the chain is
-  // resolved through the local holder of the wanted output VC. Only input
-  // VCs in the work set can hold buffered flits.
-  for (std::uint32_t m = in_work_; m != 0; m &= m - 1) {
-    const int g = std::countr_zero(m);
+  for (int g = 0; g < num_ports_ * num_vcs_; ++g) {
     auto& vc = inputs_[static_cast<std::size_t>(g)];
     if (vc.buf.empty()) continue;
     if (vc.state != VcState::kActive && vc.state != VcState::kVaWait) {
@@ -1171,10 +912,6 @@ void Router::phase_deadlock(Cycle now) {
         static_cast<PortId>(opposite(static_cast<Direction>(chain->first))),
         chain->second, now);
     FTNOC_INVARIANT_HOOK(if (mon_) mon_->on_probe_minted(id_, pr.probe_id));
-    // Fallback: repeated probe expiry with zero local progress means this
-    // router's blocked packets feed a deadlocked region whose cycle does
-    // not pass through here — the probes orbit it and can never return.
-    // Join the recovery unilaterally so the region gains slack here too.
     if (cfg_.deadlock.fallback_probe_failures > 0 &&
         agent_.failed_probes() >= cfg_.deadlock.fallback_probe_failures) {
       agent_.enter_recovery();
@@ -1187,13 +924,10 @@ void Router::phase_deadlock(Cycle now) {
           cfg_.vc_buffer_depth, cfg_.retransmission_depth));
       break;
     }
-    FTNOC_TRACE(trace_fmt("[%llu] r%u PROBE id=%u via port %d target(%d,%d)",
-                          (unsigned long long)now, id_, pr.probe_id,
-                          (int)chain->first, (int)pr.in_port,
-                          (int)pr.in_vc));
-    // A freshly minted probe supersedes all older bookkeeping: the agent
-    // allows one live probe at a time, so prior entries can never be
-    // confirmed again (bounds the map at one entry).
+    FTNOC_TRACE(ref_trace_fmt(
+        "[%llu] r%u PROBE id=%u via port %d target(%d,%d)",
+        (unsigned long long)now, id_, pr.probe_id, (int)chain->first,
+        (int)pr.in_port, (int)pr.in_vc));
     own_probe_route_.clear();
     own_probe_route_[pr.probe_id] = ProbeRoute{chain->first, now};
     queue_control(chain->first, pr);
@@ -1203,30 +937,15 @@ void Router::phase_deadlock(Cycle now) {
 
   if (!agent_.in_recovery()) return;
 
-  // Recovery: absorb blocked flits into the retransmission buffers
-  // (Figure 10, step 2), freeing transmission-buffer slots so the cyclic
-  // dependency can creep forward. One absorption per output VC per cycle —
-  // the barrel shifter has a single input port.
-  //
-  // Two kinds of blocked input VCs shed flits:
-  //  * kVaWait heads (the classic wormhole channel-wait): the packet
-  //    commits to its first valid candidate port, registers as *waiter* on
-  //    an output VC there (deferred allocation), and parks flits behind
-  //    the current owner's; they replay out after the ownership transfer.
-  //  * kActive / kVaReserved wormholes out of credits: they park flits in
-  //    their own output VC's barrel until downstream space frees.
-  absorbed_ = 0;
-  for (std::uint32_t m = in_work_; m != 0; m &= m - 1) {
-    const int g = std::countr_zero(m);
+  std::uint32_t absorbed = 0;
+  for (int g = 0; g < num_ports_ * num_vcs_; ++g) {
     auto& vc = inputs_[static_cast<std::size_t>(g)];
     if (vc.buf.empty() || vc.buf.front().arrived_cycle >= now) continue;
     const auto in_port = static_cast<PortId>(g / num_vcs_);
     const auto in_vc = static_cast<VcId>(g % num_vcs_);
 
     if (vc.state == VcState::kVaWait) {
-      if (now - vc.last_advance < 2) continue;  // Not actually stuck.
-      // Commit to the first valid candidate port and queue behind the
-      // owner of one of its output VCs.
+      if (now - vc.last_advance < 2) continue;
       PortId o = kInvalidPort;
       for (PortId cand = 0; cand < num_ports_; ++cand) {
         if (cand == kLocalPort || !mask_has(vc.candidates, cand)) continue;
@@ -1250,16 +969,14 @@ void Router::phase_deadlock(Cycle now) {
       out.has_waiter = true;
       out.waiter_gid = static_cast<std::uint16_t>(g);
       out.waiter_pid = vc.buf.front().packet_id;
-      update_output_work(gid(o, v));
-      FTNOC_TRACE(trace_fmt("[%llu] r%u register waiter pkt%llu on %d_%d",
-                            (unsigned long long)now, id_,
-                            (unsigned long long)out.waiter_pid, (int)o,
-                            (int)v));
+      FTNOC_TRACE(ref_trace_fmt(
+          "[%llu] r%u register waiter pkt%llu on %d_%d",
+          (unsigned long long)now, id_, (unsigned long long)out.waiter_pid,
+          (int)o, (int)v));
       vc.state = VcState::kVaReserved;
       vc.out_port = o;
       vc.out_vc = v;
       vc.state_since = now;
-      // Fall through to the absorption below this cycle.
     }
 
     if (vc.state != VcState::kActive && vc.state != VcState::kVaReserved) {
@@ -1270,29 +987,22 @@ void Router::phase_deadlock(Cycle now) {
     if (!out.rtx) continue;
     const bool owns = out.allocated &&
                       out.owner_pid == vc.buf.front().packet_id;
-    if (owns && out.credits > 0) continue;  // Normal progress possible.
+    if (owns && out.credits > 0) continue;
     const int og = gid(vc.out_port, vc.out_vc);
-    if (absorbed_ & (1u << og)) continue;
+    if (absorbed & (1u << og)) continue;
     if (out.rtx->free_slots() <= 0) continue;
-    // A waiter only absorbs its own stream, and must leave one slot for
-    // the owner: the owner's tail is exactly what releases this VC to the
-    // waiter, so starving the owner of barrel space wedges both.
     if (!owns && !(out.has_waiter && out.waiter_gid == g)) continue;
     if (!owns && out.rtx->free_slots() <= 1) continue;
 
     Flit f = vc.buf.front();
     vc.buf.pop_front();
-    --tx_occ_;
     f.vc = vc.out_vc;
     if (owns) {
-      // Owner flits go ahead of any queued waiter's in the pending region
-      // (the owner's wormhole completes first on the wire).
       out.rtx->absorb_as_owner(f, out.owner_pid);
     } else {
       out.rtx->absorb(f);
     }
-    absorbed_ |= (1u << og);
-    update_output_work(og);
+    absorbed |= (1u << og);
     charge(power::EnergyEvent::kBufferRead);
     charge(power::EnergyEvent::kRtxBufferWrite);
     send_credit(in_port, in_vc);
@@ -1300,33 +1010,18 @@ void Router::phase_deadlock(Cycle now) {
     vc.last_advance = now;
     if (is_tail(f.type)) {
       release_input_after_tail(in_port, in_vc, now);
-    } else {
-      update_input_work(g);
     }
   }
 
-  // Exit recovery as soon as every absorbed flit has drained back out of
-  // the retransmission barrels ("once the deadlock configuration is
-  // broken, each node resumes its normal operation", §3.2.1). If the
-  // deadlock in fact persists, the probing machinery re-confirms it and
-  // recovery re-enters. The exit must NOT wait for all blocking to clear:
-  // under saturation some VC is always blocked longer than Cthres, and a
-  // router that never exits keeps the chip-wide injection gate asserted
-  // forever — a livelock (observed with aggressive Cthres values).
   bool pending = false;
-  for (std::uint32_t m = out_work_; m != 0; m &= m - 1) {
-    const auto& out = outputs_[static_cast<std::size_t>(std::countr_zero(m))];
+  for (const auto& out : outputs_) {
     if (out.rtx && out.rtx->has_pending()) {
       pending = true;
       break;
     }
   }
-  // A VC still starving after a long, Cthres-independent window keeps the
-  // router in recovery (its absorption capacity stays available and the
-  // chip-wide injection gate stays asserted so the region keeps draining).
   bool blocked_long = false;
-  for (std::uint32_t m = in_work_; m != 0; m &= m - 1) {
-    const auto& in = inputs_[static_cast<std::size_t>(std::countr_zero(m))];
+  for (const auto& in : inputs_) {
     if ((in.state == VcState::kActive || in.state == VcState::kVaWait ||
          in.state == VcState::kVaReserved) &&
         !in.buf.empty() &&
@@ -1337,8 +1032,8 @@ void Router::phase_deadlock(Cycle now) {
   }
   if (!pending && !blocked_long) {
     agent_.exit_recovery();
-    FTNOC_TRACE(trace_fmt("[%llu] r%u exit recovery",
-                          (unsigned long long)now, id_));
+    FTNOC_TRACE(ref_trace_fmt("[%llu] r%u exit recovery",
+                              (unsigned long long)now, id_));
     if (stats_) stats_->on_recovery_exited();
   }
 }
@@ -1347,126 +1042,49 @@ void Router::phase_deadlock(Cycle now) {
 // Introspection.
 // ---------------------------------------------------------------------------
 
-// Utilization counts only physically present buffers: mesh-edge ports have
-// no link and their VCs can never hold a flit, so including them would
-// dilute the Figure 8/9 numbers. Input-buffer occupancy is a running
-// counter bumped at every push/pop; barrel occupancy sums are O(set bits)
-// of the output work mask (a clear bit proves an empty barrel). Flits only
-// ever arrive through connected wires.
-int Router::tx_buffer_occupancy() const { return tx_occ_; }
-
-int Router::tx_buffer_slots() const {
-  if (tx_slots_cache_ < 0) {
-    int ports = 0;
-    for (PortId p = 0; p < num_ports_; ++p) {
-      if (in_wires_[p] != nullptr) ++ports;
-    }
-    tx_slots_cache_ = ports * num_vcs_ * cfg_.vc_buffer_depth;
-  }
-  return tx_slots_cache_;
+int ReferenceRouter::tx_buffer_occupancy() const {
+  int n = 0;
+  for (const auto& in : inputs_) n += static_cast<int>(in.buf.size());
+  return n;
 }
 
-int Router::rtx_buffer_occupancy() const {
+int ReferenceRouter::tx_buffer_slots() const {
+  int ports = 0;
+  for (PortId p = 0; p < num_ports_; ++p) {
+    if (in_wires_[p] != nullptr) ++ports;
+  }
+  return ports * num_vcs_ * cfg_.vc_buffer_depth;
+}
+
+int ReferenceRouter::rtx_buffer_occupancy() const {
   int n = 0;
-  for (std::uint32_t m = out_work_; m != 0; m &= m - 1) {
-    const auto& out = outputs_[static_cast<std::size_t>(std::countr_zero(m))];
+  for (const auto& out : outputs_) {
     if (out.rtx) n += out.rtx->occupancy();
   }
   return n;
 }
 
-int Router::rtx_buffer_slots() const {
-  if (rtx_slots_cache_ < 0) {
-    int n = 0;
-    for (PortId p = 0; p < num_ports_; ++p) {
-      if (out_wires_[p] == nullptr) continue;
-      for (VcId v = 0; v < num_vcs_; ++v) {
-        const auto& out = ovc(p, v);
-        if (out.rtx) n += out.rtx->depth();
-      }
+int ReferenceRouter::rtx_buffer_slots() const {
+  int n = 0;
+  for (PortId p = 0; p < num_ports_; ++p) {
+    if (out_wires_[p] == nullptr) continue;
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      const auto& out = ovc(p, v);
+      if (out.rtx) n += out.rtx->depth();
     }
-    rtx_slots_cache_ = n;
   }
-  return rtx_slots_cache_;
+  return n;
 }
 
-int Router::input_buffer_size(PortId p, VcId v) const {
+int ReferenceRouter::input_buffer_size(PortId p, VcId v) const {
   return static_cast<int>(ivc(p, v).buf.size());
 }
 
-bool Router::input_vc_active(PortId p, VcId v) const {
-  return ivc(p, v).state == VcState::kActive;
-}
-
-// ---------------------------------------------------------------------------
-// Invariant monitor walks (DESIGN.md §4.8).
-// ---------------------------------------------------------------------------
-
-void Router::check_local_invariants(Cycle now) {
-#if FTNOC_ENABLE_INVARIANTS
-  if (!mon_) return;
-  const int pv = num_ports_ * num_vcs_;
-  int occ = 0;
-  for (int g = 0; g < pv; ++g) {
-    const PortId p = static_cast<PortId>(g / num_vcs_);
-    const VcId v = static_cast<VcId>(g % num_vcs_);
-    const auto& in = inputs_[static_cast<std::size_t>(g)];
-    occ += static_cast<int>(in.buf.size());
-    const bool in_busy = !in.buf.empty() || in.state != VcState::kRouting;
-    if (in_busy != (((in_work_ >> g) & 1u) != 0)) {
-      mon_->fail(InvariantId::kWorkMaskAgreement, now, id_, p, v,
-                 std::string("in_work_ bit ") + (in_busy ? "clear" : "set") +
-                     " for a " + (in_busy ? "busy" : "idle") +
-                     " input VC (state=" +
-                     std::to_string(static_cast<int>(in.state)) +
-                     " buf=" + std::to_string(in.buf.size()) + ")");
-    }
-    const auto& out = outputs_[static_cast<std::size_t>(g)];
-    const bool out_busy = out.allocated || out.has_waiter ||
-                          (out.rtx && out.rtx->occupancy() > 0);
-    if (out_busy != (((out_work_ >> g) & 1u) != 0)) {
-      mon_->fail(InvariantId::kWorkMaskAgreement, now, id_, p, v,
-                 std::string("out_work_ bit ") + (out_busy ? "clear" : "set") +
-                     " for a " + (out_busy ? "busy" : "idle") +
-                     " output VC (allocated=" + std::to_string(out.allocated) +
-                     " waiter=" + std::to_string(out.has_waiter) + " rtx=" +
-                     std::to_string(out.rtx ? out.rtx->occupancy() : 0) + ")");
-    }
-  }
-  if (occ != tx_occ_) {
-    mon_->fail(InvariantId::kOccupancyCounter, now, id_, -1, -1,
-               "tx_occ_ running counter is " + std::to_string(tx_occ_) +
-                   " but the input buffers hold " + std::to_string(occ) +
-                   " flits");
-  }
-  int staged = 0;
-  for (PortId p = 0; p < num_ports_; ++p) {
-    if (!staged_[p]) continue;
-    ++staged;
-    if (cfg_.pipeline_stages != 4) {
-      mon_->fail(InvariantId::kStagedRegister, now, id_, p, staged_[p]->vc,
-                 "ST staging register occupied on a " +
-                     std::to_string(cfg_.pipeline_stages) + "-stage router");
-    }
-  }
-  if (staged != staged_count_) {
-    mon_->fail(InvariantId::kStagedRegister, now, id_, -1, -1,
-               "staged_count_ is " + std::to_string(staged_count_) + " but " +
-                   std::to_string(staged) + " register(s) are occupied");
-  }
-#else
-  (void)now;
-#endif
-}
-
-long long Router::live_flit_count() const {
+long long ReferenceRouter::live_flit_count() const {
   long long n = 0;
   for (const auto& in : inputs_) n += static_cast<long long>(in.buf.size());
   for (PortId p = 0; p < num_ports_; ++p) {
     if (!staged_[p]) continue;
-    // A staged *replay* was never consumed from the pending region (the
-    // pop happens at flush time), so the pending entry is the one live
-    // instance and the register holds its shadow.
     const Flit& s = staged_[p]->stored;
     const auto& out = ovc(p, staged_[p]->vc);
     const bool shadow = out.rtx && out.rtx->has_pending() &&
@@ -1480,7 +1098,7 @@ long long Router::live_flit_count() const {
   return n;
 }
 
-int Router::held_credits(PortId p, VcId v) const {
+int ReferenceRouter::held_credits(PortId p, VcId v) const {
   const auto& out = ovc(p, v);
   int n = out.credits;
   if (out.rtx) {
@@ -1489,8 +1107,6 @@ int Router::held_credits(PortId p, VcId v) const {
     }
   }
   if (staged_[p] && staged_[p]->vc == v) {
-    // The staged flit holds a downstream slot unless it is a replay whose
-    // pending entry still records the credit (counted above).
     const Flit& s = staged_[p]->stored;
     const bool counted_in_pending =
         out.rtx && out.rtx->has_pending() &&
@@ -1502,7 +1118,7 @@ int Router::held_credits(PortId p, VcId v) const {
   return n;
 }
 
-std::uint64_t Router::state_digest() const {
+std::uint64_t ReferenceRouter::state_digest() const {
   digest::Fnv h;
   h.mix(static_cast<std::uint64_t>(id_));
   const int pv = num_ports_ * num_vcs_;
@@ -1516,7 +1132,7 @@ std::uint64_t Router::state_digest() const {
     h.mix(static_cast<std::uint64_t>(in.stall_until));
     h.mix(static_cast<std::uint64_t>(in.state_since));
     h.mix(in.buf.size());
-    for (std::size_t i = 0; i < in.buf.size(); ++i) h.mix_flit(in.buf[i]);
+    for (const Flit& f : in.buf) h.mix_flit(f);
 
     const auto& out = outputs_[static_cast<std::size_t>(g)];
     h.mix(out.allocated);
@@ -1558,14 +1174,13 @@ std::uint64_t Router::state_digest() const {
     h.mix(static_cast<std::uint64_t>(replay_arbs_.at(p).last_grant()));
   }
   h.mix(pending_nacks_.size());
-  for (std::size_t i = 0; i < pending_nacks_.size(); ++i) {
-    h.mix(static_cast<std::uint64_t>(pending_nacks_[i].port));
-    h.mix(static_cast<std::uint64_t>(pending_nacks_[i].vc));
-    h.mix(static_cast<std::uint64_t>(pending_nacks_[i].send_at));
+  for (const auto& nk : pending_nacks_) {
+    h.mix(static_cast<std::uint64_t>(nk.port));
+    h.mix(static_cast<std::uint64_t>(nk.vc));
+    h.mix(static_cast<std::uint64_t>(nk.send_at));
   }
   h.mix(outbox_.size());
-  for (std::size_t i = 0; i < outbox_.size(); ++i) {
-    const auto& item = outbox_[i];
+  for (const auto& item : outbox_) {
     h.mix(static_cast<std::uint64_t>(item.port));
     h.mix(item.is_probe);
     if (item.is_probe) {
@@ -1574,8 +1189,6 @@ std::uint64_t Router::state_digest() const {
       h.mix_activation(item.activation);
     }
   }
-  // own_probe_route_ holds at most one entry (a fresh probe clears it),
-  // but hash it order-independently of the map's bucket layout anyway.
   h.mix(own_probe_route_.size());
   std::uint64_t route_sum = 0;
   for (const auto& [pid, r] : own_probe_route_) {
@@ -1594,8 +1207,8 @@ std::uint64_t Router::state_digest() const {
   return h.value();
 }
 
-std::string Router::debug_dump(Cycle now) const {
-  std::string s = "router " + std::to_string(id_) +
+std::string ReferenceRouter::debug_dump(Cycle now) const {
+  std::string s = "reference router " + std::to_string(id_) +
                   (agent_.in_recovery() ? " [RECOVERY]" : "") + "\n";
   static const char* st[] = {"ROUTE", "VAWAIT", "ACTIVE", "RESERV", "DRAIN"};
   for (PortId p = 0; p < num_ports_; ++p) {

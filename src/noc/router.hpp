@@ -37,9 +37,11 @@
 #include "core/error_check_unit.hpp"
 #include "core/fault_injector.hpp"
 #include "core/flit.hpp"
+#include "core/invariants.hpp"
 #include "core/retransmission_buffer.hpp"
 #include "noc/arbiter.hpp"
 #include "noc/channel.hpp"
+#include "noc/router_iface.hpp"
 #include "noc/routing.hpp"
 #include "noc/stats.hpp"
 #include "noc/topology.hpp"
@@ -47,68 +49,35 @@
 
 namespace ftnoc {
 
-/// One returned buffer slot for a VC.
-struct Credit {
-  VcId vc = kInvalidVc;
-};
-
-/// Link-level negative acknowledgement for a VC (HBH retransmission).
-struct NackMsg {
-  VcId vc = kInvalidVc;
-};
-
-/// All wires of one *directed* link A->B. Forward signals (flit, probe,
-/// activation) travel A->B; credit and NACK travel B->A on the same bundle.
-struct Wire {
-  Channel<Flit> flit;
-  MultiChannel<Credit> credit;
-  Channel<NackMsg> nack;
-  Channel<ProbeSignal> probe;
-  Channel<ActivationSignal> activation;
-  void tick() {
-    flit.tick();
-    credit.tick();
-    nack.tick();
-    probe.tick();
-    activation.tick();
-  }
-};
-
-/// Callback delivering an ejected flit to the local processing element.
-using EjectFn = std::function<void(const Flit&, Cycle)>;
-
-class Router {
+class Router final : public RouterIface {
  public:
   Router(NodeId id, const SimConfig& cfg, const Topology& topo,
          FaultInjector* faults, power::EnergyMeter* meter,
          StatsCollector* stats);
 
-  Router(const Router&) = delete;
-  Router& operator=(const Router&) = delete;
-
   /// Wires port `p`: `in` carries the neighbour's (or PE's) signals toward
   /// this router, `out` carries this router's signals away. Either may be
   /// nullptr for a nonexistent link (mesh edge).
-  void connect(PortId p, Wire* in, Wire* out);
+  void connect(PortId p, Wire* in, Wire* out) override;
 
-  void set_eject_fn(EjectFn fn) { eject_ = std::move(fn); }
+  void set_eject_fn(EjectFn fn) override { eject_ = std::move(fn); }
 
   /// Marks a link port as hard-failed (pre-programmed into the VA's
   /// link-state table, §4.2). The VA never allocates toward a dead port;
   /// adaptive routing detours around it.
-  void fail_link(PortId p);
+  void fail_link(PortId p) override;
 
   /// Advances the router one clock cycle.
-  void step(Cycle now);
+  void step(Cycle now) override;
 
-  NodeId id() const { return id_; }
+  NodeId id() const override { return id_; }
 
   // --- Introspection (stats sampling, tests) -----------------------------
-  int tx_buffer_occupancy() const;
-  int tx_buffer_slots() const;
-  int rtx_buffer_occupancy() const;
-  int rtx_buffer_slots() const;
-  bool in_recovery() const { return agent_.in_recovery(); }
+  int tx_buffer_occupancy() const override;
+  int tx_buffer_slots() const override;
+  int rtx_buffer_occupancy() const override;
+  int rtx_buffer_slots() const override;
+  bool in_recovery() const override { return agent_.in_recovery(); }
   const DeadlockAgent& deadlock_agent() const { return agent_; }
   /// Live entries in the own-probe route map (bounded-memory test).
   std::size_t probe_route_entries() const { return own_probe_route_.size(); }
@@ -116,11 +85,22 @@ class Router {
   bool quiescent() const;
 
   /// Occupancy of one input VC buffer (tests).
-  int input_buffer_size(PortId p, VcId v) const;
+  int input_buffer_size(PortId p, VcId v) const override;
   /// Whether an input VC currently holds an active wormhole (tests).
   bool input_vc_active(PortId p, VcId v) const;
   /// Human-readable state snapshot (debugging and trace examples).
-  std::string debug_dump(Cycle now) const;
+  std::string debug_dump(Cycle now) const override;
+
+  /// Architectural-state hash for lock-step differential comparison.
+  std::uint64_t state_digest() const override;
+
+  // --- Invariant monitor hooks (DESIGN.md §4.8) ---------------------------
+  void set_monitor(InvariantMonitor* mon) override { mon_ = mon; }
+  /// Recomputes the PR 3 derived state (work masks, tx_occ_,
+  /// staged_count_) from scratch and reports any disagreement.
+  void check_local_invariants(Cycle now) override;
+  long long live_flit_count() const override;
+  int held_credits(PortId p, VcId v) const override;
 
  private:
   // --- Per-VC state -------------------------------------------------------
@@ -269,6 +249,7 @@ class Router {
   power::EnergyMeter* meter_;
   StatsCollector* stats_;
   EjectFn eject_;
+  InvariantMonitor* mon_ = nullptr;  ///< Null unless check_invariants.
 
   // --- Wiring ---------------------------------------------------------------
   std::array<Wire*, kNumDirections> in_wires_{};

@@ -1,0 +1,112 @@
+#pragma once
+// The wire-level router contract shared by the optimized pipeline kernel
+// (Router) and the allocation-happy reference model (ReferenceRouter).
+//
+// Both implementations speak exactly the same signals — Wire bundles in,
+// Wire bundles out, an eject callback toward the local PE — so the Network
+// can instantiate either behind this interface and the differential fuzz
+// harness can step two networks in lock-step and compare state digests.
+// Everything behavioural lives behind virtual step(); the introspection
+// surface exists for stats sampling, the invariant monitor's structural
+// walks and the per-cycle digest comparison.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/deadlock.hpp"
+#include "core/flit.hpp"
+#include "noc/channel.hpp"
+
+namespace ftnoc {
+
+class InvariantMonitor;
+
+/// One returned buffer slot for a VC.
+struct Credit {
+  VcId vc = kInvalidVc;
+};
+
+/// Link-level negative acknowledgement for a VC (HBH retransmission).
+struct NackMsg {
+  VcId vc = kInvalidVc;
+};
+
+/// All wires of one *directed* link A->B. Forward signals (flit, probe,
+/// activation) travel A->B; credit and NACK travel B->A on the same bundle.
+struct Wire {
+  Channel<Flit> flit;
+  MultiChannel<Credit> credit;
+  Channel<NackMsg> nack;
+  Channel<ProbeSignal> probe;
+  Channel<ActivationSignal> activation;
+  void tick() {
+    flit.tick();
+    credit.tick();
+    nack.tick();
+    probe.tick();
+    activation.tick();
+  }
+};
+
+/// Callback delivering an ejected flit to the local processing element.
+using EjectFn = std::function<void(const Flit&, Cycle)>;
+
+class RouterIface {
+ public:
+  virtual ~RouterIface() = default;
+
+  RouterIface() = default;
+  RouterIface(const RouterIface&) = delete;
+  RouterIface& operator=(const RouterIface&) = delete;
+
+  /// Wires port `p`: `in` carries the neighbour's (or PE's) signals toward
+  /// this router, `out` carries this router's signals away. Either may be
+  /// nullptr for a nonexistent link (mesh edge).
+  virtual void connect(PortId p, Wire* in, Wire* out) = 0;
+  virtual void set_eject_fn(EjectFn fn) = 0;
+  /// Marks a link port as hard-failed (pre-programmed into the VA's
+  /// link-state table, §4.2). The VA never allocates toward a dead port.
+  virtual void fail_link(PortId p) = 0;
+  /// Advances the router one clock cycle.
+  virtual void step(Cycle now) = 0;
+
+  virtual NodeId id() const = 0;
+
+  // --- Introspection (stats sampling, tests, fuzz) ------------------------
+  virtual int tx_buffer_occupancy() const = 0;
+  virtual int tx_buffer_slots() const = 0;
+  virtual int rtx_buffer_occupancy() const = 0;
+  virtual int rtx_buffer_slots() const = 0;
+  virtual bool in_recovery() const = 0;
+  /// Occupancy of one input VC buffer (tests, credit-conservation walk).
+  virtual int input_buffer_size(PortId p, VcId v) const = 0;
+  /// Human-readable state snapshot (debugging and trace examples).
+  virtual std::string debug_dump(Cycle now) const = 0;
+
+  /// Order-insensitive-free (FNV-1a, fixed traversal order) hash of every
+  /// piece of architectural state that determines future behaviour: VC
+  /// states, buffered flits, credits, retransmission barrels, staged
+  /// registers, arbiter rotations, deadlock-agent state. Derived caches
+  /// (work masks, occupancy counters) are deliberately excluded — the fuzz
+  /// harness compares an optimized router against the reference model,
+  /// which has none.
+  virtual std::uint64_t state_digest() const = 0;
+
+  // --- Invariant monitor (optional; no-ops on the reference model) --------
+  /// Attaches the monitor whose event hooks this router will feed.
+  virtual void set_monitor(InvariantMonitor*) {}
+  /// Runs the router-local structural checks (work-mask agreement,
+  /// occupancy counters, staged register) against `mon`.
+  virtual void check_local_invariants(Cycle) {}
+  /// Live flit instances held inside this router for the network-wide
+  /// conservation ledger: input buffers + staged ST registers (minus
+  /// replay shadows) + retransmission-barrel pending regions.
+  virtual long long live_flit_count() const { return 0; }
+  /// Sender-side credit instances for directed link (`p`, `v`): the free
+  /// credit counter plus credits bound to staged or rolled-back flits.
+  virtual int held_credits(PortId, VcId) const { return 0; }
+};
+
+}  // namespace ftnoc

@@ -36,7 +36,9 @@ std::vector<TraceRecord> parse_trace(std::istream& in, int num_nodes,
     if (src == dest) return fail("src == dest");
     if (!records.empty() &&
         static_cast<Cycle>(cycle) < records.back().cycle) {
-      return fail("records must be sorted by cycle");
+      return fail("non-monotonic timestamp: cycle " + std::to_string(cycle) +
+                  " follows cycle " + std::to_string(records.back().cycle) +
+                  " (records must be sorted by cycle)");
     }
     r.cycle = static_cast<Cycle>(cycle);
     r.src = static_cast<NodeId>(src);

@@ -46,6 +46,28 @@ TEST(Config, RejectsWarmupNotBelowTotal) {
   EXPECT_TRUE(cfg.validate().has_value());
 }
 
+TEST(Config, RejectsEq1BoundaryExactly) {
+  // Eq. (1) with uniform nodes: recovery needs T + R > M * ceil(T / M).
+  // At equality the flits absorbed during recovery exactly refill the
+  // freed slots and the recovery pass livelocks, so validate() must
+  // refuse equality, not just the strictly-smaller case.
+  SimConfig cfg;
+  cfg.deadlock.enable_recovery = true;
+  cfg.packet_length = 7;         // M
+  cfg.vc_buffer_depth = 4;       // T      -> bound = 7 * ceil(4/7) = 7
+  cfg.retransmission_depth = 3;  // R      -> T + R = 7 == bound
+  const auto err = cfg.validate();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("Eq. (1)"), std::string::npos) << *err;
+  // One more retransmission slot puts T + R strictly above the bound.
+  cfg.retransmission_depth = 4;
+  EXPECT_EQ(cfg.validate(), std::nullopt);
+  // Without recovery the bound does not apply.
+  cfg.retransmission_depth = 3;
+  cfg.deadlock.enable_recovery = false;
+  EXPECT_EQ(cfg.validate(), std::nullopt);
+}
+
 TEST(Config, OverrideParsesNumbers) {
   SimConfig cfg;
   EXPECT_EQ(apply_override(cfg, "mesh_width=4"), std::nullopt);

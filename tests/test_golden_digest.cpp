@@ -75,5 +75,23 @@ TEST(GoldenDigest, Fig06PresetByteIdentical) {
       << " — the simulation is no longer byte-identical to the pinned run";
 }
 
+TEST(GoldenDigest, Fig07PresetByteIdentical) {
+  const std::uint64_t h = preset_digest("fig07");
+  EXPECT_EQ(h, 0xec4738de9dcd17afull)
+      << "fig07 JSONL digest moved: 0x" << std::hex << h
+      << " — the simulation is no longer byte-identical to the pinned run";
+}
+
+// The perf preset covers the five hot paths ftnoc_perf times (HBH, FEC,
+// E2E, adaptive+recovery, 4-stage); pinning it keeps the perf baselines
+// comparable across builds — a perf run whose digest moved is measuring a
+// different simulation.
+TEST(GoldenDigest, PerfPresetByteIdentical) {
+  const std::uint64_t h = preset_digest("perf");
+  EXPECT_EQ(h, 0x97fae896b7bbf52aull)
+      << "perf JSONL digest moved: 0x" << std::hex << h
+      << " — the simulation is no longer byte-identical to the pinned run";
+}
+
 }  // namespace
 }  // namespace ftnoc

@@ -61,6 +61,18 @@ TEST(TraceFormat, RejectsMalformedInput) {
   }
 }
 
+TEST(TraceFormat, NonMonotonicErrorNamesBothCycles) {
+  // A sorted-order violation should tell the user exactly which pair of
+  // records is out of order, not just that "something" was unsorted.
+  std::istringstream in("5 0 1 4\n3 0 1 4\n");
+  std::string err;
+  parse_trace(in, 16, &err);
+  ASSERT_FALSE(err.empty());
+  EXPECT_NE(err.find("non-monotonic"), std::string::npos) << err;
+  EXPECT_NE(err.find("cycle 3"), std::string::npos) << err;
+  EXPECT_NE(err.find("cycle 5"), std::string::npos) << err;
+}
+
 TEST(TraceFormat, WriteThenParseRoundTrips) {
   std::vector<TraceRecord> recs = {
       {0, 0, 3, 4}, {2, 5, 9, 1}, {2, 9, 5, 8}, {100, 15, 0, 4}};

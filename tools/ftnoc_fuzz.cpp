@@ -1,0 +1,348 @@
+// Differential fuzz harness: drives the optimized Router and the
+// allocation-happy ReferenceRouter in lock-step on randomized
+// configurations and compares the full architectural-state digest every
+// cycle. Any divergence is a bug in one of the two implementations (or in
+// the shared phase contract). The invariant monitor rides along in
+// count-and-continue mode, so structural violations are findings too.
+//
+// On a finding, the harness greedily minimizes the configuration (reset
+// each override to its default, keep the reduction if the run still
+// fails) and emits a replayable repro file of apply_override-compatible
+// key=value assignments.
+//
+//   ftnoc_fuzz [--runs N] [--cycles N] [--seed S] [--time-budget SEC]
+//              [--out FILE] [--plant NAME] [--selftest] [--replay FILE]
+//
+// --selftest plants the "drop_window" mutation (optimized router only;
+// the reference ignores mutations by construction) and exits 0 iff the
+// harness detects the divergence and the emitted repro replays. This is
+// the end-to-end proof that the oracle has teeth.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "core/invariants.hpp"
+#include "noc/network.hpp"
+
+namespace {
+
+using ftnoc::Cycle;
+using ftnoc::Network;
+using ftnoc::Rng;
+using ftnoc::SimConfig;
+
+struct RunResult {
+  bool failed = false;
+  Cycle cycle = 0;       // First cycle the digests disagreed (if diverged).
+  bool diverged = false; // Digest mismatch (vs invariant violation only).
+  std::string what;
+};
+
+struct Options {
+  int runs = 200;
+  Cycle cycles = 1500;
+  std::uint64_t seed = 1;
+  double time_budget_sec = 240.0;
+  std::string out = "fuzz_repro.txt";
+  std::string plant;
+  bool selftest = false;
+  std::string replay;
+};
+
+// Runs one configuration (given as override assignments applied to a
+// default SimConfig) on both router implementations in lock-step.
+RunResult run_pair(const std::vector<std::string>& overrides, Cycle cycles,
+                   const std::string& plant) {
+  RunResult res;
+  SimConfig cfg;
+  if (auto err = ftnoc::apply_overrides(cfg, overrides)) {
+    res.failed = true;
+    res.what = "bad override: " + *err;
+    return res;
+  }
+  cfg.check_invariants = true;
+  if (auto err = cfg.validate()) {
+    res.failed = true;
+    res.what = "invalid config: " + *err;
+    return res;
+  }
+
+  SimConfig opt_cfg = cfg;
+  opt_cfg.use_reference_router = false;
+  opt_cfg.test_mutation = plant;
+  SimConfig ref_cfg = cfg;
+  ref_cfg.use_reference_router = true;
+  ref_cfg.test_mutation.clear();
+
+  Network opt(opt_cfg);
+  Network ref(ref_cfg);
+  if (auto* m = opt.monitor()) m->set_abort_on_violation(false);
+  if (auto* m = ref.monitor()) m->set_abort_on_violation(false);
+
+  for (Cycle c = 0; c < cycles; ++c) {
+    opt.step();
+    ref.step();
+    if (opt.state_digest() != ref.state_digest()) {
+      res.failed = true;
+      res.diverged = true;
+      res.cycle = opt.now();
+      res.what = "state digests diverged at cycle " +
+                 std::to_string(opt.now());
+      return res;
+    }
+  }
+  const auto* om = opt.monitor();
+  const auto* rm = ref.monitor();
+  if (om && om->violations() > 0) {
+    res.failed = true;
+    res.cycle = opt.now();
+    res.what = "optimized router: " + std::to_string(om->violations()) +
+               " invariant violation(s); first: " + om->first_violation();
+  } else if (rm && rm->violations() > 0) {
+    res.failed = true;
+    res.cycle = opt.now();
+    res.what = "reference router: " + std::to_string(rm->violations()) +
+               " invariant violation(s); first: " + rm->first_violation();
+  }
+  return res;
+}
+
+// Randomized configuration generation. Every knob is emitted as an
+// explicit override so the repro file is self-contained; generation
+// retries until validate() accepts the combination.
+std::vector<std::string> random_config(Rng& rng) {
+  for (;;) {
+    std::vector<std::string> ov;
+    auto add = [&](const std::string& k, const std::string& v) {
+      ov.push_back(k + "=" + v);
+    };
+    add("seed", std::to_string(rng.next_u64() % 100000));
+    add("mesh_width", std::to_string(2 + rng.next_below(3)));    // 2..4
+    add("mesh_height", std::to_string(2 + rng.next_below(3)));   // 2..4
+    if (rng.bernoulli(0.2)) add("torus", "1");
+    add("num_vcs", std::to_string(2 + rng.next_below(3)));       // 2..4
+    add("vc_buffer_depth", std::to_string(2 + rng.next_below(5)));  // 2..6
+    add("pipeline_stages", std::to_string(1 + rng.next_below(4)));  // 1..4
+    add("retransmission_depth", std::to_string(3 + rng.next_below(4)));
+    add("packet_length", std::to_string(3 + rng.next_below(4)));    // 3..6
+    {
+      std::ostringstream r;
+      r << (0.05 + 0.35 * rng.next_double());
+      add("injection_rate", r.str());
+    }
+    static const char* kProt[] = {"none", "fec", "e2e", "hbh", "hbh"};
+    add("protection", kProt[rng.next_below(5)]);
+    static const char* kRoute[] = {"xy", "adaptive", "escape"};
+    add("routing", kRoute[rng.next_below(3)]);
+    static const char* kPat[] = {"nr", "bc", "tn"};
+    add("pattern", kPat[rng.next_below(3)]);
+    if (rng.bernoulli(0.6)) {
+      std::ostringstream r;
+      r << (0.0005 + 0.01 * rng.next_double());
+      add("link_error_rate", r.str());
+    }
+    if (rng.bernoulli(0.25)) add("rt_error_rate", "0.001");
+    if (rng.bernoulli(0.25)) add("va_error_rate", "0.001");
+    if (rng.bernoulli(0.25)) add("sa_error_rate", "0.001");
+    if (rng.bernoulli(0.2)) add("rtx_error_rate", "0.001");
+    if (rng.bernoulli(0.2)) add("handshake_error_rate", "0.0005");
+    if (rng.bernoulli(0.3)) add("tmr_handshaking", "0");
+    if (rng.bernoulli(0.2)) add("ecc_detect_only", "1");
+    if (rng.bernoulli(0.2)) add("duplicate_rtx_buffers", "1");
+    if (rng.bernoulli(0.15)) add("enable_ac", "0");
+    if (rng.bernoulli(0.5)) {
+      add("deadlock_recovery", "1");
+      add("probe_threshold", std::to_string(8 + rng.next_below(57)));
+      add("probe_backoff", "8");
+      add("exit_block_window", "256");
+    }
+
+    SimConfig probe;
+    if (ftnoc::apply_overrides(probe, ov)) continue;
+    if (probe.validate()) continue;  // Eq. (1) etc. refused; redraw.
+    return ov;
+  }
+}
+
+// Greedy 1-minimization: drop each override in turn (falling back to the
+// SimConfig default for that knob) and keep the smaller set whenever the
+// failure still reproduces.
+std::vector<std::string> minimize(std::vector<std::string> ov, Cycle cycles,
+                                  const std::string& plant,
+                                  const std::chrono::steady_clock::time_point
+                                      deadline) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (std::size_t i = 0; i < ov.size(); ++i) {
+      if (std::chrono::steady_clock::now() > deadline) return ov;
+      std::vector<std::string> trial = ov;
+      trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+      SimConfig probe;
+      if (ftnoc::apply_overrides(probe, trial) || probe.validate()) continue;
+      if (run_pair(trial, cycles, plant).failed) {
+        ov = std::move(trial);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return ov;
+}
+
+void write_repro(const std::string& path, const std::vector<std::string>& ov,
+                 Cycle cycles, const std::string& plant,
+                 const RunResult& res) {
+  std::ofstream f(path);
+  f << "# ftnoc_fuzz repro — replay with: ftnoc_fuzz --replay " << path
+    << "\n";
+  f << "# " << res.what << "\n";
+  f << "cycles=" << cycles << "\n";
+  if (!plant.empty()) f << "plant=" << plant << "\n";
+  for (const auto& o : ov) f << o << "\n";
+}
+
+// Repro format: one key=value per line; '#' comments; the harness-level
+// keys "cycles" and "plant" are consumed here, everything else goes to
+// apply_override.
+bool read_repro(const std::string& path, std::vector<std::string>& ov,
+                Cycle& cycles, std::string& plant) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("cycles=", 0) == 0) {
+      cycles = static_cast<Cycle>(std::stoull(line.substr(7)));
+    } else if (line.rfind("plant=", 0) == 0) {
+      plant = line.substr(6);
+    } else {
+      ov.push_back(line);
+    }
+  }
+  return true;
+}
+
+int fuzz_main(const Options& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(opt.time_budget_sec));
+  Rng master(opt.seed);
+
+  for (int i = 0; i < opt.runs; ++i) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::printf("time budget exhausted after %d run(s); no divergence\n",
+                  i);
+      return opt.selftest ? 1 : 0;
+    }
+    Rng rng(Rng::derive_seed(opt.seed, static_cast<std::uint64_t>(i)));
+    std::vector<std::string> ov;
+    if (opt.selftest) {
+      // Bias toward the planted bug's habitat: a 4-stage HBH sender with
+      // real link errors (the short drop window admits a stale third
+      // follower).
+      ov = {"seed=" + std::to_string(1000 + i),
+            "mesh_width=4",
+            "mesh_height=4",
+            "num_vcs=3",
+            "vc_buffer_depth=4",
+            "pipeline_stages=4",
+            "retransmission_depth=4",
+            "packet_length=4",
+            "injection_rate=0.25",
+            "protection=hbh",
+            "link_error_rate=0.01"};
+    } else {
+      ov = random_config(rng);
+    }
+    const RunResult res = run_pair(ov, opt.cycles, opt.plant);
+    if (!res.failed) continue;
+
+    std::printf("run %d FAILED: %s\n", i, res.what.c_str());
+    const Cycle rep_cycles = res.diverged ? res.cycle + 1 : opt.cycles;
+    const auto min_ov = minimize(ov, rep_cycles, opt.plant, deadline);
+    write_repro(opt.out, min_ov, rep_cycles, opt.plant, res);
+    std::printf("repro (%zu overrides) written to %s\n", min_ov.size(),
+                opt.out.c_str());
+
+    // Prove the repro replays before claiming victory.
+    const RunResult replayed = run_pair(min_ov, rep_cycles, opt.plant);
+    if (!replayed.failed) {
+      std::printf("WARNING: minimized repro did not replay\n");
+      return 2;
+    }
+    return opt.selftest ? 0 : 2;
+  }
+  std::printf("%d run(s), no divergence\n", opt.runs);
+  return opt.selftest ? 1 : 0;
+}
+
+int replay_main(const Options& opt) {
+  std::vector<std::string> ov;
+  Cycle cycles = 1500;
+  std::string plant = opt.plant;
+  if (!read_repro(opt.replay, ov, cycles, plant)) {
+    std::fprintf(stderr, "cannot read repro file: %s\n", opt.replay.c_str());
+    return 2;
+  }
+  const RunResult res = run_pair(ov, cycles, plant);
+  if (res.failed) {
+    std::printf("reproduced: %s\n", res.what.c_str());
+    return 0;
+  }
+  std::printf("did not reproduce\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#if !FTNOC_ENABLE_INVARIANTS
+  std::fprintf(stderr,
+               "ftnoc_fuzz: built with FTNOC_INVARIANTS=OFF; digest "
+               "comparison still runs but invariant findings are dark\n");
+#endif
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : "";
+    };
+    if (a == "--runs") {
+      opt.runs = std::atoi(next());
+    } else if (a == "--cycles") {
+      opt.cycles = static_cast<Cycle>(std::atoll(next()));
+    } else if (a == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (a == "--time-budget") {
+      opt.time_budget_sec = std::atof(next());
+    } else if (a == "--out") {
+      opt.out = next();
+    } else if (a == "--plant") {
+      opt.plant = next();
+    } else if (a == "--selftest") {
+      opt.selftest = true;
+      if (opt.plant.empty()) opt.plant = "drop_window";
+    } else if (a == "--replay") {
+      opt.replay = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: ftnoc_fuzz [--runs N] [--cycles N] [--seed S]\n"
+                   "                  [--time-budget SEC] [--out FILE]\n"
+                   "                  [--plant NAME] [--selftest]\n"
+                   "                  [--replay FILE]\n");
+      return 2;
+    }
+  }
+  if (!opt.replay.empty()) return replay_main(opt);
+  return fuzz_main(opt);
+}
