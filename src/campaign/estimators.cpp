@@ -109,7 +109,12 @@ std::string aggregate_line(const PointAggregate& agg,
   append_metric(o, "throughput", agg.throughput);
 
   append_rate(o, "corrupt", agg.corrupted_delivered, agg.measured_messages);
-  append_rate(o, "loss", agg.packets_created - agg.messages_ejected,
+  // Same zero-clamp as PointAggregate::loss(): ejections can transiently
+  // exceed creations when a replica stops mid-E2E-retransmit.
+  append_rate(o, "loss",
+              agg.packets_created > agg.messages_ejected
+                  ? agg.packets_created - agg.messages_ejected
+                  : 0,
               agg.packets_created);
   append_rate(o, "recovery", agg.recoveries_exited, agg.recoveries_entered);
   append_rate(o, "replica_completed",

@@ -78,10 +78,15 @@ struct PointAggregate {
     return wilson_interval(corrupted_delivered, measured_messages);
   }
   /// Packet-loss rate: packets created but never ejected (drained by an
-  /// unrecovered upset, or still stuck when the run stopped).
+  /// unrecovered upset, or still stuck when the run stopped). Ejections can
+  /// transiently exceed creations (a replica stopped mid-E2E-retransmit
+  /// double-delivers), so the difference is clamped at zero rather than
+  /// wrapping the unsigned subtraction.
   RateInterval loss() const {
-    return wilson_interval(packets_created - messages_ejected,
-                           packets_created);
+    const std::uint64_t lost = packets_created > messages_ejected
+                                   ? packets_created - messages_ejected
+                                   : 0;
+    return wilson_interval(lost, packets_created);
   }
   /// Deadlock-recovery success: recovery episodes that drained and exited.
   RateInterval recovery_success() const {

@@ -65,6 +65,13 @@ struct FaultConfig {
   /// Probability a handshake signal (credit / NACK line) is upset per
   /// transfer. §4.6: TMR on the handshake lines votes these away.
   double handshake_error_rate = 0.0;
+  /// Permanent-fault escalation: after this many *consecutive*
+  /// uncorrectable upsets observed on one input link, the link is declared
+  /// hard-dead — the network drains the in-flight wormholes crossing it,
+  /// re-homes waiting packets and reroutes around it for the rest of the
+  /// run (unless killing it would partition the mesh, in which case the
+  /// link keeps limping). 0 disables escalation.
+  int link_escalation_threshold = 0;
 };
 
 /// Deadlock detection/recovery knobs (paper §3.2).
@@ -122,6 +129,11 @@ struct SimConfig {
   /// them, deterministic routing cannot. Override syntax: "dead_link=5:E"
   /// (node 5's East link), repeatable.
   std::vector<std::pair<NodeId, Direction>> dead_links;
+  /// Hard faults: routers dead from the start of the run. A dead router
+  /// injects no traffic, all four of its links are failed, and packets
+  /// addressed to it are dropped as unreachable at their current router.
+  /// Override syntax: "dead_router=5", repeatable.
+  std::vector<NodeId> dead_routers;
   /// Allocation Comparator present (§4). Off = logic upsets go unprotected
   /// (ablation baseline).
   bool enable_ac = true;
@@ -153,7 +165,9 @@ struct SimConfig {
   /// Name of a deliberately planted bug, applied to the *optimized* router
   /// only ("" = none). The fuzz harness plants one to prove it can detect
   /// divergences end to end. Known names: "drop_window" (reverts the
-  /// 4-stage HBH drop window to the pre-fix now+2).
+  /// 4-stage HBH drop window to the pre-fix now+2); "route_into_dead_link"
+  /// (routes with the fault-blind closed form, steering headers at failed
+  /// ports — only observable on faulted topologies).
   std::string test_mutation;
 
   // --- Run control ---
@@ -163,6 +177,14 @@ struct SimConfig {
   Cycle max_cycles = 10'000'000;  ///< Hard stop (diverged/saturated runs).
 
   int num_nodes() const { return mesh_width * mesh_height; }
+
+  /// True when the run can contain hard (permanent) faults: static dead
+  /// links/routers, or runtime link escalation armed. Gates the fault-only
+  /// JSONL columns so fault-free output stays byte-identical.
+  bool has_permanent_faults() const {
+    return !dead_links.empty() || !dead_routers.empty() ||
+           faults.link_escalation_threshold > 0;
+  }
 
   /// Validates invariants (positive sizes, rates in [0,1], ...).
   /// Returns an error description, or nullopt if the config is valid.

@@ -105,7 +105,10 @@ RateInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
                              double z) {
   RateInterval r;
   if (trials == 0) return r;  // Vacuous [0, 1].
-  FTNOC_CHECK(successes <= trials);
+  // Callers can feed transiently-inconsistent counts (e.g. ejections
+  // overtaking creations when a run stops mid-retransmit); clamp rather
+  // than abort so an estimate is always defensible.
+  successes = std::min(successes, trials);
   const double n = static_cast<double>(trials);
   const double p = static_cast<double>(successes) / n;
   const double z2 = z * z;

@@ -18,6 +18,7 @@ const char* to_string(InvariantId id) {
     case InvariantId::kSequenceMonotonic: return "sequence-monotonic";
     case InvariantId::kProbeLifecycle: return "probe-lifecycle";
     case InvariantId::kRecoveryBufferBound: return "recovery-buffer-bound";
+    case InvariantId::kDeadLinkTraversal: return "dead-link-traversal";
   }
   return "?";
 }

@@ -38,7 +38,9 @@
 //    that probe returned, at a router that relayed the probe, or through
 //    the configured fallback (Rules 1-4);
 //  * Eq. (1) — re-evaluated with the engaging router's actual buffer
-//    sizes whenever recovery engages.
+//    sizes whenever recovery engages;
+//  * dead-link traversal — once a router reports a port hard-dead (§4.9),
+//    the outgoing link wire never again carries a flit.
 
 #include <cstdint>
 #include <string>
@@ -79,6 +81,7 @@ enum class InvariantId : std::uint8_t {
   kSequenceMonotonic,
   kProbeLifecycle,
   kRecoveryBufferBound,
+  kDeadLinkTraversal,
 };
 
 const char* to_string(InvariantId id);

@@ -95,6 +95,14 @@ bool RetransmissionBuffer::has_pending_for(PacketId pid) const {
   return false;
 }
 
+bool RetransmissionBuffer::pending_contains(PacketId pid,
+                                            std::uint8_t seq) const {
+  for (const auto& e : pending_) {
+    if (e.flit.packet_id == pid && e.flit.seq == seq) return true;
+  }
+  return false;
+}
+
 void RetransmissionBuffer::clear() {
   sent_.clear();
   pending_.clear();

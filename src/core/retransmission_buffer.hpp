@@ -112,6 +112,12 @@ class RetransmissionBuffer {
   /// queued behind the current owner) do not block the owner.
   bool has_pending_for(PacketId pid) const;
 
+  /// True if some pending entry is exactly this flit (packet + sequence).
+  /// Distinguishes a staged replay — whose pending entry has not been
+  /// consumed yet — from a staged fresh transmission, even when a NACK
+  /// rollback has just queued older flits ahead of it.
+  bool pending_contains(PacketId pid, std::uint8_t seq) const;
+
   void clear();
 
   // --- Entry introspection (invariant monitor, state digests) -------------

@@ -242,12 +242,28 @@ Network::Network(const SimConfig& cfg)
   }
 
   // Hard faults: kill both directions of each configured physical link
-  // (static outages, pre-programmed in the VA link-state tables per §4.2).
+  // (static outages, pre-programmed in the VA link-state tables per §4.2),
+  // mirrored into the topology so route() switches to fault-aware mode.
   for (const auto& [node, dir] : cfg_.dead_links) {
     const auto nb = topo_.neighbor(node, dir);
     if (!nb) continue;  // Already a mesh edge; nothing to fail.
+    topo_.fail_link(node, dir);
     routers_[node]->fail_link(static_cast<PortId>(dir));
     routers_[*nb]->fail_link(static_cast<PortId>(opposite(dir)));
+  }
+  // Dead routers: every attached link dies with the node, and the node's
+  // PE is never stepped (it can neither inject nor receive). The router
+  // and PE objects are still constructed so wiring, ids and the RNG fork
+  // order stay identical to the fault-free build.
+  for (const NodeId node : cfg_.dead_routers) {
+    for (int d = 0; d < 4; ++d) {
+      const auto dir = static_cast<Direction>(d);
+      const auto nb = topo_.neighbor(node, dir);
+      if (!nb || !topo_.link_alive(node, dir)) continue;
+      routers_[node]->fail_link(static_cast<PortId>(d));
+      routers_[*nb]->fail_link(static_cast<PortId>(opposite(dir)));
+    }
+    topo_.fail_router(node);
   }
 }
 
@@ -380,10 +396,34 @@ void Network::step() {
   // refilling the slack that absorption creates and a saturated region
   // gridlocks at population == capacity, where Eq. (1) no longer holds.
   for (NodeId i = 0; i < static_cast<NodeId>(pes_.size()); ++i) {
+    if (!topo_.router_alive(i)) continue;  // Dead node: PE is off.
     pes_[i]->step(now_, next_packet_id_,
                   recovery_line_ || routers_[i]->in_recovery());
   }
   for (auto& r : routers_) r->step(now_);
+  // Runtime escalation (§4.9): promote links whose receivers report a
+  // sustained uncorrectable-error streak to hard-dead — unless the kill
+  // would partition the live mesh, in which case the link limps on (the
+  // streak re-arms and re-requests). Polled in ascending node/port order
+  // so both router implementations see identical escalation sequences.
+  if (cfg_.faults.link_escalation_threshold > 0) {
+    for (NodeId i = 0; i < static_cast<NodeId>(routers_.size()); ++i) {
+      const std::uint8_t reqs = routers_[i]->take_escalation_requests();
+      if (reqs == 0) continue;
+      for (int d = 0; d < 4; ++d) {
+        if ((reqs & (1u << d)) == 0) continue;
+        const auto dir = static_cast<Direction>(d);
+        const auto nb = topo_.neighbor(i, dir);
+        if (!nb || !topo_.link_alive(i, dir)) continue;
+        if (topo_.would_partition(i, dir)) continue;  // Veto: limp on.
+        topo_.fail_link(i, dir);
+        stats_.on_link_escalated();
+        routers_[i]->begin_link_drain(static_cast<PortId>(d), now_);
+        routers_[*nb]->begin_link_drain(
+            static_cast<PortId>(opposite(dir)), now_);
+      }
+    }
+  }
   // Buffer-utilization sampling scans every router; sample_buffers drops
   // pre-measurement samples anyway, so skip the scan entirely until the
   // warmup ends.
@@ -461,6 +501,22 @@ std::uint64_t Network::state_digest() const {
 
 void Network::run_invariant_walks() {
   for (auto& r : routers_) r->check_local_invariants(now_);
+
+  // No flit ever travels a hard-failed link. Keyed off the *router's* dead
+  // bit, not the topology: a link draining toward escalation is still
+  // legitimately carrying its last wormhole, and the router only reports
+  // the port dead once its barrel proves the wire clear.
+  for (NodeId i = 0; i < topo_.num_nodes(); ++i) {
+    for (int d = 0; d < 4; ++d) {
+      const Wire* w = link_wires_[static_cast<std::size_t>(i) * 4 + d].get();
+      if (!w || !w->flit.peek()) continue;
+      if (routers_[i]->link_failed(static_cast<PortId>(d))) {
+        monitor_->fail(InvariantId::kDeadLinkTraversal, now_, i,
+                       static_cast<PortId>(d), w->flit.peek()->vc,
+                       "flit in flight on a hard-failed link");
+      }
+    }
+  }
 
   // Flit conservation: live instances live in router state (input buffers,
   // ST registers, barrel pending regions) and on inter-router wires. Local

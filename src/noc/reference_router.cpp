@@ -1,6 +1,7 @@
 #include "noc/reference_router.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdarg>
 #include <cstdio>
 
@@ -91,11 +92,46 @@ void ReferenceRouter::fail_link(PortId p) {
   link_dead_[p] = true;
 }
 
+void ReferenceRouter::begin_link_drain(PortId p, Cycle now) {
+  FTNOC_CHECK(p < num_ports_ && p != kLocalPort);
+  if (link_dead_[p] || (draining_ & port_bit(p)) != 0) return;
+  draining_ |= port_bit(p);
+  uncorrectable_streak_[p] = 0;
+  escalation_requests_ &= static_cast<std::uint8_t>(~port_bit(p));
+  for (int g = 0; g < num_ports_ * num_vcs_; ++g) {
+    auto& vc = inputs_[static_cast<std::size_t>(g)];
+    if (vc.state != VcState::kVaWait) continue;
+    if (!mask_has(vc.candidates, p)) continue;
+    vc.candidates &= static_cast<PortMask>(~port_bit(p));
+    if (vc.candidates == 0) {
+      vc.state = VcState::kRouting;
+      vc.state_since = now;
+      if (stats_) stats_->on_packet_rerouted();
+    }
+  }
+}
+
 void ReferenceRouter::charge(power::EnergyEvent e, std::uint64_t times) {
   if (meter_) meter_->charge(e, times);
 }
 
 void ReferenceRouter::step(Cycle now) {
+  // Drain-to-kill completion (§4.9), mirrored from the optimized kernel
+  // but recomputing idleness from scratch instead of out_work_.
+  if (draining_ != 0) {
+    for (std::uint32_t dm = draining_; dm != 0; dm &= dm - 1) {
+      const PortId p = static_cast<PortId>(std::countr_zero(dm));
+      bool busy = staged_[p].has_value();
+      for (VcId v = 0; !busy && v < num_vcs_; ++v) {
+        const auto& out = ovc(p, v);
+        busy = out.allocated || out.has_waiter ||
+               (out.rtx && out.rtx->occupancy() > 0);
+      }
+      if (busy) continue;
+      link_dead_[p] = true;
+      draining_ &= static_cast<std::uint8_t>(~port_bit(p));
+    }
+  }
   // No quiescent fast path: on an idle router every phase is a no-op, and
   // the differential comparison against the optimized kernel checks that.
   std::fill(port_busy_.begin(), port_busy_.end(), false);
@@ -162,10 +198,11 @@ void ReferenceRouter::phase_maintenance(Cycle now) {
         FTNOC_INVARIANT_HOOK(if (mon_) mon_->on_restored(n));
         if (staged_[p] && staged_[p]->vc == nack->vc) {
           const Flit& s = staged_[p]->stored;
+          // Scan the whole pending region, not just the front: the
+          // rollback above may have queued older flits ahead of a staged
+          // replay's un-consumed entry (see router.cpp).
           const bool still_pending =
-              out.rtx->has_pending() &&
-              out.rtx->front_pending().packet_id == s.packet_id &&
-              out.rtx->front_pending().seq == s.seq;
+              out.rtx->pending_contains(s.packet_id, s.seq);
           if (!still_pending) out.rtx->push_pending_back(s);
           staged_[p].reset();
         }
@@ -232,6 +269,14 @@ void ReferenceRouter::handle_incoming_flit(PortId p, Flit f, Cycle now) {
             c == FlitCheck::kUncorrectable ||
             (cfg_.ecc_detect_only && c == FlitCheck::kCorrected);
         if (must_retransmit) {
+          if (cfg_.faults.link_escalation_threshold > 0 && !link_dead_[p] &&
+              (draining_ & port_bit(p)) == 0) {
+            if (++uncorrectable_streak_[p] >= static_cast<std::uint32_t>(
+                    cfg_.faults.link_escalation_threshold)) {
+              escalation_requests_ |= port_bit(p);
+              uncorrectable_streak_[p] = 0;
+            }
+          }
           if (stats_) stats_->on_nack_sent();
           pending_nacks_.push_back({p, f.vc, now + 1});
           // The reference model never applies test mutations: a 4-stage
@@ -243,6 +288,9 @@ void ReferenceRouter::handle_incoming_flit(PortId p, Flit f, Cycle now) {
         }
         if (c == FlitCheck::kCorrected) {
           if (stats_) stats_->on_link_single_corrected();
+        }
+        if (cfg_.faults.link_escalation_threshold > 0) {
+          uncorrectable_streak_[p] = 0;
         }
         break;
       }
@@ -496,7 +544,7 @@ std::optional<std::pair<PortId, VcId>> ReferenceRouter::pick_va_request(
     if (!mask_has(vc.candidates, o)) continue;
     const bool valid = (o == kLocalPort)
                            ? (!vc.buf.empty() && vc.buf.front().dest == id_)
-                           : port_usable(o);
+                           : port_allocatable(o);
     if (!valid) continue;
     for (VcId v = 0; v < num_vcs_; ++v) {
       if (ovc(o, v).allocated || n >= static_cast<int>(options.size())) {
@@ -528,11 +576,13 @@ void ReferenceRouter::phase_va(Cycle now) {
     bool dead_candidate = false;
     for (PortId o = 0; o < num_ports_; ++o) {
       if (!mask_has(vc.candidates, o)) continue;
-      if (o == kLocalPort ? vc.buf.front().dest == id_ : port_usable(o)) {
+      if (o == kLocalPort ? vc.buf.front().dest == id_
+                          : port_allocatable(o)) {
         any_valid = true;
         break;
       }
-      if (o != kLocalPort && port_has_neighbor(o) && link_dead_[o]) {
+      if (o != kLocalPort && port_has_neighbor(o) &&
+          (link_dead_[o] || (draining_ & port_bit(o)) != 0)) {
         dead_candidate = true;
       }
     }
@@ -541,7 +591,7 @@ void ReferenceRouter::phase_va(Cycle now) {
           cfg_.routing != RoutingAlgorithm::kXY) {
         PortMask live = 0;
         for (PortId o = 0; o < num_ports_; ++o) {
-          if (o != kLocalPort && port_usable(o)) live |= port_bit(o);
+          if (o != kLocalPort && port_allocatable(o)) live |= port_bit(o);
         }
         if (live != 0) {
           vc.candidates = live;
@@ -665,7 +715,7 @@ PortMask ReferenceRouter::apply_rt_fault(InputVc& vc, PortMask correct,
   FTNOC_CHECK(n > 0);
   const PortId w = wrongs[faults_->random_below(static_cast<std::uint64_t>(n))];
 
-  const bool functional = (w != kLocalPort) && port_usable(w);
+  const bool functional = (w != kLocalPort) && port_allocatable(w);
   if (!functional) {
     return port_bit(w);
   }
@@ -719,8 +769,23 @@ void ReferenceRouter::phase_rt(Cycle now) {
     }
 
     charge(power::EnergyEvent::kRouteCompute);
-    const PortMask correct =
-        route(topo_, cfg_.routing, id_, vc.buf.front().dest);
+    const NodeId dest = vc.buf.front().dest;
+    const PortMask correct = route(topo_, cfg_.routing, id_, dest);
+    if (topo_.has_faults()) {
+      // The reference model never applies the "route_into_dead_link"
+      // planted mutation: it always routes fault-aware.
+      if (correct == 0) {
+        if (stats_) stats_->on_unreachable_drop();
+        vc.state = VcState::kDraining;
+        vc.state_since = now;
+        continue;
+      }
+      if (stats_ &&
+          (correct & ~route_fault_free(topo_, cfg_.routing, id_, dest)) !=
+              0) {
+        stats_->on_hard_fault_reroute();
+      }
+    }
     vc.candidates = apply_rt_fault(vc, correct, now);
     vc.state = VcState::kVaWait;
     vc.state_since = now;
@@ -949,7 +1014,7 @@ void ReferenceRouter::phase_deadlock(Cycle now) {
       PortId o = kInvalidPort;
       for (PortId cand = 0; cand < num_ports_; ++cand) {
         if (cand == kLocalPort || !mask_has(vc.candidates, cand)) continue;
-        if (port_usable(cand)) {
+        if (port_allocatable(cand)) {
           o = cand;
           break;
         }
@@ -1169,6 +1234,8 @@ std::uint64_t ReferenceRouter::state_digest() const {
       h.mix(static_cast<std::uint64_t>(staged_[p]->vc));
     }
     h.mix(link_dead_[p]);
+    h.mix((draining_ & port_bit(p)) != 0);
+    h.mix(static_cast<std::uint64_t>(uncorrectable_streak_[p]));
     h.mix(static_cast<std::uint64_t>(sa_in_arbs_.at(p).last_grant()));
     h.mix(static_cast<std::uint64_t>(sa_out_arbs_.at(p).last_grant()));
     h.mix(static_cast<std::uint64_t>(replay_arbs_.at(p).last_grant()));

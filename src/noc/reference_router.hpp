@@ -74,6 +74,14 @@ class ReferenceRouter final : public RouterIface {
   long long live_flit_count() const override;
   int held_credits(PortId p, VcId v) const override;
 
+  bool link_failed(PortId p) const override { return link_dead_[p]; }
+  std::uint8_t take_escalation_requests() override {
+    const std::uint8_t r = escalation_requests_;
+    escalation_requests_ = 0;
+    return r;
+  }
+  void begin_link_drain(PortId p, Cycle now) override;
+
  private:
   enum class VcState : std::uint8_t {
     kRouting,
@@ -145,6 +153,9 @@ class ReferenceRouter final : public RouterIface {
 
   bool port_has_neighbor(PortId p) const;
   bool port_usable(PortId p) const;
+  bool port_allocatable(PortId p) const {
+    return port_usable(p) && (draining_ & port_bit(p)) == 0;
+  }
   void accept_flit(PortId p, Flit f, Cycle now);
   void handle_incoming_flit(PortId p, Flit f, Cycle now);
   void handle_probe(PortId p, const ProbeSignal& probe, Cycle now);
@@ -199,6 +210,10 @@ class ReferenceRouter final : public RouterIface {
 
   std::array<bool, kNumDirections> port_busy_{};
   std::array<bool, kNumDirections> link_dead_{};
+
+  std::uint8_t draining_ = 0;
+  std::array<std::uint32_t, kNumDirections> uncorrectable_streak_{};
+  std::uint8_t escalation_requests_ = 0;
 
   std::array<std::optional<StagedFlit>, kNumDirections> staged_;
   std::vector<PendingNack> pending_nacks_;

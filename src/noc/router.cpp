@@ -101,6 +101,32 @@ void Router::fail_link(PortId p) {
   link_dead_[p] = true;
 }
 
+void Router::begin_link_drain(PortId p, Cycle now) {
+  FTNOC_CHECK(p < num_ports_ && p != kLocalPort);
+  if (link_dead_[p] || (draining_ & port_bit(p)) != 0) return;
+  draining_ |= port_bit(p);
+  uncorrectable_streak_[p] = 0;
+  escalation_requests_ &= static_cast<std::uint8_t>(~port_bit(p));
+  // Re-home heads still waiting for an output VC on the dying port: strip
+  // it from their candidate sets; a head left with no candidates goes back
+  // to RT, where the (now fault-aware) route detours it. Established
+  // wormholes, replays and registered waiters keep the port until their
+  // tails retire — the drain completes only once they have.
+  for (std::uint32_t m = in_work_; m != 0; m &= m - 1) {
+    const int g = std::countr_zero(m);
+    auto& vc = inputs_[static_cast<std::size_t>(g)];
+    if (vc.state != VcState::kVaWait) continue;
+    if (!mask_has(vc.candidates, p)) continue;
+    vc.candidates &= static_cast<PortMask>(~port_bit(p));
+    if (vc.candidates == 0) {
+      vc.state = VcState::kRouting;
+      vc.state_since = now;
+      update_input_work(g);
+      if (stats_) stats_->on_packet_rerouted();
+    }
+  }
+}
+
 void Router::charge(power::EnergyEvent e, std::uint64_t times) {
   if (meter_) meter_->charge(e, times);
 }
@@ -109,6 +135,9 @@ bool Router::quiescent() const {
   // Internal state: no buffered or stateful VCs, no staged flit, no queued
   // control signals or NACKs, no pending progress note, not recovering.
   if (in_work_ != 0 || out_work_ != 0 || staged_count_ != 0) return false;
+  // A draining port needs the drain-completion check at the top of step()
+  // to run until it goes hard-dead.
+  if (draining_ != 0) return false;
   if (!pending_nacks_.empty() || !outbox_.empty()) return false;
   if (progress_this_cycle_ || agent_.in_recovery()) return false;
   if (!own_probe_route_.empty()) return false;
@@ -127,6 +156,22 @@ bool Router::quiescent() const {
 }
 
 void Router::step(Cycle now) {
+  // Drain-to-kill completion (§4.9): a draining port goes hard-dead once
+  // every output VC on it is idle (no owner, no waiter, empty barrel — the
+  // barrel's sent region covers the NACK window, so an empty barrel proves
+  // the wire is clear) and nothing is staged toward it. Runs before the
+  // quiescent fast path: an otherwise-idle router must still finish its
+  // drains.
+  if (draining_ != 0) {
+    const std::uint32_t vmask = (1u << num_vcs_) - 1u;
+    for (std::uint32_t dm = draining_; dm != 0; dm &= dm - 1) {
+      const PortId p = static_cast<PortId>(std::countr_zero(dm));
+      if (((out_work_ >> (p * num_vcs_)) & vmask) != 0) continue;
+      if (staged_[p].has_value()) continue;
+      link_dead_[p] = true;
+      draining_ &= static_cast<std::uint8_t>(~port_bit(p));
+    }
+  }
   // Idle fast path: a quiescent router's phases are all provable no-ops —
   // no charges, no stats, no RNG draws, no arbiter advances — so skipping
   // them is behaviour-preserving (the golden byte-identity tests pin this).
@@ -220,13 +265,14 @@ void Router::phase_maintenance(Cycle now) {
         // register is squashed — it is in flight inside our own pipe and
         // must be replayed after the rolled-back flits, not transmitted
         // stale ahead of them. (A staged *replay* was never consumed from
-        // the pending region, so it simply stays queued.)
+        // the pending region, so it simply stays queued — it need not be
+        // at the front: the rollback may have just queued older flits
+        // ahead of it, so scan the whole pending region or the replay is
+        // double-queued and a duplicate reaches the receiver.)
         if (staged_[p] && staged_[p]->vc == nack->vc) {
           const Flit& s = staged_[p]->stored;
           const bool still_pending =
-              out.rtx->has_pending() &&
-              out.rtx->front_pending().packet_id == s.packet_id &&
-              out.rtx->front_pending().seq == s.seq;
+              out.rtx->pending_contains(s.packet_id, s.seq);
           if (!still_pending) out.rtx->push_pending_back(s);
           staged_[p].reset();
           --staged_count_;
@@ -311,6 +357,18 @@ void Router::handle_incoming_flit(PortId p, Flit f, Cycle now) {
             c == FlitCheck::kUncorrectable ||
             (cfg_.ecc_detect_only && c == FlitCheck::kCorrected);
         if (must_retransmit) {
+          // Runtime escalation (§4.9): a long-enough streak of detected
+          // uncorrectable errors on one link marks it flaky-to-dead; the
+          // Network polls the request, vetoes partitioning kills, and
+          // starts the drain on both endpoints.
+          if (cfg_.faults.link_escalation_threshold > 0 && !link_dead_[p] &&
+              (draining_ & port_bit(p)) == 0) {
+            if (++uncorrectable_streak_[p] >= static_cast<std::uint32_t>(
+                    cfg_.faults.link_escalation_threshold)) {
+              escalation_requests_ |= port_bit(p);
+              uncorrectable_streak_[p] = 0;
+            }
+          }
           // Detected flit error: drop, NACK one cycle later (the check
           // stage), and drop the in-flight followers (two for the paper's
           // 3-cycle loop, Figure 4; three when the sender has a dedicated
@@ -329,6 +387,11 @@ void Router::handle_incoming_flit(PortId p, Flit f, Cycle now) {
         }
         if (c == FlitCheck::kCorrected) {
           if (stats_) stats_->on_link_single_corrected();
+        }
+        // A cleanly received flit breaks the uncorrectable streak: only
+        // *consecutive* failures escalate (transient noise does not).
+        if (cfg_.faults.link_escalation_threshold > 0) {
+          uncorrectable_streak_[p] = 0;
         }
         break;
       }
@@ -660,7 +723,7 @@ std::optional<std::pair<PortId, VcId>> Router::pick_va_request(InputVc& vc,
     if (!mask_has(vc.candidates, o)) continue;
     const bool valid = (o == kLocalPort)
                            ? (!vc.buf.empty() && vc.buf.front().dest == id_)
-                           : port_usable(o);
+                           : port_allocatable(o);
     if (!valid) continue;
     for (VcId v = 0; v < num_vcs_; ++v) {
       if (ovc(o, v).allocated || n >= static_cast<int>(options.size())) {
@@ -703,11 +766,13 @@ void Router::phase_va(Cycle now) {
     bool dead_candidate = false;
     for (PortId o = 0; o < num_ports_; ++o) {
       if (!mask_has(vc.candidates, o)) continue;
-      if (o == kLocalPort ? vc.buf.front().dest == id_ : port_usable(o)) {
+      if (o == kLocalPort ? vc.buf.front().dest == id_
+                          : port_allocatable(o)) {
         any_valid = true;
         break;
       }
-      if (o != kLocalPort && port_has_neighbor(o) && link_dead_[o]) {
+      if (o != kLocalPort && port_has_neighbor(o) &&
+          (link_dead_[o] || (draining_ & port_bit(o)) != 0)) {
         dead_candidate = true;
       }
     }
@@ -720,7 +785,7 @@ void Router::phase_va(Cycle now) {
         // another direction using an adaptive routing scheme", 3.2.2).
         PortMask live = 0;
         for (PortId o = 0; o < num_ports_; ++o) {
-          if (o != kLocalPort && port_usable(o)) live |= port_bit(o);
+          if (o != kLocalPort && port_allocatable(o)) live |= port_bit(o);
         }
         if (live != 0) {
           vc.candidates = live;
@@ -866,7 +931,7 @@ PortMask Router::apply_rt_fault(InputVc& vc, PortMask correct, Cycle now) {
   FTNOC_CHECK(n > 0);
   const PortId w = wrongs[faults_->random_below(static_cast<std::uint64_t>(n))];
 
-  const bool functional = (w != kLocalPort) && port_usable(w);
+  const bool functional = (w != kLocalPort) && port_allocatable(w);
   if (!functional) {
     // Blocked/invalid direction: the local VA will catch it against its
     // link-state table (§4.2) — return the corrupted candidate set.
@@ -939,8 +1004,33 @@ void Router::phase_rt(Cycle now) {
     }
 
     charge(power::EnergyEvent::kRouteCompute);
-    const PortMask correct =
-        route(topo_, cfg_.routing, id_, vc.buf.front().dest);
+    const NodeId dest = vc.buf.front().dest;
+    PortMask correct = route(topo_, cfg_.routing, id_, dest);
+    if (topo_.has_faults()) {
+      if (cfg_.test_mutation == "route_into_dead_link") {
+        // Planted mutation (fuzz-harness self-test): route by the closed
+        // form, as a router whose RT link-state input is stuck-at-good
+        // would — it aims wormholes straight into dead links.
+        correct = route_fault_free(topo_, cfg_.routing, id_, dest);
+      }
+      if (correct == 0) {
+        // No live path to dest (partitioned by escalations, or the dest
+        // router itself is dead): drop the packet rather than wedge the
+        // VC forever — graceful degradation, accounted per packet.
+        if (stats_) stats_->on_unreachable_drop();
+        vc.state = VcState::kDraining;
+        vc.state_since = now;
+        update_input_work(g);
+        continue;
+      }
+      if (stats_ &&
+          (correct & ~route_fault_free(topo_, cfg_.routing, id_, dest)) !=
+              0) {
+        // The fault-aware set offers a direction the fault-free minimal
+        // set would not: this hop detours the packet around a hard fault.
+        stats_->on_hard_fault_reroute();
+      }
+    }
     vc.candidates = apply_rt_fault(vc, correct, now);
     vc.state = VcState::kVaWait;
     vc.state_since = now;
@@ -1230,7 +1320,7 @@ void Router::phase_deadlock(Cycle now) {
       PortId o = kInvalidPort;
       for (PortId cand = 0; cand < num_ports_; ++cand) {
         if (cand == kLocalPort || !mask_has(vc.candidates, cand)) continue;
-        if (port_usable(cand)) {
+        if (port_allocatable(cand)) {
           o = cand;
           break;
         }
@@ -1553,6 +1643,8 @@ std::uint64_t Router::state_digest() const {
       h.mix(static_cast<std::uint64_t>(staged_[p]->vc));
     }
     h.mix(link_dead_[p]);
+    h.mix((draining_ & port_bit(p)) != 0);
+    h.mix(static_cast<std::uint64_t>(uncorrectable_streak_[p]));
     h.mix(static_cast<std::uint64_t>(sa_in_arbs_.at(p).last_grant()));
     h.mix(static_cast<std::uint64_t>(sa_out_arbs_.at(p).last_grant()));
     h.mix(static_cast<std::uint64_t>(replay_arbs_.at(p).last_grant()));

@@ -102,6 +102,15 @@ class Router final : public RouterIface {
   long long live_flit_count() const override;
   int held_credits(PortId p, VcId v) const override;
 
+  // --- Permanent-fault escalation (DESIGN.md §4.9) ------------------------
+  bool link_failed(PortId p) const override { return link_dead_[p]; }
+  std::uint8_t take_escalation_requests() override {
+    const std::uint8_t r = escalation_requests_;
+    escalation_requests_ = 0;
+    return r;
+  }
+  void begin_link_drain(PortId p, Cycle now) override;
+
  private:
   // --- Per-VC state -------------------------------------------------------
   enum class VcState : std::uint8_t {
@@ -195,6 +204,12 @@ class Router final : public RouterIface {
   bool port_has_neighbor(PortId p) const;
   /// Neighbour exists and the link is not hard-failed.
   bool port_usable(PortId p) const;
+  /// Usable and not draining toward escalation: the gate for *new*
+  /// commitments (VA requests, deadlock waiters, RT-fault misdirections).
+  /// In-flight wormholes keep using a draining port until their tail.
+  bool port_allocatable(PortId p) const {
+    return port_usable(p) && (draining_ & port_bit(p)) == 0;
+  }
   void accept_flit(PortId p, Flit f, Cycle now);
   void handle_incoming_flit(PortId p, Flit f, Cycle now);
   void handle_probe(PortId p, const ProbeSignal& probe, Cycle now);
@@ -271,6 +286,16 @@ class Router final : public RouterIface {
 
   std::array<bool, kNumDirections> port_busy_{};     // per-cycle ST usage
   std::array<bool, kNumDirections> link_dead_{};     // hard faults (4.2)
+
+  // --- Runtime link escalation (§4.9) -------------------------------------
+  /// Ports draining toward hard-failure: no new allocations; once the
+  /// port's output VCs and staged register fall idle it becomes dead.
+  std::uint8_t draining_ = 0;
+  /// Consecutive uncorrectable receive errors per input port; a streak of
+  /// cfg_.faults.link_escalation_threshold raises an escalation request.
+  std::array<std::uint32_t, kNumDirections> uncorrectable_streak_{};
+  /// Ports whose streak crossed the threshold since the last Network poll.
+  std::uint8_t escalation_requests_ = 0;
 
   /// 4-stage pipeline: the dedicated switch-traversal register. `wire`
   /// is what travels (possibly wrecked by an unprotected SA upset);

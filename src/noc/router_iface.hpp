@@ -107,6 +107,20 @@ class RouterIface {
   /// Sender-side credit instances for directed link (`p`, `v`): the free
   /// credit counter plus credits bound to staged or rolled-back flits.
   virtual int held_credits(PortId, VcId) const { return 0; }
+
+  // --- Permanent-fault escalation (DESIGN.md §4.9) ------------------------
+  /// True once port `p` has been marked hard-failed (static config or a
+  /// completed runtime escalation). The invariant monitor's dead-link walk
+  /// keys off this rather than the topology so a draining link is not a
+  /// false positive.
+  virtual bool link_failed(PortId) const { return false; }
+  /// Ports whose uncorrectable-error streak crossed the escalation
+  /// threshold since the last poll, as a bitmask; clears the pending set.
+  virtual std::uint8_t take_escalation_requests() { return 0; }
+  /// Begins draining link port `p`: no new allocations toward it; once the
+  /// port falls idle the router marks it hard-failed. Re-homes packets
+  /// still waiting on it (they re-route, counted as packets_rerouted).
+  virtual void begin_link_drain(PortId, Cycle) {}
 };
 
 }  // namespace ftnoc

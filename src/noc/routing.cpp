@@ -45,6 +45,30 @@ PortMask xy_port(const Topology& topo, NodeId current, NodeId dest) {
   return port_bit(Direction::kLocal);
 }
 
+// Fault-aware mode (DESIGN.md §4.9): offer every live port whose neighbour
+// is strictly closer to `dest` in the topology's live-link BFS metric.
+// Strict descent makes delivery inevitable for connected pairs (the
+// distance is a finite non-negative integer that shrinks every hop) and
+// rules out livelock without any history in the packet. Deterministic XY
+// degrades to the lowest-numbered descending port so it stays a function
+// of (current, dest).
+PortMask fault_aware_ports(const Topology& topo, RoutingAlgorithm algo,
+                           NodeId current, NodeId dest) {
+  const std::uint16_t here = topo.fault_distance(current, dest);
+  if (here == Topology::kUnreachable) return 0;
+  PortMask m = 0;
+  for (PortId p = 0; p < 4; ++p) {
+    const auto d = static_cast<Direction>(p);
+    if (!topo.link_alive(current, d)) continue;
+    if (topo.fault_distance(*topo.neighbor(current, d), dest) < here) {
+      m |= port_bit(p);
+    }
+  }
+  FTNOC_DCHECK(m != 0);
+  if (algo == RoutingAlgorithm::kXY) return port_bit(first_port(m));
+  return m;
+}
+
 }  // namespace
 
 int mask_size(PortMask m) {
@@ -58,6 +82,20 @@ PortId first_port(PortMask m) {
 
 PortMask route(const Topology& topo, RoutingAlgorithm algo, NodeId current,
                NodeId dest) {
+  FTNOC_DCHECK(current < topo.num_nodes() && dest < topo.num_nodes());
+  if (current == dest) return port_bit(Direction::kLocal);
+  // A faulted fabric routes by live-link BFS distance for every algorithm;
+  // an unreachable destination returns the empty mask (the router drops
+  // the packet as unreachable). Fault-free fabrics keep the closed forms
+  // below bit-for-bit (the golden digests pin this).
+  if (topo.has_faults()) {
+    return fault_aware_ports(topo, algo, current, dest);
+  }
+  return route_fault_free(topo, algo, current, dest);
+}
+
+PortMask route_fault_free(const Topology& topo, RoutingAlgorithm algo,
+                          NodeId current, NodeId dest) {
   FTNOC_DCHECK(current < topo.num_nodes() && dest < topo.num_nodes());
   if (current == dest) return port_bit(Direction::kLocal);
   switch (algo) {

@@ -36,10 +36,23 @@ int mask_size(PortMask m);
 PortId first_port(PortMask m);
 
 /// Computes the permitted output ports for a packet at `current` headed to
-/// `dest`. Always non-empty for a valid destination; returns the Local port
-/// alone when current == dest.
+/// `dest`. Returns the Local port alone when current == dest. On a
+/// fault-free topology the result is always non-empty (the closed-form XY /
+/// minimal-adaptive sets). When the topology carries permanent faults,
+/// every algorithm switches to fault-aware mode: only live ports whose
+/// neighbour is strictly closer to `dest` in live-link BFS distance are
+/// offered (minimal-adaptive around the faults, guaranteed delivery for
+/// connected pairs), and the mask is empty iff `dest` is unreachable — the
+/// caller must then drop the packet.
 PortMask route(const Topology& topo, RoutingAlgorithm algo, NodeId current,
                NodeId dest);
+
+/// The closed-form (fault-blind) port set: what route() would return if the
+/// topology carried no permanent faults. Routers compare this against the
+/// fault-aware mask to detect forced non-minimal detours, and the fuzzer's
+/// planted "route_into_dead_link" mutation substitutes it for route().
+PortMask route_fault_free(const Topology& topo, RoutingAlgorithm algo,
+                          NodeId current, NodeId dest);
 
 /// True if a flit that arrived at `current` via input port `in_port`
 /// (i.e. was sent by the neighbour in direction opposite(in_port)) is

@@ -48,6 +48,23 @@ SimResults Simulator::run() {
   SimResults r;
   r.completed = stats.messages_ejected() >= cfg_.total_messages;
   r.cycles = net.now();
+
+  if (!warmed_up) {
+    // The run hit max_cycles before ejecting even the warm-up budget:
+    // there is no measurement window at all. Report the replica as
+    // incomplete with zero measured messages and only the whole-run
+    // accounting — computing windowed metrics from the never-started
+    // window would report measure_start()=0 garbage (stale throughput,
+    // zero-latency "samples") that poisons campaign aggregation.
+    r.completed = false;
+    r.packets_created = stats.packets_created();
+    r.messages_ejected = stats.messages_ejected();
+    r.packets_rerouted = stats.packets_rerouted();
+    r.unreachable_drops = stats.unreachable_drops();
+    r.links_escalated = stats.links_escalated();
+    return r;
+  }
+
   r.avg_latency_cycles = stats.latency().mean();
   r.avg_total_latency_cycles = stats.total_latency().mean();
   r.p50_latency_cycles = stats.latency_histogram().quantile(0.5);
@@ -90,6 +107,9 @@ SimResults Simulator::run() {
   r.rtx_errors_corrected = stats.rtx_errors_corrected();
   r.handshake_errors_corrected = stats.handshake_errors_corrected();
   r.hard_fault_reroutes = stats.hard_fault_reroutes();
+  r.packets_rerouted = stats.packets_rerouted();
+  r.unreachable_drops = stats.unreachable_drops();
+  r.links_escalated = stats.links_escalated();
 
   r.probes_sent = stats.probes_sent();
   r.probes_discarded = stats.probes_discarded();

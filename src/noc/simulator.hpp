@@ -61,6 +61,15 @@ struct SimResults {
   std::uint64_t handshake_errors_corrected = 0;
   std::uint64_t hard_fault_reroutes = 0;
 
+  // Permanent-fault accounting (whole run, like packets_created). Always
+  // zero unless the config has dead links/routers or escalation armed.
+  /// Waiting packets sent back to routing because their next hop died.
+  std::uint64_t packets_rerouted = 0;
+  /// Packets dropped because no live path to their destination exists.
+  std::uint64_t unreachable_drops = 0;
+  /// Flaky links escalated to hard-dead at runtime.
+  std::uint64_t links_escalated = 0;
+
   // Deadlock accounting.
   std::uint64_t probes_sent = 0;
   std::uint64_t probes_discarded = 0;

@@ -63,6 +63,16 @@ class StatsCollector {
   /// A packet detoured non-minimally around a hard-failed link.
   void on_hard_fault_reroute() { bump(hard_fault_reroutes_); }
 
+  // --- Permanent-fault accounting ------------------------------------------
+  // Delivery accounting like packets_created_/messages_ejected_: counted
+  // over the whole run, not gated on the measurement window.
+  /// A waiting packet whose chosen next hop died was sent back to routing.
+  void on_packet_rerouted() { ++packets_rerouted_; }
+  /// A packet was dropped because no live path to its destination exists.
+  void on_unreachable_drop() { ++unreachable_drops_; }
+  /// A flaky link crossed the escalation threshold and was declared dead.
+  void on_link_escalated() { ++links_escalated_; }
+
   // --- Deadlock events -----------------------------------------------------
   void on_probe_sent() { bump(probes_sent_); }
   void on_probe_discarded() { bump(probes_discarded_); }
@@ -112,6 +122,9 @@ class StatsCollector {
     return handshake_errors_corrected_;
   }
   std::uint64_t hard_fault_reroutes() const { return hard_fault_reroutes_; }
+  std::uint64_t packets_rerouted() const { return packets_rerouted_; }
+  std::uint64_t unreachable_drops() const { return unreachable_drops_; }
+  std::uint64_t links_escalated() const { return links_escalated_; }
 
   std::uint64_t probes_sent() const { return probes_sent_; }
   std::uint64_t probes_discarded() const { return probes_discarded_; }
@@ -159,6 +172,9 @@ class StatsCollector {
   std::uint64_t rtx_errors_corrected_ = 0;
   std::uint64_t handshake_errors_corrected_ = 0;
   std::uint64_t hard_fault_reroutes_ = 0;
+  std::uint64_t packets_rerouted_ = 0;
+  std::uint64_t unreachable_drops_ = 0;
+  std::uint64_t links_escalated_ = 0;
 
   std::uint64_t probes_sent_ = 0;
   std::uint64_t probes_discarded_ = 0;

@@ -42,4 +42,134 @@ std::optional<NodeId> Topology::neighbor(NodeId n, Direction d) const {
   return node_at(c);
 }
 
+bool Topology::dead_port(NodeId n, Direction d) const {
+  if (dead_ports_.empty()) return false;
+  return (dead_ports_[n] >> static_cast<int>(d)) & 1;
+}
+
+bool Topology::link_alive(NodeId n, Direction d) const {
+  if (d == Direction::kLocal || !has_neighbor(n, d)) return false;
+  return !dead_port(n, d);
+}
+
+bool Topology::router_alive(NodeId n) const {
+  if (dead_routers_.empty()) return true;
+  return !dead_routers_[n];
+}
+
+void Topology::fail_link(NodeId n, Direction d) {
+  FTNOC_CHECK(n < num_nodes() && d != Direction::kLocal);
+  if (dead_ports_.empty()) {
+    dead_ports_.assign(static_cast<std::size_t>(num_nodes()), 0);
+    dead_routers_.assign(static_cast<std::size_t>(num_nodes()), 0);
+  }
+  dead_ports_[n] |= static_cast<std::uint8_t>(1u << static_cast<int>(d));
+  if (const auto nb = neighbor(n, d)) {
+    dead_ports_[*nb] |=
+        static_cast<std::uint8_t>(1u << static_cast<int>(opposite(d)));
+  }
+  has_faults_ = true;
+  rebuild_distances();
+}
+
+void Topology::fail_router(NodeId n) {
+  FTNOC_CHECK(n < num_nodes());
+  for (int p = 0; p < 4; ++p) {
+    const auto d = static_cast<Direction>(p);
+    if (has_neighbor(n, d)) fail_link(n, d);
+  }
+  if (dead_routers_.empty()) {
+    dead_ports_.assign(static_cast<std::size_t>(num_nodes()), 0);
+    dead_routers_.assign(static_cast<std::size_t>(num_nodes()), 0);
+  }
+  dead_routers_[n] = 1;
+  has_faults_ = true;
+  rebuild_distances();
+}
+
+void Topology::rebuild_distances() {
+  const std::size_t n = static_cast<std::size_t>(num_nodes());
+  dist_.assign(n * n, kUnreachable);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (NodeId dest = 0; dest < num_nodes(); ++dest) {
+    if (!router_alive(dest)) continue;
+    std::uint16_t* row = dist_.data() + static_cast<std::size_t>(dest) * n;
+    row[dest] = 0;
+    queue.clear();
+    queue.push_back(dest);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId cur = queue[head];
+      for (int p = 0; p < 4; ++p) {
+        const auto d = static_cast<Direction>(p);
+        if (!link_alive(cur, d)) continue;
+        const NodeId nb = *neighbor(cur, d);
+        if (!router_alive(nb) || row[nb] != kUnreachable) continue;
+        row[nb] = static_cast<std::uint16_t>(row[cur] + 1);
+        queue.push_back(nb);
+      }
+    }
+  }
+}
+
+std::uint16_t Topology::fault_distance(NodeId from, NodeId to) const {
+  FTNOC_DCHECK(from < num_nodes() && to < num_nodes());
+  if (!has_faults_) {
+    // Fault-free fabrics never build the table; callers should not ask.
+    const Coord a = coord_of(from);
+    const Coord b = coord_of(to);
+    int dx = b.x - a.x;
+    int dy = b.y - a.y;
+    if (dx < 0) dx = -dx;
+    if (dy < 0) dy = -dy;
+    if (torus_) {
+      if (width_ - dx < dx) dx = width_ - dx;
+      if (height_ - dy < dy) dy = height_ - dy;
+    }
+    return static_cast<std::uint16_t>(dx + dy);
+  }
+  return dist_[static_cast<std::size_t>(to) *
+                   static_cast<std::size_t>(num_nodes()) +
+               from];
+}
+
+bool Topology::would_partition(NodeId n, Direction d) const {
+  const auto nb = neighbor(n, d);
+  if (!nb) return false;  // Killing a nonexistent link changes nothing.
+  // BFS over live links, treating (n,d) / (*nb,opposite) as already dead.
+  const int total = num_nodes();
+  int live = 0;
+  NodeId first = 0;
+  bool have_first = false;
+  for (NodeId i = 0; i < total; ++i) {
+    if (!router_alive(i)) continue;
+    ++live;
+    if (!have_first) {
+      first = i;
+      have_first = true;
+    }
+  }
+  if (live <= 1) return false;
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(total), 0);
+  std::vector<NodeId> queue = {first};
+  seen[first] = 1;
+  int reached = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId cur = queue[head];
+    ++reached;
+    for (int p = 0; p < 4; ++p) {
+      const auto dir = static_cast<Direction>(p);
+      if (!link_alive(cur, dir)) continue;
+      if ((cur == n && dir == d) || (cur == *nb && dir == opposite(d))) {
+        continue;  // The link under consideration.
+      }
+      const NodeId next = *neighbor(cur, dir);
+      if (!router_alive(next) || seen[next]) continue;
+      seen[next] = 1;
+      queue.push_back(next);
+    }
+  }
+  return reached != live;
+}
+
 }  // namespace ftnoc

@@ -3,8 +3,17 @@
 // resolution. The paper evaluates an 8x8 MESH (§2.2); the torus option
 // exists because the tornado pattern (borrowed from torus studies) and the
 // ablation benches benefit from it.
+//
+// The topology also carries the permanent-fault state of the fabric: a
+// link/router fault mask (static dead_links/dead_routers, plus links the
+// network escalates at runtime after repeated uncorrectable errors) and a
+// BFS distance table over the live links that route() consults to steer
+// around faults. Fault-free topologies keep the mask empty and pay
+// nothing.
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -24,7 +33,8 @@ class Topology {
   bool contains(Coord c) const;
 
   /// The neighbour reached by leaving `n` through `d`, or nullopt at a mesh
-  /// edge. kLocal never has a neighbour.
+  /// edge. kLocal never has a neighbour. Ignores the fault mask (the
+  /// physical channel still exists; it just must not be used).
   std::optional<NodeId> neighbor(NodeId n, Direction d) const;
 
   /// True if `d` is a usable network direction at node `n`.
@@ -32,10 +42,41 @@ class Topology {
     return neighbor(n, d).has_value();
   }
 
+  // --- Permanent-fault mask -----------------------------------------------
+  /// Marks both directions of the physical channel leaving `n` through `d`
+  /// as hard-dead and rebuilds the live-link distance table.
+  void fail_link(NodeId n, Direction d);
+  /// Marks router `n` dead: all four of its links fail and it stops being
+  /// a legal destination (fault_distance to it becomes kUnreachable).
+  void fail_router(NodeId n);
+  /// Any link or router faulted so far (static or escalated).
+  bool has_faults() const { return has_faults_; }
+  /// True if `d` leads to an existing neighbour over a non-faulted link.
+  bool link_alive(NodeId n, Direction d) const;
+  bool router_alive(NodeId n) const;
+  /// Would additionally failing this link disconnect any pair of still-live
+  /// routers? The network consults this before escalating a flaky link so
+  /// graceful degradation never partitions the fabric.
+  bool would_partition(NodeId n, Direction d) const;
+
+  /// Minimum hop count from `from` to `to` over live links only, or
+  /// kUnreachable. Exact (BFS) — route() picks ports that strictly decrease
+  /// it, which guarantees delivery between connected pairs.
+  std::uint16_t fault_distance(NodeId from, NodeId to) const;
+  static constexpr std::uint16_t kUnreachable = 0xFFFF;
+
  private:
+  void rebuild_distances();
+  bool dead_port(NodeId n, Direction d) const;
+
   int width_;
   int height_;
   bool torus_;
+  bool has_faults_ = false;
+  std::vector<std::uint8_t> dead_ports_;    ///< Per node, bit per direction.
+  std::vector<std::uint8_t> dead_routers_;  ///< Per node.
+  /// dist_[dest * num_nodes + cur]; built lazily on the first fault.
+  std::vector<std::uint16_t> dist_;
 };
 
 }  // namespace ftnoc

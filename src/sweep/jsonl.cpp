@@ -93,6 +93,27 @@ void append_config_fields(JsonRecord& o, const SimConfig& c) {
   o.u64("warmup_messages", c.warmup_messages);
   o.u64("total_messages", c.total_messages);
   o.u64("max_cycles", c.max_cycles);
+  // Permanent-fault columns only appear for configs that can carry hard
+  // faults, so fault-free sweeps (and their config hashes / golden
+  // digests) stay byte-identical to the pre-fault-model output.
+  if (c.has_permanent_faults()) {
+    std::string links;
+    for (const auto& [node, dir] : c.dead_links) {
+      if (!links.empty()) links += ',';
+      links += std::to_string(node);
+      links += ':';
+      links += to_string(dir);
+    }
+    std::string routers;
+    for (const NodeId node : c.dead_routers) {
+      if (!routers.empty()) routers += ',';
+      routers += std::to_string(node);
+    }
+    o.str("dead_links", links);
+    o.str("dead_routers", routers);
+    o.u64("link_escalation_threshold",
+          static_cast<std::uint64_t>(c.faults.link_escalation_threshold));
+  }
 }
 
 void append_result_fields(JsonRecord& o, const SimResults& r) {
@@ -145,6 +166,15 @@ std::string to_jsonl(const PointResult& pr, bool include_timing) {
 
   append_config_fields(o, pr.config);
   append_result_fields(o, pr.results);
+
+  // Same gate as the config columns: fault-free lines keep the exact
+  // pre-fault-model key set (append_result_fields itself must not grow —
+  // the campaign journal's replica lines depend on its key order).
+  if (pr.config.has_permanent_faults()) {
+    o.u64("packets_rerouted", pr.results.packets_rerouted);
+    o.u64("unreachable_drops", pr.results.unreachable_drops);
+    o.u64("links_escalated", pr.results.links_escalated);
+  }
 
   if (include_timing) o.real("wall_ms", pr.wall_ms);
   return o.close();

@@ -198,6 +198,39 @@ std::vector<SweepPoint> fig13b_points(const SimConfig& base) {
   return mechanism_points(base, "Fig13b");
 }
 
+std::vector<SweepPoint> fault_degradation_points(const SimConfig& base) {
+  // Graceful-degradation curve: k = 0..4 statically dead links under
+  // adaptive routing with deadlock recovery. The k-th fault cuts the East
+  // link at (x, y) = (1 + k % (W-2), row k), staggering the cut column
+  // row by row so every adjacent column pair keeps an intact row edge —
+  // the set never partitions any mesh with W >= 4 (validate() re-checks).
+  std::vector<SweepPoint> points;
+  const int w = base.mesh_width;
+  const int max_k = w >= 4 ? std::min(4, base.mesh_height) : 0;
+  for (int k = 0; k <= max_k; ++k) {
+    SweepPoint pt;
+    pt.label = "FaultDeg/k=" + std::to_string(k);
+    pt.config = base;
+    pt.config.routing = RoutingAlgorithm::kMinimalAdaptive;
+    pt.config.injection_rate = 0.2;
+    pt.config.deadlock.enable_recovery = true;
+    pt.config.deadlock.probe_threshold = 32;
+    pt.config.deadlock.probe_backoff = 17;
+    pt.config.total_messages =
+        std::min<std::uint64_t>(pt.config.total_messages, 20'000);
+    pt.config.warmup_messages =
+        std::min<std::uint64_t>(pt.config.warmup_messages, 5'000);
+    pt.config.max_cycles = std::min<Cycle>(pt.config.max_cycles, 400'000);
+    for (int j = 0; j < k; ++j) {
+      const int x = 1 + j % (w - 2);
+      const NodeId node = static_cast<NodeId>(j * w + x);
+      pt.config.dead_links.emplace_back(node, Direction::kEast);
+    }
+    points.push_back(std::move(pt));
+  }
+  return points;
+}
+
 std::vector<SweepPoint> perf_points(const SimConfig& base) {
   // One point per distinct hot path. The scale is pinned here (not taken
   // from the base config) so cycles/sec measurements compare like for
@@ -250,7 +283,7 @@ std::vector<SweepPoint> perf_points(const SimConfig& base) {
 const std::vector<std::string>& preset_names() {
   static const std::vector<std::string> names = {
       "fig05", "fig06",  "fig07",  "fig08",      "fig09",
-      "fig13a", "fig13b", "abl_cthres", "perf"};
+      "fig13a", "fig13b", "abl_cthres", "fault_degradation", "perf"};
   return names;
 }
 
@@ -264,6 +297,7 @@ std::vector<SweepPoint> preset_points(const std::string& name,
   if (name == "fig13a") return fig13a_points(base);
   if (name == "fig13b") return fig13b_points(base);
   if (name == "abl_cthres") return abl_cthres_points(base);
+  if (name == "fault_degradation") return fault_degradation_points(base);
   if (name == "perf") return perf_points(base);
   return {};
 }

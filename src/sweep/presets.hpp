@@ -52,6 +52,13 @@ std::vector<SweepPoint> fig09_points(const SimConfig& base);
 std::vector<SweepPoint> fig13a_points(const SimConfig& base);
 std::vector<SweepPoint> fig13b_points(const SimConfig& base);
 
+/// Graceful-degradation grid (DESIGN.md §4.9): adaptive routing with
+/// deadlock recovery over k = 0..4 statically dead links, staggered so no
+/// set partitions the mesh. Reads delivered fraction
+/// (messages_ejected / packets_created), latency and the permanent-fault
+/// columns (packets_rerouted / unreachable_drops).
+std::vector<SweepPoint> fault_degradation_points(const SimConfig& base);
+
 /// Performance-smoke grid for ftnoc_perf / CI: a handful of short,
 /// deterministic points spanning the simulator's distinct hot paths
 /// (each protection scheme, adaptive routing with deadlock recovery, a

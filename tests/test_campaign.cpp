@@ -285,6 +285,24 @@ TEST(CampaignEstimators, WilsonIntervalStaysInUnitRange) {
   EXPECT_GT(wilson_interval(0, 1000).high, 0.0);
 }
 
+TEST(CampaignEstimators, OvercountedSuccessesAndEjectionsClampSafely) {
+  // A replica stopped mid-E2E-retransmit can double-deliver: ejections
+  // transiently exceed creations. Neither the interval nor loss() may
+  // wrap the unsigned difference or leave the unit range.
+  const RateInterval over = wilson_interval(12, 10);
+  EXPECT_DOUBLE_EQ(over.rate, 1.0);
+  EXPECT_LE(over.high, 1.0);
+  EXPECT_GE(over.low, 0.0);
+
+  campaign::PointAggregate agg;
+  agg.packets_created = 10;
+  agg.messages_ejected = 12;
+  const RateInterval loss = agg.loss();
+  EXPECT_DOUBLE_EQ(loss.rate, 0.0);
+  EXPECT_GE(loss.low, 0.0);
+  EXPECT_LE(loss.high, 1.0);
+}
+
 TEST(CampaignEstimators, WilsonIntervalShrinksMonotonically) {
   // Fixed p-hat = 0.1, growing n: the width must strictly shrink.
   double prev_width = 2.0;

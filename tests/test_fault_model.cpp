@@ -1,0 +1,289 @@
+// Permanent-fault model (DESIGN.md §4.9): fault-aware routing against an
+// independent BFS oracle on random faulted meshes, partition rejection,
+// runtime link escalation, dead routers and graceful degradation, plus the
+// unmeasured-replica and estimator edge-case regressions that shipped with
+// the fault model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "noc/routing.hpp"
+#include "noc/simulator.hpp"
+#include "noc/topology.hpp"
+#include "sweep/jsonl.hpp"
+#include "sweep/presets.hpp"
+#include "sweep/sweep.hpp"
+
+namespace ftnoc {
+namespace {
+
+// Test-local BFS over live links only — deliberately independent of
+// Topology's own distance table so the two can cross-check each other.
+std::vector<int> oracle_distances(const Topology& topo, NodeId dest) {
+  const int n = topo.num_nodes();
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  if (!topo.router_alive(dest)) return dist;
+  std::vector<NodeId> frontier{dest};
+  dist[dest] = 0;
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (const NodeId cur : frontier) {
+      for (int d = 0; d < 4; ++d) {
+        const auto dir = static_cast<Direction>(d);
+        if (!topo.link_alive(cur, dir)) continue;
+        const NodeId nb = *topo.neighbor(cur, dir);
+        if (dist[nb] >= 0) continue;
+        dist[nb] = dist[cur] + 1;
+        next.push_back(nb);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return dist;
+}
+
+TEST(FaultModelProperty, RouteStrictlyDescendsOnRandomFaultedMeshes) {
+  Rng rng(20260805);
+  for (int trial = 0; trial < 25; ++trial) {
+    Topology topo(8, 8, false);
+    // Plant up to 4 random dead links, rejecting any draw that would
+    // partition the mesh (mirroring the escalation veto), so every pair
+    // stays connected and the non-empty-mask property must hold.
+    const int want = static_cast<int>(rng.next_below(5));
+    int placed = 0;
+    for (int att = 0; att < 200 && placed < want; ++att) {
+      const NodeId n = static_cast<NodeId>(rng.next_below(64));
+      const auto d = static_cast<Direction>(rng.next_below(4));
+      if (!topo.link_alive(n, d)) continue;
+      if (topo.would_partition(n, d)) continue;
+      topo.fail_link(n, d);
+      ++placed;
+    }
+    for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
+      const std::vector<int> oracle = oracle_distances(topo, dest);
+      for (NodeId cur = 0; cur < topo.num_nodes(); ++cur) {
+        // Cross-check the table itself first.
+        const std::uint16_t fd = topo.fault_distance(cur, dest);
+        if (oracle[cur] < 0) {
+          EXPECT_EQ(fd, Topology::kUnreachable);
+        } else {
+          EXPECT_EQ(static_cast<int>(fd), oracle[cur]);
+        }
+        if (cur == dest) continue;
+
+        // The exact set of strictly-descending live ports.
+        PortMask descending = 0;
+        for (int d = 0; d < 4; ++d) {
+          const auto dir = static_cast<Direction>(d);
+          if (!topo.link_alive(cur, dir)) continue;
+          const NodeId nb = *topo.neighbor(cur, dir);
+          if (oracle[nb] >= 0 && oracle[nb] == oracle[cur] - 1) {
+            descending |= static_cast<PortMask>(1u << d);
+          }
+        }
+
+        const PortMask ad =
+            route(topo, RoutingAlgorithm::kMinimalAdaptive, cur, dest);
+        EXPECT_EQ(ad, descending)
+            << "adaptive mask at " << cur << " -> " << dest;
+        ASSERT_NE(ad, 0) << "connected pair got an empty mask";
+
+        const PortMask xy = route(topo, RoutingAlgorithm::kXY, cur, dest);
+        // XY offers a single deterministic port that strictly descends.
+        EXPECT_EQ(xy & (xy - 1), 0) << "XY must offer exactly one port";
+        EXPECT_NE(xy & descending, 0) << "XY port must strictly descend";
+        if (topo.has_faults()) {
+          // Fault-aware mode pins the choice to the lowest-numbered
+          // descending port (fault-free XY orders X before Y instead).
+          EXPECT_EQ(xy, descending & static_cast<PortMask>(-descending));
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultModelProperty, ValidateRejectsPartitioningFaultSets) {
+  // Cutting the East link in every row of column x=1 splits a 4x4 mesh
+  // into columns {0,1} and {2,3}.
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  for (const NodeId n : {1, 5, 9, 13}) {
+    cfg.dead_links.push_back({n, Direction::kEast});
+  }
+  const auto err = cfg.validate();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("partition"), std::string::npos);
+
+  // Dropping any one cut reconnects the halves.
+  cfg.dead_links.pop_back();
+  EXPECT_EQ(cfg.validate(), std::nullopt);
+
+  // A dead router may isolate a live one just as well: kill node 1's
+  // three other neighbours and its column link, leaving 1 alive but cut.
+  SimConfig island;
+  island.mesh_width = 4;
+  island.mesh_height = 4;
+  island.dead_routers = {0, 2, 5};
+  EXPECT_TRUE(island.validate().has_value());
+}
+
+TEST(FaultDegradationPreset, GridIsValidAtPaperAndSmokeScales) {
+  for (const int mesh : {4, 8}) {
+    SimConfig base;
+    base.mesh_width = mesh;
+    base.mesh_height = mesh;
+    const auto pts = sweep::fault_degradation_points(base);
+    ASSERT_EQ(pts.size(), 5u) << mesh;
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      EXPECT_EQ(pts[k].config.dead_links.size(), k);
+      EXPECT_EQ(pts[k].config.validate(), std::nullopt)
+          << "k=" << k << " mesh=" << mesh;
+      EXPECT_EQ(pts[k].config.has_permanent_faults(), k > 0);
+    }
+  }
+}
+
+TEST(FaultDegradationPreset, TinySweepDeliversEverythingAndGatesColumns) {
+  // Run the whole degradation grid at smoke scale: every point must
+  // complete with zero unreachable drops (connected pairs never lose a
+  // packet), and the permanent-fault JSONL columns must appear exactly
+  // on the faulted points — fault-free lines keep the legacy key set.
+  SimConfig base;
+  base.mesh_width = 4;
+  base.mesh_height = 4;
+  base.num_vcs = 2;
+  base.warmup_messages = 100;
+  base.total_messages = 600;
+  base.max_cycles = 200'000;
+  const auto pts = sweep::fault_degradation_points(base);
+  ASSERT_EQ(pts.size(), 5u);
+  sweep::SweepOptions opts;
+  opts.num_threads = 1;
+  const auto results = sweep::SweepEngine(opts).run(pts);
+  for (const auto& pr : results) {
+    EXPECT_TRUE(pr.results.completed) << pr.label;
+    EXPECT_EQ(pr.results.unreachable_drops, 0u) << pr.label;
+    const std::string line = sweep::to_jsonl(pr);
+    const bool faulted = pr.config.has_permanent_faults();
+    EXPECT_EQ(line.find("\"dead_links\"") != std::string::npos, faulted);
+    EXPECT_EQ(line.find("\"packets_rerouted\"") != std::string::npos, faulted)
+        << line;
+  }
+}
+
+TEST(HardFaults, ConnectedPairsNeverDropUnreachable) {
+  // Two interior dead links that do not partition: every packet must
+  // still arrive — degradation is latency and detours, never loss.
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.routing = RoutingAlgorithm::kMinimalAdaptive;
+  cfg.deadlock.enable_recovery = true;
+  cfg.injection_rate = 0.1;
+  cfg.warmup_messages = 200;
+  cfg.total_messages = 2'000;
+  cfg.max_cycles = 400'000;
+  cfg.check_invariants = true;
+  cfg.dead_links.push_back({5, Direction::kEast});
+  cfg.dead_links.push_back({9, Direction::kNorth});
+  const SimResults r = run_simulation(cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.unreachable_drops, 0u);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+}
+
+TEST(HardFaults, PacketsToDeadRouterDropAsUnreachable) {
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.routing = RoutingAlgorithm::kMinimalAdaptive;
+  cfg.deadlock.enable_recovery = true;
+  cfg.injection_rate = 0.0;
+  cfg.warmup_messages = 0;
+  cfg.total_messages = 10;
+  cfg.max_cycles = 50'000;
+  cfg.check_invariants = true;
+  cfg.dead_routers = {5};
+  Simulator sim(cfg);
+  for (int i = 0; i < 10; ++i) {
+    sim.network().inject_packet(0, 5, 4);   // Dead destination.
+    sim.network().inject_packet(0, 15, 4);  // Live destination.
+  }
+  const SimResults r = sim.run();
+  EXPECT_TRUE(r.completed);  // The 10 live-destination packets eject.
+  EXPECT_EQ(r.messages_ejected, 10u);
+  EXPECT_EQ(r.unreachable_drops, 10u);
+}
+
+TEST(FaultEscalation, RepeatedUncorrectableUpsetsRetireTheLink) {
+  // Every link error is multi-bit (uncorrectable under HBH's SEC), at a
+  // rate high enough that busy links see consecutive-failure streaks:
+  // escalation must retire at least one link, the partition veto must
+  // keep the fabric connected, and every packet must still deliver.
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.routing = RoutingAlgorithm::kMinimalAdaptive;
+  cfg.deadlock.enable_recovery = true;
+  cfg.protection = LinkProtection::kHbh;
+  cfg.injection_rate = 0.15;
+  cfg.warmup_messages = 0;
+  cfg.total_messages = 1'000;
+  cfg.max_cycles = 1'000'000;
+  cfg.check_invariants = true;
+  cfg.faults.link_error_rate = 0.5;
+  cfg.faults.multi_bit_fraction = 1.0;
+  cfg.faults.link_escalation_threshold = 3;
+  const SimResults r = run_simulation(cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.links_escalated, 0u);
+  EXPECT_EQ(r.unreachable_drops, 0u);
+  EXPECT_EQ(r.corrupted_delivered, 0u);
+}
+
+TEST(FaultEscalation, DisarmedThresholdNeverEscalates) {
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.protection = LinkProtection::kHbh;
+  cfg.injection_rate = 0.15;
+  cfg.warmup_messages = 0;
+  cfg.total_messages = 500;
+  cfg.max_cycles = 1'000'000;
+  cfg.faults.link_error_rate = 0.5;
+  cfg.faults.multi_bit_fraction = 1.0;
+  const SimResults r = run_simulation(cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.links_escalated, 0u);
+  EXPECT_EQ(r.packets_rerouted, 0u);
+}
+
+// --- Unmeasured-replica regression (the warm-up bug fix) --------------------
+
+TEST(Simulator, NeverWarmedUpReplicaReportsWholeRunCountersOnly) {
+  // The run hits max_cycles before the warm-up budget ejects: there is no
+  // measurement window, so windowed metrics must stay zero instead of
+  // being computed from a never-started window.
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.injection_rate = 0.05;
+  cfg.warmup_messages = 1'000'000;
+  cfg.total_messages = 2'000'000;
+  cfg.max_cycles = 5'000;
+  const SimResults r = run_simulation(cfg);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.measured_messages, 0u);
+  EXPECT_EQ(r.avg_latency_cycles, 0.0);
+  EXPECT_EQ(r.throughput_flits_node_cycle, 0.0);
+  EXPECT_EQ(r.energy_per_message_nj, 0.0);
+  // Whole-run accounting still flows.
+  EXPECT_GT(r.packets_created, 0u);
+  EXPECT_GT(r.messages_ejected, 0u);
+}
+
+}  // namespace
+}  // namespace ftnoc

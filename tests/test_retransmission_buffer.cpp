@@ -127,6 +127,25 @@ TEST(RetransmissionBuffer, ContainsPacketScansBothRegions) {
   EXPECT_FALSE(b.contains_packet(3));
 }
 
+TEST(RetransmissionBuffer, PendingContainsMatchesPacketAndSeq) {
+  RetransmissionBuffer b(6);
+  // A replay round in flight: seq 3's entry is still pending (its staged
+  // copy has not flushed) when a second NACK rolls seqs 0-2 back in front
+  // of it.
+  b.record_transmission(flit(1, 0), 10);
+  b.record_transmission(flit(1, 1), 11);
+  b.record_transmission(flit(1, 2), 12);
+  b.push_pending_back(flit(1, 3));
+  EXPECT_EQ(b.on_nack(), 3);
+  // The pending region is now {0, 1, 2, 3}: seq 3 is present but not at
+  // the front, which is exactly what the staged-replay squash must see.
+  EXPECT_EQ(b.front_pending().seq, 0);
+  EXPECT_TRUE(b.pending_contains(1, 3));
+  EXPECT_TRUE(b.pending_contains(1, 0));
+  EXPECT_FALSE(b.pending_contains(1, 4));
+  EXPECT_FALSE(b.pending_contains(2, 3));
+}
+
 TEST(RetransmissionBuffer, UtilizationTracksOccupancy) {
   RetransmissionBuffer b(3);
   b.tick_utilization();  // empty

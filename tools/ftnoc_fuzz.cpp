@@ -13,10 +13,13 @@
 //   ftnoc_fuzz [--runs N] [--cycles N] [--seed S] [--time-budget SEC]
 //              [--out FILE] [--plant NAME] [--selftest] [--replay FILE]
 //
-// --selftest plants the "drop_window" mutation (optimized router only;
-// the reference ignores mutations by construction) and exits 0 iff the
+// --selftest plants a known mutation (optimized router only; the
+// reference ignores mutations by construction) and exits 0 iff the
 // harness detects the divergence and the emitted repro replays. This is
-// the end-to-end proof that the oracle has teeth.
+// the end-to-end proof that the oracle has teeth. The default plant is
+// "drop_window"; `--selftest --plant route_into_dead_link` instead
+// proves the permanent-fault paths are under the oracle (the optimized
+// router routes fault-blind on a topology with a dead link).
 
 #include <chrono>
 #include <cstdio>
@@ -125,8 +128,10 @@ std::vector<std::string> random_config(Rng& rng) {
       ov.push_back(k + "=" + v);
     };
     add("seed", std::to_string(rng.next_u64() % 100000));
-    add("mesh_width", std::to_string(2 + rng.next_below(3)));    // 2..4
-    add("mesh_height", std::to_string(2 + rng.next_below(3)));   // 2..4
+    const int w = 2 + static_cast<int>(rng.next_below(3));  // 2..4
+    const int h = 2 + static_cast<int>(rng.next_below(3));  // 2..4
+    add("mesh_width", std::to_string(w));
+    add("mesh_height", std::to_string(h));
     if (rng.bernoulli(0.2)) add("torus", "1");
     add("num_vcs", std::to_string(2 + rng.next_below(3)));       // 2..4
     add("vc_buffer_depth", std::to_string(2 + rng.next_below(5)));  // 2..6
@@ -163,6 +168,28 @@ std::vector<std::string> random_config(Rng& rng) {
       add("probe_threshold", std::to_string(8 + rng.next_below(57)));
       add("probe_backoff", "8");
       add("exit_block_window", "256");
+    }
+    // Permanent faults: dead links/routers and runtime escalation walk
+    // the fault-aware routing, drain and re-home paths through the
+    // differential oracle. Partitioning draws are rejected by validate()
+    // below, which re-enters the redraw loop.
+    const int nodes = w * h;
+    if (rng.bernoulli(0.25)) {
+      static const char* kDirs[] = {"N", "E", "S", "W"};
+      const int k = 1 + static_cast<int>(rng.next_below(2));
+      for (int j = 0; j < k; ++j) {
+        add("dead_link", std::to_string(rng.next_below(
+                             static_cast<std::uint64_t>(nodes))) +
+                             ":" + kDirs[rng.next_below(4)]);
+      }
+    }
+    if (rng.bernoulli(0.1)) {
+      add("dead_router",
+          std::to_string(rng.next_below(static_cast<std::uint64_t>(nodes))));
+    }
+    if (rng.bernoulli(0.2)) {
+      add("link_escalation_threshold",
+          std::to_string(1 + rng.next_below(3)));
     }
 
     SimConfig probe;
@@ -246,7 +273,23 @@ int fuzz_main(const Options& opt) {
     }
     Rng rng(Rng::derive_seed(opt.seed, static_cast<std::uint64_t>(i)));
     std::vector<std::string> ov;
-    if (opt.selftest) {
+    if (opt.selftest && opt.plant == "route_into_dead_link") {
+      // This plant's habitat: a faulted topology where the fault-blind
+      // closed form differs from the fault-aware port set, so the
+      // optimized router steers headers at the dead link while the
+      // reference detours around it.
+      ov = {"seed=" + std::to_string(1000 + i),
+            "mesh_width=4",
+            "mesh_height=4",
+            "num_vcs=3",
+            "vc_buffer_depth=4",
+            "pipeline_stages=3",
+            "packet_length=4",
+            "injection_rate=0.25",
+            "protection=hbh",
+            "routing=adaptive",
+            "dead_link=5:E"};
+    } else if (opt.selftest) {
       // Bias toward the planted bug's habitat: a 4-stage HBH sender with
       // real link errors (the short drop window admits a stale third
       // follower).
@@ -263,6 +306,11 @@ int fuzz_main(const Options& opt) {
             "link_error_rate=0.01"};
     } else {
       ov = random_config(rng);
+    }
+    if (std::getenv("FTNOC_FUZZ_TRACE")) {
+      std::fprintf(stderr, "run %d:", i);
+      for (const auto& o : ov) std::fprintf(stderr, " %s", o.c_str());
+      std::fprintf(stderr, "\n");
     }
     const RunResult res = run_pair(ov, opt.cycles, opt.plant);
     if (!res.failed) continue;
