@@ -350,6 +350,14 @@ std::optional<std::string> apply_override(SimConfig& cfg,
     if (!parse_bool(val, cfg.use_reference_router)) return bad();
   } else if (key == "test_mutation") {
     cfg.test_mutation = val;
+  } else if (key == "kernel") {
+    if (val == "scan") {
+      cfg.force_scan_kernel = true;
+    } else if (val == "event") {
+      cfg.force_scan_kernel = false;
+    } else {
+      return bad();
+    }
   } else if (key == "seed") {
     if (!parse_u64(val, cfg.seed)) return bad();
   } else if (key == "warmup_messages") {

@@ -169,6 +169,11 @@ struct SimConfig {
   /// (routes with the fault-blind closed form, steering headers at failed
   /// ports — only observable on faulted topologies).
   std::string test_mutation;
+  /// Force the per-cycle full router scan instead of the event-queue
+  /// kernel (DESIGN.md §4.10). The two are byte-identical by contract;
+  /// the override exists for determinism tests and A/B perf comparison.
+  /// Reference-router networks always scan regardless of this flag.
+  bool force_scan_kernel = false;
 
   // --- Run control ---
   std::uint64_t seed = 1;

@@ -61,6 +61,13 @@ class RetransmissionBuffer {
   /// nack_window). Call once per cycle, before processing incoming NACKs.
   void retire_expired(Cycle now);
 
+  /// First cycle at which retire_expired(now) would retire something, or
+  /// 0 when the sent region is empty. sent_at is monotone within sent_,
+  /// so callers may skip retire_expired entirely before this cycle.
+  Cycle next_retire_at() const {
+    return sent_.empty() ? 0 : sent_[0].sent_at + nack_window_ + 1;
+  }
+
   /// True if a transmission can be recorded at `now`: either a slot is
   /// free, or the oldest sent flit's NACK window has closed so the barrel
   /// shift retires it in the same cycle (back-to-back streaming never

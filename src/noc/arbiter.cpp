@@ -5,28 +5,9 @@
 namespace ftnoc {
 
 RoundRobinArbiter::RoundRobinArbiter(int num_requesters)
-    : n_(num_requesters) {
+    : n_(num_requesters), mask_(0) {
   FTNOC_CHECK(num_requesters >= 1 && num_requesters <= 32);
-}
-
-int RoundRobinArbiter::pick(std::uint32_t requests) const {
-  if (requests == 0) return -1;
-  // Scan from last_grant_+1 wrapping around: oldest-priority-first.
-  for (int off = 1; off <= n_; ++off) {
-    const int i = (last_grant_ + off) % n_;
-    if (requests & (1u << i)) return i;
-  }
-  return -1;
-}
-
-int RoundRobinArbiter::arbitrate(std::uint32_t requests) {
-  const int g = pick(requests);
-  if (g >= 0) last_grant_ = g;
-  return g;
-}
-
-int RoundRobinArbiter::peek(std::uint32_t requests) const {
-  return pick(requests);
+  mask_ = num_requesters == 32 ? ~0u : (1u << num_requesters) - 1u;
 }
 
 ArbiterBank::ArbiterBank(int num_arbiters, int num_requesters) {

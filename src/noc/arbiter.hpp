@@ -3,6 +3,7 @@
 // allocators. Grants rotate so the last winner becomes the lowest priority,
 // giving strong local fairness (no starvation among persistent requesters).
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -17,11 +18,15 @@ class RoundRobinArbiter {
   /// Picks one set bit of `requests` (bit i = requester i), favouring the
   /// requester after the previous winner. Returns -1 if no requests.
   /// Updates the rotation state on a grant.
-  int arbitrate(std::uint32_t requests);
+  int arbitrate(std::uint32_t requests) {
+    const int g = pick(requests);
+    if (g >= 0) last_grant_ = g;
+    return g;
+  }
 
   /// As `arbitrate` but leaves rotation state untouched (used for
   /// "what-if" queries by the deadlock probing logic).
-  int peek(std::uint32_t requests) const;
+  int peek(std::uint32_t requests) const { return pick(requests); }
 
   int size() const { return n_; }
 
@@ -29,9 +34,21 @@ class RoundRobinArbiter {
   int last_grant() const { return last_grant_; }
 
  private:
-  int pick(std::uint32_t requests) const;
+  /// Bit-scan equivalent of the classic wrap scan from last_grant_+1:
+  /// grant the lowest requester at or above last_grant_+1, else wrap to
+  /// the lowest requester overall. Bits >= n_ are ignored, exactly as the
+  /// index loop ignored them.
+  int pick(std::uint32_t requests) const {
+    requests &= mask_;
+    if (requests == 0) return -1;
+    const int s = last_grant_ + 1;
+    const std::uint32_t hi =
+        s >= 32 ? 0u : requests & (~0u << s);
+    return std::countr_zero(hi != 0 ? hi : requests);
+  }
 
   int n_;
+  std::uint32_t mask_;
   int last_grant_ = -1;
 };
 
@@ -42,6 +59,13 @@ class ArbiterBank {
 
   RoundRobinArbiter& at(int i) { return arbiters_.at(i); }
   const RoundRobinArbiter& at(int i) const { return arbiters_.at(i); }
+  /// Unchecked access for the per-cycle hot loops.
+  RoundRobinArbiter& operator[](int i) {
+    return arbiters_[static_cast<std::size_t>(i)];
+  }
+  const RoundRobinArbiter& operator[](int i) const {
+    return arbiters_[static_cast<std::size_t>(i)];
+  }
   int size() const { return static_cast<int>(arbiters_.size()); }
 
  private:

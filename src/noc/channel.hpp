@@ -35,12 +35,22 @@ class Channel {
 
   const std::optional<T>& peek() const { return cur_; }
 
+  /// In-place consumption for the hot receive path: mutate the current
+  /// value through the pointer (e.g. link-fault injection), then call
+  /// consume(). Equivalent to read() minus the temporary copies.
+  T* peek_mut() { return cur_.has_value() ? &*cur_ : nullptr; }
+  void consume() { cur_.reset(); }
+
   /// Advances the register: next-cycle value becomes current.
   /// An unconsumed current value is dropped — wires don't hold state.
   void tick() {
     cur_ = std::move(next_);
     next_.reset();
   }
+
+  /// Nothing readable now and nothing latched for the next edge; ticking
+  /// an idle channel is a no-op, so it needs no tick until written again.
+  bool idle() const { return !cur_.has_value() && !next_.has_value(); }
 
  private:
   std::optional<T> cur_;
@@ -73,6 +83,9 @@ class MultiChannel {
     cur_.swap(next_);
     next_.clear();
   }
+
+  /// See Channel::idle().
+  bool idle() const { return cur_.empty() && next_.empty(); }
 
  private:
   std::vector<T> cur_;

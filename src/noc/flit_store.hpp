@@ -1,0 +1,79 @@
+#pragma once
+// Structure-of-arrays flit storage for the router's input VCs.
+//
+// The optimized router keeps every input-VC buffer in one contiguous
+// gid-major slab (`std::vector<Flit>`, stride = vc_buffer_depth) instead
+// of a heap-allocated RingQueue per VC. FlitRing is the non-owning ring
+// view over one VC's window of that slab; it mirrors the RingQueue<Flit>
+// API subset the phase code uses, so the phases stay layout-agnostic
+// while the storage itself is cache-linear in ascending-gid order — the
+// same decoupling of logical VC queues from physical buffer storage that
+// DAMQ organizations argue for.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/flit.hpp"
+
+namespace ftnoc {
+
+class FlitRing {
+ public:
+  /// Points this ring at a `cap`-slot window of the shared slab and
+  /// empties it. Must be called before the first push, and again if the
+  /// slab ever reallocates (it never does after construction).
+  void bind(Flit* base, std::uint16_t cap) {
+    base_ = base;
+    cap_ = cap;
+    head_ = 0;
+    size_ = 0;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  Flit& front() {
+    FTNOC_DCHECK(size_ > 0);
+    return base_[head_];
+  }
+  const Flit& front() const {
+    FTNOC_DCHECK(size_ > 0);
+    return base_[head_];
+  }
+
+  /// i-th element counted from the front.
+  Flit& operator[](std::size_t i) {
+    FTNOC_DCHECK(i < size_);
+    return base_[wrap(head_ + i)];
+  }
+  const Flit& operator[](std::size_t i) const {
+    FTNOC_DCHECK(i < size_);
+    return base_[wrap(head_ + i)];
+  }
+
+  void push_back(Flit v) {
+    FTNOC_CHECK(size_ < cap_);
+    base_[wrap(head_ + size_)] = std::move(v);
+    ++size_;
+  }
+
+  void pop_front() {
+    FTNOC_DCHECK(size_ > 0);
+    head_ = static_cast<std::uint16_t>(wrap(head_ + 1));
+    --size_;
+  }
+
+ private:
+  std::size_t wrap(std::size_t i) const {
+    return i >= cap_ ? i - cap_ : i;
+  }
+
+  Flit* base_ = nullptr;
+  std::uint16_t cap_ = 0;
+  std::uint16_t head_ = 0;
+  std::uint16_t size_ = 0;
+};
+
+}  // namespace ftnoc

@@ -1,5 +1,7 @@
 #include "noc/network.hpp"
 
+#include <bit>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/check.hpp"
@@ -71,13 +73,16 @@ void ProcessingElement::e2e_nack(PacketId pid) {
   enqueue_packet(std::move(copy), /*front=*/true);
 }
 
-void ProcessingElement::step(Cycle now, PacketId& next_packet_id,
+bool ProcessingElement::step(Cycle now, PacketId& next_packet_id,
                              bool router_in_recovery) {
-  // Credits returned by the router's local input buffers.
-  for (const Credit& c : wire_->credit.read()) {
-    auto& lane = lanes_.at(c.vc);
-    ++lane.credits;
-    FTNOC_CHECK(lane.credits <= cfg_.vc_buffer_depth);
+  // Credits returned by the router's local input buffers (the wire's
+  // tick-time summary byte spares the vector touch on credit-free cycles).
+  if (wire_->cur_mask & Wire::kCurCredit) {
+    for (const Credit& c : wire_->credit.read()) {
+      auto& lane = lanes_.at(c.vc);
+      ++lane.credits;
+      FTNOC_CHECK(lane.credits <= cfg_.vc_buffer_depth);
+    }
   }
 
   // Generate new traffic.
@@ -106,7 +111,7 @@ void ProcessingElement::step(Cycle now, PacketId& next_packet_id,
   }
 
   // Send at most one flit per cycle over the PE-to-router channel.
-  if (!wire_->flit.can_write()) return;
+  if (!wire_->flit.can_write()) return false;
   const int nv = static_cast<int>(lanes_.size());
   for (int off = 0; off < nv; ++off) {
     const int v = (send_rotation_ + off) % nv;
@@ -132,8 +137,9 @@ void ProcessingElement::step(Cycle now, PacketId& next_packet_id,
     if (stats_) stats_->on_flit_injected();
     if (lane.flits.empty()) lane.busy = false;
     send_rotation_ = (v + 1) % nv;
-    break;
+    return true;
   }
+  return false;
 }
 
 std::uint64_t ProcessingElement::state_digest() const {
@@ -265,6 +271,37 @@ Network::Network(const SimConfig& cfg)
     }
     topo_.fail_router(node);
   }
+
+  // Kernel selection (DESIGN.md §4.10). The reference model keeps no wake
+  // bookkeeping, so reference networks always run the full scan.
+  scan_kernel_ = cfg_.use_reference_router || cfg_.force_scan_kernel;
+  if (!scan_kernel_) {
+    const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+    for (auto& slot : wheel_) slot.assign(words, 0);
+    const std::size_t nwires = link_wires_.size() + local_wires_.size();
+    live_wire_mask_.assign((nwires + 63) / 64, 0);
+    tx_occ_cache_.assign(static_cast<std::size_t>(n), 0);
+    rtx_occ_cache_.assign(static_cast<std::size_t>(n), 0);
+    // Devirtualized router view + flat geometric-neighbour table for the
+    // hot pop/wake loop (geometry never changes after construction).
+    fast_routers_.resize(static_cast<std::size_t>(n));
+    for (NodeId i = 0; i < n; ++i) {
+      fast_routers_[i] = static_cast<Router*>(routers_[i].get());
+    }
+    nbr_gid_.assign(static_cast<std::size_t>(n) * 4, -1);
+    for (NodeId i = 0; i < n; ++i) {
+      for (int d = 0; d < 4; ++d) {
+        const auto nb = topo_.neighbor(i, static_cast<Direction>(d));
+        if (nb) nbr_gid_[static_cast<std::size_t>(i) * 4 +
+                         static_cast<std::size_t>(d)] =
+            static_cast<std::int32_t>(*nb);
+      }
+    }
+    // Everybody gets one initial step at cycle 0; routers that stay
+    // quiescent simply never re-arm (a dead node's router among them).
+    auto& slot0 = wheel_[0];
+    for (NodeId i = 0; i < n; ++i) slot0[i >> 6] |= 1ull << (i & 63);
+  }
 }
 
 int Network::hop_distance(NodeId a, NodeId b) const {
@@ -380,6 +417,14 @@ double Network::rtx_buffer_fraction() const {
 }
 
 void Network::step() {
+  if (scan_kernel_) {
+    step_scan();
+  } else {
+    step_event();
+  }
+}
+
+void Network::step_scan() {
   fire_due_events();
   // Trace replay: release the records due this cycle into their source
   // PEs' queues (injection still obeys local-port credit flow control).
@@ -450,6 +495,202 @@ void Network::step() {
 #if FTNOC_ENABLE_INVARIANTS
   // After the wire ticks everything in flight is visible in a channel's
   // current value, so the structural walks see a settled snapshot.
+  if (monitor_) run_invariant_walks();
+#endif
+  ++now_;
+}
+
+void Network::schedule(NodeId n, Cycle due) {
+  if (due >= now_ + kWheelSize) {
+    far_due_[due].push_back(n);
+    return;
+  }
+  auto& slot = wheel_[due & (kWheelSize - 1)];
+  slot[n >> 6] |= 1ull << (n & 63);
+}
+
+void Network::mark_wire_live(std::uint32_t wid) {
+  if ((live_wire_mask_[wid >> 6] >> (wid & 63)) & 1ull) return;
+  live_wire_mask_[wid >> 6] |= 1ull << (wid & 63);
+  live_wires_.push_back(wid);
+}
+
+// The event kernel. Byte-identical to step_scan() by construction:
+//  * a router is stepped at cycle t iff a signal written at t-1 is readable
+//    on one of its wires this cycle (the writer's wake masks), its own
+//    retained state demands it (retick — the internal half of the
+//    quiescent() predicate), or its one exact timer (own-probe GC) is due;
+//  * every step the scan kernel would *not* fast-path away falls in that
+//    set, and extra steps hit the quiescent fast path, which is a pinned
+//    no-op (no RNG draws, charges, stats or arbiter movement);
+//  * wires hold a signal for exactly one cycle, so only wires with
+//    something in flight need ticking — an untouched wire's tick is a
+//    no-op by construction;
+//  * PEs are stepped unconditionally (synthetic sources draw RNG every
+//    cycle; a sourceless idle PE's step changes nothing).
+
+void Network::step_event() {
+  fire_due_events();
+  while (trace_next_ < trace_.size() &&
+         trace_[trace_next_].cycle <= now_) {
+    const TraceRecord& r = trace_[trace_next_++];
+    inject_packet(r.src, r.dest, r.length);
+  }
+  for (NodeId i = 0; i < static_cast<NodeId>(pes_.size()); ++i) {
+    if (!topo_.router_alive(i)) continue;  // Dead node: PE is off.
+    if (pes_[i]->step(now_, next_packet_id_,
+                      recovery_line_ || fast_routers_[i]->in_recovery())) {
+      // The PE drove the injection wire: the router consumes next cycle.
+      schedule(i, now_ + 1);
+      mark_wire_live(local_wire_id(i));
+    }
+  }
+
+  // Spill far timers that moved inside the wheel horizon.
+  while (!far_due_.empty() &&
+         far_due_.begin()->first < now_ + kWheelSize) {
+    const auto it = far_due_.begin();
+    auto& slot = wheel_[it->first & (kWheelSize - 1)];
+    for (const NodeId n : it->second) slot[n >> 6] |= 1ull << (n & 63);
+    far_due_.erase(it);
+  }
+
+  // Pop this cycle's bucket; step the due routers in ascending node order
+  // (the scan's order — the shared fault-injector RNG, stats and energy
+  // meter make the within-cycle order observable).
+  stepped_.clear();
+  auto& slot = wheel_[now_ & (kWheelSize - 1)];
+  for (std::size_t w = 0; w < slot.size(); ++w) {
+    std::uint64_t bits = slot[w];
+    slot[w] = 0;
+    while (bits != 0) {
+      const auto i = static_cast<NodeId>(
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      Router* const r = fast_routers_[i];
+      r->step(now_);
+      stepped_.push_back(i);
+
+      const WakeInfo wi = r->take_wake_info();
+      if (wi.retick) {
+        schedule(i, now_ + 1);
+      } else if (wi.timer != 0) {
+        // A timer can land in the past when its condition armed late
+        // (e.g. the agent's probe stopped being outstanding after the
+        // GC deadline already passed); fire it next cycle.
+        schedule(i, wi.timer > now_ ? wi.timer : now_ + 1);
+      }
+      for (std::uint8_t m = wi.wrote_fwd; m != 0;
+           m &= static_cast<std::uint8_t>(m - 1)) {
+        const int d = std::countr_zero(static_cast<unsigned>(m));
+        const std::int32_t nb =
+            nbr_gid_[static_cast<std::size_t>(i) * 4 +
+                     static_cast<std::size_t>(d)];
+        FTNOC_DCHECK(nb >= 0);
+        mark_wire_live(static_cast<std::uint32_t>(i) * 4 +
+                       static_cast<std::uint32_t>(d));
+        if (nb >= 0) schedule(static_cast<NodeId>(nb), now_ + 1);
+      }
+      for (std::uint8_t m = wi.wrote_back; m != 0;
+           m &= static_cast<std::uint8_t>(m - 1)) {
+        const int d = std::countr_zero(static_cast<unsigned>(m));
+        if (d == kLocalPort) {
+          // Credit back to the PE; PEs step every cycle regardless.
+          mark_wire_live(local_wire_id(i));
+          continue;
+        }
+        const std::int32_t nb =
+            nbr_gid_[static_cast<std::size_t>(i) * 4 +
+                     static_cast<std::size_t>(d)];
+        FTNOC_DCHECK(nb >= 0);
+        if (nb < 0) continue;
+        mark_wire_live(static_cast<std::uint32_t>(nb) * 4 +
+                       static_cast<std::uint32_t>(
+                           opposite(static_cast<Direction>(d))));
+        schedule(static_cast<NodeId>(nb), now_ + 1);
+      }
+
+      // Only a stepped router can change its occupancy terms.
+      const int txo = r->tx_buffer_occupancy();
+      const int rxo = r->rtx_buffer_occupancy();
+      tx_occ_total_ += txo - tx_occ_cache_[i];
+      tx_occ_cache_[i] = txo;
+      rtx_occ_total_ += rxo - rtx_occ_cache_[i];
+      rtx_occ_cache_[i] = rxo;
+    }
+  }
+
+  // Runtime escalation (§4.9): only stepped routers can have raised a
+  // request (the poll clears the set every cycle a router runs), and
+  // stepped_ is ascending — the scan's visit order. A granted kill puts
+  // both endpoints back on the schedule until their drains complete.
+  if (cfg_.faults.link_escalation_threshold > 0) {
+    for (const NodeId i : stepped_) {
+      const std::uint8_t reqs = fast_routers_[i]->take_escalation_requests();
+      if (reqs == 0) continue;
+      for (int d = 0; d < 4; ++d) {
+        if ((reqs & (1u << d)) == 0) continue;
+        const auto dir = static_cast<Direction>(d);
+        const auto nb = topo_.neighbor(i, dir);
+        if (!nb || !topo_.link_alive(i, dir)) continue;
+        if (topo_.would_partition(i, dir)) continue;  // Veto: limp on.
+        topo_.fail_link(i, dir);
+        stats_.on_link_escalated();
+        routers_[i]->begin_link_drain(static_cast<PortId>(d), now_);
+        routers_[*nb]->begin_link_drain(
+            static_cast<PortId>(opposite(dir)), now_);
+        schedule(i, now_ + 1);
+        schedule(*nb, now_ + 1);
+      }
+    }
+  }
+
+  if (stats_.measuring()) {
+    if (tx_slots_total_ < 0) {
+      tx_slots_total_ = 0;
+      rtx_slots_total_ = 0;
+      for (const auto& r : routers_) {
+        tx_slots_total_ += r->tx_buffer_slots();
+        rtx_slots_total_ += r->rtx_buffer_slots();
+      }
+    }
+    // Integer sums are order-independent, so the incrementally maintained
+    // totals divide to the scan's exact doubles.
+    stats_.sample_buffers(
+        tx_slots_total_ ? static_cast<double>(tx_occ_total_) /
+                              static_cast<double>(tx_slots_total_)
+                        : 0.0,
+        rtx_slots_total_ ? static_cast<double>(rtx_occ_total_) /
+                               static_cast<double>(rtx_slots_total_)
+                         : 0.0);
+  }
+
+  // Wired-OR recovery line: a recovering router always re-ticks itself
+  // (in_recovery is part of the retick predicate) and recovery is entered
+  // and exited only inside step(), so the stepped set covers every
+  // possible asserter.
+  recovery_line_ = false;
+  if (cfg_.deadlock.enable_recovery) {
+    for (const NodeId i : stepped_) {
+      if (fast_routers_[i]->in_recovery()) {
+        recovery_line_ = true;
+        break;
+      }
+    }
+  }
+
+  // Tick only wires with signals in flight; settled wires leave the list.
+  std::size_t keep = 0;
+  for (std::size_t k = 0; k < live_wires_.size(); ++k) {
+    const std::uint32_t wid = live_wires_[k];
+    if (wire_by_id(wid)->tick_live()) {
+      live_wires_[keep++] = wid;
+    } else {
+      live_wire_mask_[wid >> 6] &= ~(1ull << (wid & 63));
+    }
+  }
+  live_wires_.resize(keep);
+#if FTNOC_ENABLE_INVARIANTS
   if (monitor_) run_invariant_walks();
 #endif
   ++now_;

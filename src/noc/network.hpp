@@ -4,6 +4,8 @@
 // meter, and the end-to-end (E2E) retransmission machinery that lives at
 // the network edge.
 
+#include <array>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
@@ -41,8 +43,10 @@ class ProcessingElement {
   /// back-pressures *new* packets while the attached router runs deadlock
   /// recovery ("no new packets are allowed to enter the transmission
   /// buffers involved in the deadlock recovery", §3.2.1); flits of packets
-  /// already in flight keep streaming.
-  void step(Cycle now, PacketId& next_packet_id, bool router_in_recovery);
+  /// already in flight keep streaming. Returns true when a flit was driven
+  /// onto the PE-to-router wire — the event kernel wakes the router and
+  /// marks the wire live.
+  bool step(Cycle now, PacketId& next_packet_id, bool router_in_recovery);
 
   /// Queues a pre-built packet for injection (tests / examples). Front
   /// insertion is used by the E2E retransmission path.
@@ -148,6 +152,32 @@ class Network {
   /// network-wide flit-conservation ledger and the per-link credit sums.
   void run_invariant_walks();
 
+  // --- Event-queue kernel (DESIGN.md §4.10) -------------------------------
+  /// The classic kernel: step every live PE, every router and tick every
+  /// wire each cycle. Always used for reference-router networks and under
+  /// the `kernel=scan` override.
+  void step_scan();
+  /// The event kernel: routers are stepped only when scheduled (wire
+  /// traffic written toward them last cycle, a self-requested re-tick, or
+  /// an exact timer); only live wires are ticked. Byte-identical to
+  /// step_scan() — the golden digests and the differential fuzzer pin it.
+  void step_event();
+  /// Schedules router `n` to be stepped at cycle `due` (> now_). Within
+  /// the wheel horizon this sets a bit in the due slot's node mask;
+  /// farther timers spill to the sorted overflow map.
+  void schedule(NodeId n, Cycle due);
+  /// Adds a wire to the tick list (dedup'd); it stays until it settles.
+  void mark_wire_live(std::uint32_t wid);
+  std::uint32_t local_wire_id(NodeId n) const {
+    return static_cast<std::uint32_t>(link_wires_.size()) +
+           static_cast<std::uint32_t>(n);
+  }
+  Wire* wire_by_id(std::uint32_t wid) {
+    const auto nlinks = static_cast<std::uint32_t>(link_wires_.size());
+    return wid < nlinks ? link_wires_[wid].get()
+                        : local_wires_[wid - nlinks].get();
+  }
+
   struct EdgeEvent {
     NodeId target;      ///< PE that receives the control message (source).
     PacketId pid;
@@ -191,6 +221,40 @@ class Network {
   /// Chip-wide wired-OR "deadlock recovery in progress" line (sampled at
   /// the end of each cycle; gates new-packet injection the next cycle).
   bool recovery_line_ = false;
+
+  // --- Event-queue kernel state -------------------------------------------
+  /// True when this network runs the per-cycle full scan (reference
+  /// routers, or the `kernel=scan` override).
+  bool scan_kernel_ = false;
+  /// Devirtualized view of routers_ for the event kernel's hot loop
+  /// (only populated for optimized-router networks).
+  std::vector<Router*> fast_routers_;
+  /// Geometric neighbour of node i in direction d at [i*4+d], -1 at a mesh
+  /// edge. Constant after construction (link death does not move geometry).
+  std::vector<std::int32_t> nbr_gid_;
+  static constexpr std::size_t kWheelSize = 256;  // Power of two.
+  /// Bucket wheel: slot (cycle & 255) holds a node bitmask of routers due
+  /// that cycle. Spurious entries are harmless (a quiescent step is a
+  /// pinned no-op), so duplicate schedules need no dedup.
+  std::array<std::vector<std::uint64_t>, kWheelSize> wheel_;
+  /// Timers beyond the wheel horizon, spilled back in as now_ approaches.
+  std::map<Cycle, std::vector<NodeId>> far_due_;
+  /// Routers stepped this cycle, ascending — feeds the escalation poll and
+  /// the recovery-line OR (both order- or membership-sensitive).
+  std::vector<NodeId> stepped_;
+  /// Wires with signals in flight: id < link_wires_.size() is a link wire,
+  /// else a local (PE) wire. Mask is the dedup bitset for the list.
+  std::vector<std::uint32_t> live_wires_;
+  std::vector<std::uint64_t> live_wire_mask_;
+  /// Incrementally maintained buffer-occupancy totals (the sampling scan
+  /// only stepped routers can change their term). Slot totals are constant
+  /// after construction and cached on first use.
+  std::vector<int> tx_occ_cache_;
+  std::vector<int> rtx_occ_cache_;
+  long long tx_occ_total_ = 0;
+  long long rtx_occ_total_ = 0;
+  long long tx_slots_total_ = -1;
+  long long rtx_slots_total_ = -1;
 };
 
 }  // namespace ftnoc

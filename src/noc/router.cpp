@@ -4,11 +4,14 @@
 #include <bit>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "core/logic_error_model.hpp"
 #include "noc/digest.hpp"
+
 
 namespace ftnoc {
 namespace {
@@ -45,11 +48,17 @@ Router::Router(NodeId id, const SimConfig& cfg, const Topology& topo,
       replay_arbs_(kNumDirections, cfg.num_vcs) {
   const int pv = num_ports_ * num_vcs_;
   FTNOC_CHECK(pv <= 32);  // Work masks are 32-bit (5 ports x <= 6 VCs).
+  const std::size_t depth = static_cast<std::size_t>(cfg_.vc_buffer_depth);
+  in_flit_slab_.resize(static_cast<std::size_t>(pv) * depth);
   inputs_.resize(static_cast<std::size_t>(pv));
-  for (auto& in : inputs_) {
-    in.buf.reset_capacity(static_cast<std::size_t>(cfg_.vc_buffer_depth));
+  for (int g = 0; g < pv; ++g) {
+    inputs_[static_cast<std::size_t>(g)].buf.bind(
+        in_flit_slab_.data() + static_cast<std::size_t>(g) * depth,
+        static_cast<std::uint16_t>(depth));
   }
   outputs_.resize(static_cast<std::size_t>(pv));
+  out_rtx_.resize(static_cast<std::size_t>(pv));
+  rtx_retire_at_.assign(static_cast<std::size_t>(pv), 0);
   drop_until_.assign(static_cast<std::size_t>(pv), 0);
   va_rotation_.assign(static_cast<std::size_t>(pv), 0);
   va_reqs_.assign(static_cast<std::size_t>(pv), 0);
@@ -71,19 +80,26 @@ Router::Router(NodeId id, const SimConfig& cfg, const Topology& topo,
         out.credits = 1 << 28;
       } else {
         out.credits = cfg_.vc_buffer_depth;
-        if (use_rtx) out.rtx.emplace(cfg_.retransmission_depth);
+        if (use_rtx) orx(gid(p, v)).emplace(cfg_.retransmission_depth);
       }
     }
   }
   probe_ttl_ = cfg_.deadlock.probe_ttl
                    ? cfg_.deadlock.probe_ttl
                    : static_cast<std::uint32_t>(4 * topo_.num_nodes());
+  f_rt_live_ = faults_ != nullptr && cfg_.faults.rt_error_rate > 0.0;
+  f_va_live_ = faults_ != nullptr && cfg_.faults.va_error_rate > 0.0;
+  f_sa_live_ = faults_ != nullptr && cfg_.faults.sa_error_rate > 0.0;
+  f_rtx_live_ = faults_ != nullptr && cfg_.faults.rtx_error_rate > 0.0;
+  f_hs_live_ = faults_ != nullptr && cfg_.faults.handshake_error_rate > 0.0;
 }
 
 void Router::connect(PortId p, Wire* in, Wire* out) {
   FTNOC_CHECK(p < num_ports_);
   in_wires_[p] = in;
   out_wires_[p] = out;
+  if (in != nullptr) in->fwd_sig = &in_sig_[p];
+  if (out != nullptr) out->back_sig = &out_sig_[p];
   tx_slots_cache_ = rtx_slots_cache_ = -1;
 }
 
@@ -141,18 +157,43 @@ bool Router::quiescent() const {
   if (!pending_nacks_.empty() || !outbox_.empty()) return false;
   if (progress_this_cycle_ || agent_.in_recovery()) return false;
   if (!own_probe_route_.empty()) return false;
-  // External state: nothing arriving on any wire this cycle.
-  for (PortId p = 0; p < num_ports_; ++p) {
-    if (Wire* w = in_wires_[p]) {
-      if (w->flit.peek() || w->probe.peek() || w->activation.peek()) {
-        return false;
-      }
-    }
-    if (Wire* w = out_wires_[p]) {
-      if (!w->credit.empty() || w->nack.peek()) return false;
+  // External state: nothing arriving on any wire this cycle. The wires'
+  // tick-time summary bytes land in the router-local signal arrays, so
+  // this is two word loads (kCurFwd = 0x19, kCurBack = 0x06 per byte).
+  std::uint64_t iw;
+  std::uint64_t ow;
+  std::memcpy(&iw, in_sig_.data(), sizeof(iw));
+  std::memcpy(&ow, out_sig_.data(), sizeof(ow));
+  return ((iw & 0x1919191919191919ULL) | (ow & 0x0606060606060606ULL)) == 0;
+}
+
+WakeInfo Router::take_wake_info() {
+  WakeInfo w;
+  w.wrote_fwd = wrote_fwd_;
+  w.wrote_back = wrote_back_;
+  wrote_fwd_ = 0;
+  wrote_back_ = 0;
+  // Internal-state half of the quiescent() predicate: any of these means
+  // next cycle's step() is (or may be) a state-changing one even with no
+  // wire traffic. Wire arrivals are covered by the writer's wake masks.
+  w.retick = in_work_ != 0 || out_work_ != 0 || staged_count_ != 0 ||
+             draining_ != 0 || !pending_nacks_.empty() ||
+             !outbox_.empty() || progress_this_cycle_ ||
+             agent_.in_recovery();
+  if (!w.retick && !own_probe_route_.empty()) {
+    // The only delayed action an otherwise-idle router performs is the
+    // own-probe bookkeeping GC in phase_deadlock, which first fires at
+    // sent_at + probe_timeout + 1. The agent's outstanding probe is spared
+    // by the GC, and it can only stop being outstanding during a stepped
+    // cycle (probe return or a fresh probe) — after which this re-arms.
+    const auto& live = agent_.outstanding_probe();
+    for (const auto& [pid, r] : own_probe_route_) {
+      if (live.has_value() && *live == pid) continue;
+      const Cycle due = r.sent_at + agent_.probe_timeout() + 1;
+      if (w.timer == 0 || due < w.timer) w.timer = due;
     }
   }
-  return true;
+  return w;
 }
 
 void Router::step(Cycle now) {
@@ -212,26 +253,41 @@ void Router::step(Cycle now) {
 void Router::phase_maintenance(Cycle now) {
   if (!outbox_.empty()) flush_outbox();
 
-  // Retransmission-barrel aging: only occupied barrels (out_work_) can
-  // have anything to retire.
-  for (std::uint32_t m = out_work_; m != 0; m &= m - 1) {
-    const int og = std::countr_zero(m);
-    auto& out = outputs_[static_cast<std::size_t>(og)];
-    if (out.rtx && out.rtx->occupancy() > 0) {
-      out.rtx->retire_expired(now);
+  // Retransmission-barrel aging: only barrels with sent entries
+  // (rtx_sent_mask_) can have anything to retire, and the sent region's
+  // front deadline (the rtx_retire_at_ mirror) bounds when the oldest
+  // entry can expire — before that cycle retire_expired is a provable
+  // no-op, so the barrels themselves are not even touched.
+  if (rtx_sent_mask_ != 0 && now >= rtx_min_retire_) {
+    Cycle nmin = std::numeric_limits<Cycle>::max();
+    for (std::uint32_t m = rtx_sent_mask_; m != 0; m &= m - 1) {
+      const int og = std::countr_zero(m);
+      const Cycle due = rtx_retire_at_[static_cast<std::size_t>(og)];
+      if (now < due) {
+        nmin = std::min(nmin, due);
+        continue;
+      }
+      auto& rtx = out_rtx_[static_cast<std::size_t>(og)];
+      const int before = rtx->occupancy();
+      rtx->retire_expired(now);
+      rtx_occ_ -= before - rtx->occupancy();
+      refresh_rtx_cache(og);
       update_output_work(og);
+      if (rtx_sent_mask_ & (1u << og)) {
+        nmin = std::min(nmin, rtx_retire_at_[static_cast<std::size_t>(og)]);
+      }
     }
+    rtx_min_retire_ = nmin;
   }
 
   for (PortId p = 0; p < num_ports_; ++p) {
+    if ((out_sig_[p] & Wire::kCurBack) == 0) continue;
     Wire* w = out_wires_[p];
-    if (w == nullptr) continue;
-    if (w->credit.empty() && !w->nack.peek()) continue;
     for (const Credit& c : w->credit.read()) {
       // §4.6: transient fault on a handshake line. With TMR the voter
       // recovers the credit; without it the credit pulse is lost and the
       // sender's view of the downstream buffer leaks a slot forever.
-      if (faults_ && faults_->upset_handshake()) {
+      if (f_hs_live_ && faults_->upset_handshake()) {
         if (cfg_.tmr_handshaking) {
           if (stats_) stats_->on_handshake_error_corrected();
         } else {
@@ -244,7 +300,7 @@ void Router::phase_maintenance(Cycle now) {
       FTNOC_CHECK(out.credits <= cfg_.vc_buffer_depth);
     }
     if (auto nack = w->nack.read()) {
-      if (faults_ && faults_->upset_handshake()) {
+      if (f_hs_live_ && faults_->upset_handshake()) {
         if (cfg_.tmr_handshaking) {
           if (stats_) stats_->on_handshake_error_corrected();
         } else {
@@ -255,9 +311,9 @@ void Router::phase_maintenance(Cycle now) {
         }
       }
       if (nack) {
-        auto& out = ovc(p, nack->vc);
-        FTNOC_CHECK(out.rtx.has_value());
-        const int n = out.rtx->on_nack();
+        auto& rtx = orx(gid(p, nack->vc));
+        FTNOC_CHECK(rtx.has_value());
+        const int n = rtx->on_nack();
         // Each rolled-back flit re-materializes a live instance whose wire
         // copy the receiver dropped (or will drop inside its window).
         FTNOC_INVARIANT_HOOK(if (mon_) mon_->on_restored(n));
@@ -272,11 +328,15 @@ void Router::phase_maintenance(Cycle now) {
         if (staged_[p] && staged_[p]->vc == nack->vc) {
           const Flit& s = staged_[p]->stored;
           const bool still_pending =
-              out.rtx->pending_contains(s.packet_id, s.seq);
-          if (!still_pending) out.rtx->push_pending_back(s);
+              rtx->pending_contains(s.packet_id, s.seq);
+          if (!still_pending) {
+            rtx->push_pending_back(s);
+            ++rtx_occ_;
+          }
           staged_[p].reset();
           --staged_count_;
         }
+        refresh_rtx_cache(gid(p, nack->vc));
         update_output_work(gid(p, nack->vc));
         if (stats_) {
           stats_->on_link_retransmission(static_cast<std::uint64_t>(n));
@@ -295,6 +355,7 @@ void Router::phase_maintenance(Cycle now) {
         FTNOC_CHECK(out_wires_[p] != nullptr);
         finalize_transmission(p, staged_[p]->vc, staged_[p]->stored, now);
         out_wires_[p]->flit.write(staged_[p]->wire);
+        wrote_fwd_ |= port_bit(p);
         staged_[p].reset();
         --staged_count_;
       }
@@ -308,6 +369,7 @@ void Router::phase_maintenance(Cycle now) {
       FTNOC_CHECK(w != nullptr);
       FTNOC_CHECK(w->nack.can_write());
       w->nack.write({pending_nacks_[i].vc});
+      wrote_back_ |= port_bit(pending_nacks_[i].port);
       charge(power::EnergyEvent::kNackSignal);
       pending_nacks_.erase_at(i);
     } else {
@@ -323,21 +385,23 @@ void Router::phase_maintenance(Cycle now) {
 
 void Router::phase_receive(Cycle now) {
   for (PortId p = 0; p < num_ports_; ++p) {
+    const std::uint8_t m = in_sig_[p];
+    if ((m & Wire::kCurFwd) == 0) continue;
     Wire* w = in_wires_[p];
-    if (w == nullptr) continue;
-    if (w->flit.peek()) {
-      handle_incoming_flit(p, std::move(*w->flit.read()), now);
+    if (m & Wire::kCurFlit) {
+      handle_incoming_flit(p, *w->flit.peek_mut(), now);
+      w->flit.consume();
     }
-    if (w->probe.peek()) {
+    if (m & Wire::kCurProbe) {
       handle_probe(p, *w->probe.read(), now);
     }
-    if (w->activation.peek()) {
+    if (m & Wire::kCurActivation) {
       handle_activation(*w->activation.read(), now);
     }
   }
 }
 
-void Router::handle_incoming_flit(PortId p, Flit f, Cycle now) {
+void Router::handle_incoming_flit(PortId p, Flit& f, Cycle now) {
   if (p != kLocalPort) {
     // Inter-router link: the flit just traversed real wires. Inject faults
     // and run the link-protection policy.
@@ -411,10 +475,11 @@ void Router::handle_incoming_flit(PortId p, Flit f, Cycle now) {
         break;
     }
   }
-  accept_flit(p, std::move(f), now);
+  accept_flit(p, f, now);
 }
 
-void Router::accept_flit(PortId p, Flit f, Cycle now) {
+void Router::accept_flit(PortId p, const Flit& f0, Cycle now) {
+  Flit f = f0;
   auto& vc = ivc(p, f.vc);
   FTNOC_CHECK(static_cast<int>(vc.buf.size()) < cfg_.vc_buffer_depth);
   const VcId v = f.vc;
@@ -426,6 +491,7 @@ void Router::accept_flit(PortId p, Flit f, Cycle now) {
     mon_->on_flit_accepted(now, id_, p, f);
   });
   vc.buf.push_back(std::move(f));
+  if (vc.buf.size() == 1) vc.front_arrived = now;
   ++tx_occ_;
   update_input_work(gid(p, v));
   charge(power::EnergyEvent::kBufferWrite);
@@ -440,34 +506,35 @@ void Router::phase_replay_and_switch(Cycle now) {
 
   // (a) Retransmissions and absorbed-flit transmissions take priority on
   // each output port: in-order delivery per VC requires the pending region
-  // to drain before any new flit of that VC moves. Only output VCs in the
-  // work set can have pending flits.
-  for (PortId o = 0; o < num_ports_; ++o) {
+  // to drain before any new flit of that VC moves. Only output VCs with
+  // pending entries (rtx_pending_mask_) are candidates, so the common
+  // no-replay case never touches a barrel.
+  for (PortId o = 0; rtx_pending_mask_ != 0 && o < num_ports_; ++o) {
     if (o == kLocalPort || out_wires_[o] == nullptr) continue;
-    std::uint32_t cand = (out_work_ >> (o * num_vcs_)) & vmask;
+    const std::uint32_t cand = (rtx_pending_mask_ >> (o * num_vcs_)) & vmask;
     if (cand == 0) continue;
     if (cfg_.pipeline_stages == 4 && staged_[o].has_value()) continue;
     std::uint32_t mask = 0;
     for (std::uint32_t cm = cand; cm != 0; cm &= cm - 1) {
       const int v = std::countr_zero(cm);
-      auto& out = ovc(o, static_cast<VcId>(v));
-      if (!out.rtx || !out.rtx->has_pending()) continue;
+      const auto& rtx = orx(gid(o, static_cast<VcId>(v)));
+      const auto& out = ovc(o, static_cast<VcId>(v));
       // Pending flits transmit in order, but only once their packet owns
       // the output VC: a recovery waiter queued behind the current owner
       // must hold until the deferred ownership transfer.
       if (!out.allocated ||
-          out.rtx->front_pending().packet_id != out.owner_pid) {
+          rtx->front_pending().packet_id != out.owner_pid) {
         continue;
       }
-      if (out.rtx->front_pending_credit_held() || out.credits > 0) {
+      if (rtx->front_pending_credit_held() || out.credits > 0) {
         mask |= (1u << v);
       }
     }
     if (mask == 0) continue;
-    const int v = replay_arbs_.at(o).arbitrate(mask);
-    auto& out = ovc(o, static_cast<VcId>(v));
-    const bool credit_held = out.rtx->front_pending_credit_held();
-    Flit f = out.rtx->front_pending();
+    const int v = replay_arbs_[o].arbitrate(mask);
+    const auto& rtx = orx(gid(o, static_cast<VcId>(v)));
+    const bool credit_held = rtx->front_pending_credit_held();
+    Flit f = rtx->front_pending();
     charge(power::EnergyEvent::kRetransmission);
     transmit(o, static_cast<VcId>(v), std::move(f), now,
              /*consume_credit=*/!credit_held);
@@ -477,6 +544,9 @@ void Router::phase_replay_and_switch(Cycle now) {
   // in the work set can be active with buffered flits.
   std::array<int, kNumDirections> nominee;
   nominee.fill(-1);
+  // Per-output-port mask of nominating input ports, filled as nominees are
+  // picked so stage (c) need not re-scan every (o, p) pair.
+  std::array<std::uint8_t, kNumDirections> out_req{};
   bool any_nominee = false;
   for (PortId p = 0; p < num_ports_; ++p) {
     std::uint32_t mask = 0;
@@ -485,7 +555,7 @@ void Router::phase_replay_and_switch(Cycle now) {
       const int v = std::countr_zero(cm);
       auto& vc = ivc(p, static_cast<VcId>(v));
       if (vc.state != VcState::kActive || vc.buf.empty()) continue;
-      if (vc.buf.front().arrived_cycle >= now) continue;
+      if (vc.front_arrived >= now) continue;
       if (now < vc.stall_until) continue;
       const PortId o = vc.out_port;
       if (port_busy_[o]) continue;
@@ -494,15 +564,21 @@ void Router::phase_replay_and_switch(Cycle now) {
         auto& out = ovc(o, vc.out_vc);
         // In-order delivery: this packet's own pending (older) flits must
         // replay first. A recovery waiter's pending flits do not block the
-        // current owner.
-        if (out.rtx && out.rtx->has_pending_for(out.owner_pid)) continue;
+        // current owner. The pending mask keeps the common empty-barrel
+        // case off the fat barrel object.
+        if ((rtx_pending_mask_ >> gid(o, vc.out_vc)) & 1u) {
+          const auto& rtx = orx(gid(o, vc.out_vc));
+          if (rtx->has_pending_for(out.owner_pid)) continue;
+        }
         if (out.credits <= 0) continue;
       }
       mask |= (1u << v);
     }
     if (mask != 0) {
-      nominee[p] = sa_in_arbs_.at(p).arbitrate(mask);
+      nominee[p] = sa_in_arbs_[p].arbitrate(mask);
       any_nominee = true;
+      out_req[ivc(p, static_cast<VcId>(nominee[p])).out_port] |=
+          static_cast<std::uint8_t>(1u << p);
     }
   }
   if (!any_nominee) return;
@@ -510,21 +586,15 @@ void Router::phase_replay_and_switch(Cycle now) {
   // (c) SA output stage: each output port picks one requesting input port.
   for (PortId o = 0; o < num_ports_; ++o) {
     if (port_busy_[o]) continue;
-    std::uint32_t pmask = 0;
-    for (PortId p = 0; p < num_ports_; ++p) {
-      if (nominee[p] < 0) continue;
-      if (ivc(p, static_cast<VcId>(nominee[p])).out_port == o) {
-        pmask |= (1u << p);
-      }
-    }
+    const std::uint32_t pmask = out_req[o];
     if (pmask == 0) continue;
-    const int p = sa_out_arbs_.at(o).arbitrate(pmask);
+    const int p = sa_out_arbs_[o].arbitrate(pmask);
     const auto v = static_cast<VcId>(nominee[p]);
     auto& vc = ivc(static_cast<PortId>(p), v);
     charge(power::EnergyEvent::kSwAllocation);
 
     bool corrupt_in_flight = false;
-    if (faults_ && faults_->upset_sa_grant()) {
+    if (f_sa_live_ && faults_->upset_sa_grant()) {
       if (cfg_.enable_ac) {
         // The AC's third comparison (Figure 12) catches the bad grant in
         // the crossbar-traversal stage; neighbours are NACKed to ignore the
@@ -544,6 +614,7 @@ void Router::phase_replay_and_switch(Cycle now) {
 
     Flit f = vc.buf.front();
     vc.buf.pop_front();
+    vc.sync_front_arrived();
     --tx_occ_;
     charge(power::EnergyEvent::kBufferRead);
     charge(power::EnergyEvent::kCrossbarTraversal);
@@ -579,17 +650,18 @@ void Router::finalize_transmission(PortId o, VcId v, const Flit& f,
   // absorbed flits; link protection is then briefly suspended for this VC
   // (the paper's single-fault model: link errors and deadlock recovery do
   // not overlap).
-  if (!out.rtx) return;
-  const bool is_replay = out.rtx->has_pending() &&
-                         out.rtx->front_pending().packet_id == f.packet_id &&
-                         out.rtx->front_pending().seq == f.seq;
-  if (!is_replay && !out.rtx->can_accept(now)) return;
+  auto& rtx = orx(gid(o, v));
+  if (!rtx) return;
+  const bool is_replay = rtx->has_pending() &&
+                         rtx->front_pending().packet_id == f.packet_id &&
+                         rtx->front_pending().seq == f.seq;
+  if (!is_replay && !rtx->can_accept(now)) return;
   // §4.5: a soft error can corrupt the *stored* copy. The duplicate buffer
   // recovers it; without one the corrupt copy persists, and if the
   // original transmission is NACKed the replay resends the same broken
   // word forever — the endless retransmission loop.
   Flit stored = f;
-  if (faults_ && faults_->upset_rtx_copy()) {
+  if (f_rtx_live_ && faults_->upset_rtx_copy()) {
     if (cfg_.duplicate_rtx_buffers) {
       if (stats_) stats_->on_rtx_error_corrected();
       charge(power::EnergyEvent::kRtxBufferWrite);  // Duplicate access.
@@ -599,7 +671,10 @@ void Router::finalize_transmission(PortId o, VcId v, const Flit& f,
       stored.codeword.flip(36 + static_cast<int>(faults_->random_below(36)));
     }
   }
-  out.rtx->record_transmission(stored, now);
+  const int before = rtx->occupancy();
+  rtx->record_transmission(stored, now);
+  rtx_occ_ += rtx->occupancy() - before;
+  refresh_rtx_cache(gid(o, v));
   update_output_work(gid(o, v));
   charge(power::EnergyEvent::kRtxBufferWrite);
 }
@@ -616,24 +691,42 @@ void Router::transmit(PortId o, VcId v, Flit f, Cycle now,
   f.vc = v;
   ++f.hops;
   charge(power::EnergyEvent::kLinkTraversal);
-  Flit wire = f;
+  // In-crossbar upset (unprotected SA error): the wire copy is wrecked
+  // but the barrel copy stays clean, so a NACKed replay recovers the
+  // data. The bit positions are drawn up front to keep the RNG sequence
+  // independent of the copy-elision below (draws precede the §4.5
+  // stored-copy draw inside finalize_transmission, as they always have).
+  int flip1 = -1;
+  int flip2 = -1;
   if (corrupt_on_wire) {
-    // In-crossbar upset (unprotected SA error): the wire copy is wrecked
-    // but the barrel copy stays clean, so a NACKed replay recovers the
-    // data.
-    wire.codeword.flip(static_cast<int>(faults_->random_below(36)));
-    wire.codeword.flip(36 + static_cast<int>(faults_->random_below(36)));
+    flip1 = static_cast<int>(faults_->random_below(36));
+    flip2 = 36 + static_cast<int>(faults_->random_below(36));
   }
   if (cfg_.pipeline_stages == 4) {
     // The dedicated ST stage: barrel recording happens at flush time so
     // the NACK-loop ages line up with the wire.
     FTNOC_CHECK(!staged_[o].has_value());
+    Flit wire = f;
+    if (corrupt_on_wire) {
+      wire.codeword.flip(flip1);
+      wire.codeword.flip(flip2);
+    }
     staged_[o] = StagedFlit{std::move(wire), std::move(f), v};
     ++staged_count_;
   } else {
     finalize_transmission(o, v, f, now);
     FTNOC_CHECK(out_wires_[o]->flit.can_write());
-    out_wires_[o]->flit.write(wire);
+    if (corrupt_on_wire) {
+      Flit wire = f;
+      wire.codeword.flip(flip1);
+      wire.codeword.flip(flip2);
+      out_wires_[o]->flit.write(wire);
+    } else {
+      // Common case: the clean flit goes straight onto the wire — no
+      // intermediate copy.
+      out_wires_[o]->flit.write(f);
+    }
+    wrote_fwd_ |= port_bit(o);
   }
   port_busy_[o] = true;
 }
@@ -647,7 +740,10 @@ void Router::eject(const Flit& f, PortId in_port, VcId in_vc, Cycle now) {
 
 void Router::send_credit(PortId p, VcId v) {
   progress_this_cycle_ = true;  // A buffer slot was freed.
-  if (in_wires_[p]) in_wires_[p]->credit.write({v});
+  if (in_wires_[p]) {
+    in_wires_[p]->credit.write({v});
+    wrote_back_ |= port_bit(p);
+  }
 }
 
 void Router::release_input_after_tail(PortId p, VcId v, Cycle now) {
@@ -665,7 +761,12 @@ void Router::maybe_release_outputs(Cycle now) {
     const int og = std::countr_zero(m);
     auto& out = outputs_[static_cast<std::size_t>(og)];
     if (!out.allocated || !out.tail_sent) continue;
-    if (out.rtx && out.rtx->contains_packet(out.owner_pid)) continue;
+    // The owner lingers while any of its flits sit in the barrel; an empty
+    // barrel (per the summary masks) cannot contain the packet.
+    if (((rtx_sent_mask_ | rtx_pending_mask_) >> og) & 1u) {
+      const auto& rtx = out_rtx_[static_cast<std::size_t>(og)];
+      if (rtx->contains_packet(out.owner_pid)) continue;
+    }
     out.allocated = false;
     out.tail_sent = false;
     if (out.has_waiter) {
@@ -821,14 +922,14 @@ void Router::phase_va(Cycle now) {
 
   for (std::uint32_t m = va_req_ogs_; m != 0; m &= m - 1) {
     const int og = std::countr_zero(m);
-    const int g = va_arbs_.at(og).arbitrate(va_reqs_[static_cast<std::size_t>(og)]);
+    const int g = va_arbs_[og].arbitrate(va_reqs_[static_cast<std::size_t>(og)]);
     FTNOC_CHECK(g >= 0);
     auto& vc = inputs_[static_cast<std::size_t>(g)];
     const PortId o = va_want_[static_cast<std::size_t>(g)].first;
     const VcId v = va_want_[static_cast<std::size_t>(g)].second;
     charge(power::EnergyEvent::kVcAllocation);
 
-    if (faults_ && faults_->upset_va_allocation()) {
+    if (f_va_live_ && faults_->upset_va_allocation()) {
       run_ac_on_va(static_cast<std::size_t>(g), now);
       continue;
     }
@@ -919,7 +1020,7 @@ void Router::run_ac_on_va(std::size_t g, Cycle now) {
 // ---------------------------------------------------------------------------
 
 PortMask Router::apply_rt_fault(InputVc& vc, PortMask correct, Cycle now) {
-  if (!faults_ || !faults_->upset_routing()) return correct;
+  if (!f_rt_live_ || !faults_->upset_routing()) return correct;
 
   // Pick the erroneous direction uniformly among ports outside the correct
   // set (a flip landing inside the set is not observable as an error).
@@ -965,9 +1066,10 @@ void Router::phase_rt(Cycle now) {
     auto& vc = inputs_[static_cast<std::size_t>(g)];
 
     if (vc.state == VcState::kDraining) {
-      if (!vc.buf.empty() && vc.buf.front().arrived_cycle < now) {
+      if (!vc.buf.empty() && vc.front_arrived < now) {
         const Flit f = vc.buf.front();
         vc.buf.pop_front();
+        vc.sync_front_arrived();
         --tx_occ_;
         FTNOC_INVARIANT_HOOK(if (mon_) mon_->on_dropped());
         charge(power::EnergyEvent::kBufferRead);
@@ -984,13 +1086,14 @@ void Router::phase_rt(Cycle now) {
     }
 
     if (vc.state != VcState::kRouting || vc.buf.empty()) continue;
-    if (vc.buf.front().arrived_cycle >= now) continue;
+    if (vc.front_arrived >= now) continue;
     if (now < vc.stall_until) continue;
     if (!is_head(vc.buf.front().type)) {
       // A body/tail flit with no open wormhole: its header was dropped and
       // never replayed (possible only when the NACK path itself is faulty,
       // e.g. unprotected handshake lines, §4.6). Discard the stray flit.
       vc.buf.pop_front();
+      vc.sync_front_arrived();
       --tx_occ_;
       FTNOC_INVARIANT_HOOK(if (mon_) mon_->on_dropped());
       send_credit(static_cast<PortId>(g / num_vcs_),
@@ -1088,6 +1191,7 @@ void Router::flush_outbox() {
       }
     }
     if (sent) {
+      wrote_fwd_ |= port_bit(item.port);
       outbox_.erase_at(i);
     } else {
       ++i;
@@ -1309,7 +1413,7 @@ void Router::phase_deadlock(Cycle now) {
   for (std::uint32_t m = in_work_; m != 0; m &= m - 1) {
     const int g = std::countr_zero(m);
     auto& vc = inputs_[static_cast<std::size_t>(g)];
-    if (vc.buf.empty() || vc.buf.front().arrived_cycle >= now) continue;
+    if (vc.buf.empty() || vc.front_arrived >= now) continue;
     const auto in_port = static_cast<PortId>(g / num_vcs_);
     const auto in_vc = static_cast<VcId>(g % num_vcs_);
 
@@ -1329,8 +1433,9 @@ void Router::phase_deadlock(Cycle now) {
       VcId v = kInvalidVc;
       for (VcId cv = 0; cv < num_vcs_; ++cv) {
         auto& cand_out = ovc(o, cv);
-        if (cand_out.rtx && cand_out.allocated && !cand_out.has_waiter &&
-            cand_out.rtx->free_slots() > 0) {
+        const auto& cand_rtx = orx(gid(o, cv));
+        if (cand_rtx && cand_out.allocated && !cand_out.has_waiter &&
+            cand_rtx->free_slots() > 0) {
           v = cv;
           break;
         }
@@ -1357,30 +1462,34 @@ void Router::phase_deadlock(Cycle now) {
     }
     if (vc.out_port == kLocalPort) continue;
     auto& out = ovc(vc.out_port, vc.out_vc);
-    if (!out.rtx) continue;
+    auto& rtx = orx(gid(vc.out_port, vc.out_vc));
+    if (!rtx) continue;
     const bool owns = out.allocated &&
                       out.owner_pid == vc.buf.front().packet_id;
     if (owns && out.credits > 0) continue;  // Normal progress possible.
     const int og = gid(vc.out_port, vc.out_vc);
     if (absorbed_ & (1u << og)) continue;
-    if (out.rtx->free_slots() <= 0) continue;
+    if (rtx->free_slots() <= 0) continue;
     // A waiter only absorbs its own stream, and must leave one slot for
     // the owner: the owner's tail is exactly what releases this VC to the
     // waiter, so starving the owner of barrel space wedges both.
     if (!owns && !(out.has_waiter && out.waiter_gid == g)) continue;
-    if (!owns && out.rtx->free_slots() <= 1) continue;
+    if (!owns && rtx->free_slots() <= 1) continue;
 
     Flit f = vc.buf.front();
     vc.buf.pop_front();
+    vc.sync_front_arrived();
     --tx_occ_;
     f.vc = vc.out_vc;
     if (owns) {
       // Owner flits go ahead of any queued waiter's in the pending region
       // (the owner's wormhole completes first on the wire).
-      out.rtx->absorb_as_owner(f, out.owner_pid);
+      rtx->absorb_as_owner(f, out.owner_pid);
     } else {
-      out.rtx->absorb(f);
+      rtx->absorb(f);
     }
+    ++rtx_occ_;
+    refresh_rtx_cache(og);
     absorbed_ |= (1u << og);
     update_output_work(og);
     charge(power::EnergyEvent::kBufferRead);
@@ -1403,14 +1512,7 @@ void Router::phase_deadlock(Cycle now) {
   // under saturation some VC is always blocked longer than Cthres, and a
   // router that never exits keeps the chip-wide injection gate asserted
   // forever — a livelock (observed with aggressive Cthres values).
-  bool pending = false;
-  for (std::uint32_t m = out_work_; m != 0; m &= m - 1) {
-    const auto& out = outputs_[static_cast<std::size_t>(std::countr_zero(m))];
-    if (out.rtx && out.rtx->has_pending()) {
-      pending = true;
-      break;
-    }
-  }
+  const bool pending = rtx_pending_mask_ != 0;
   // A VC still starving after a long, Cthres-independent window keeps the
   // router in recovery (its absorption capacity stays available and the
   // chip-wide injection gate stays asserted so the region keeps draining).
@@ -1456,14 +1558,7 @@ int Router::tx_buffer_slots() const {
   return tx_slots_cache_;
 }
 
-int Router::rtx_buffer_occupancy() const {
-  int n = 0;
-  for (std::uint32_t m = out_work_; m != 0; m &= m - 1) {
-    const auto& out = outputs_[static_cast<std::size_t>(std::countr_zero(m))];
-    if (out.rtx) n += out.rtx->occupancy();
-  }
-  return n;
-}
+int Router::rtx_buffer_occupancy() const { return rtx_occ_; }
 
 int Router::rtx_buffer_slots() const {
   if (rtx_slots_cache_ < 0) {
@@ -1471,8 +1566,8 @@ int Router::rtx_buffer_slots() const {
     for (PortId p = 0; p < num_ports_; ++p) {
       if (out_wires_[p] == nullptr) continue;
       for (VcId v = 0; v < num_vcs_; ++v) {
-        const auto& out = ovc(p, v);
-        if (out.rtx) n += out.rtx->depth();
+        const auto& rtx = orx(gid(p, v));
+        if (rtx) n += rtx->depth();
       }
     }
     rtx_slots_cache_ = n;
@@ -1512,15 +1607,16 @@ void Router::check_local_invariants(Cycle now) {
                      " buf=" + std::to_string(in.buf.size()) + ")");
     }
     const auto& out = outputs_[static_cast<std::size_t>(g)];
+    const auto& rtx = out_rtx_[static_cast<std::size_t>(g)];
     const bool out_busy = out.allocated || out.has_waiter ||
-                          (out.rtx && out.rtx->occupancy() > 0);
+                          (rtx && rtx->occupancy() > 0);
     if (out_busy != (((out_work_ >> g) & 1u) != 0)) {
       mon_->fail(InvariantId::kWorkMaskAgreement, now, id_, p, v,
                  std::string("out_work_ bit ") + (out_busy ? "clear" : "set") +
                      " for a " + (out_busy ? "busy" : "idle") +
                      " output VC (allocated=" + std::to_string(out.allocated) +
                      " waiter=" + std::to_string(out.has_waiter) + " rtx=" +
-                     std::to_string(out.rtx ? out.rtx->occupancy() : 0) + ")");
+                     std::to_string(rtx ? rtx->occupancy() : 0) + ")");
     }
   }
   if (occ != tx_occ_) {
@@ -1528,6 +1624,47 @@ void Router::check_local_invariants(Cycle now) {
                "tx_occ_ running counter is " + std::to_string(tx_occ_) +
                    " but the input buffers hold " + std::to_string(occ) +
                    " flits");
+  }
+  int rtx_occ = 0;
+  for (const auto& rtx : out_rtx_) {
+    if (rtx) rtx_occ += rtx->occupancy();
+  }
+  if (rtx_occ != rtx_occ_) {
+    mon_->fail(InvariantId::kOccupancyCounter, now, id_, -1, -1,
+               "rtx_occ_ running counter is " + std::to_string(rtx_occ_) +
+                   " but the barrels hold " + std::to_string(rtx_occ) +
+                   " flits");
+  }
+  // The barrel summary caches must mirror the barrels exactly: a stale
+  // sent/pending bit changes which VCs the maintenance/replay scans visit.
+  std::uint32_t sent_m = 0;
+  std::uint32_t pend_m = 0;
+  for (int g = 0; g < num_ports_ * num_vcs_; ++g) {
+    const auto& rtx = out_rtx_[static_cast<std::size_t>(g)];
+    if (!rtx) continue;
+    if (rtx->sent_count() > 0) {
+      sent_m |= 1u << g;
+      if (rtx_retire_at_[static_cast<std::size_t>(g)] !=
+          rtx->next_retire_at()) {
+        mon_->fail(InvariantId::kOccupancyCounter, now, id_,
+                   g / num_vcs_, g % num_vcs_,
+                   "rtx_retire_at_ mirror is stale");
+      }
+      if (rtx_min_retire_ > rtx->next_retire_at()) {
+        mon_->fail(InvariantId::kOccupancyCounter, now, id_,
+                   g / num_vcs_, g % num_vcs_,
+                   "rtx_min_retire_ watermark is above a live deadline");
+      }
+    }
+    if (rtx->has_pending()) pend_m |= 1u << g;
+  }
+  if (sent_m != rtx_sent_mask_ || pend_m != rtx_pending_mask_) {
+    mon_->fail(InvariantId::kOccupancyCounter, now, id_, -1, -1,
+               "rtx summary masks are stale (sent " +
+                   std::to_string(rtx_sent_mask_) + " vs " +
+                   std::to_string(sent_m) + ", pending " +
+                   std::to_string(rtx_pending_mask_) + " vs " +
+                   std::to_string(pend_m) + ")");
   }
   int staged = 0;
   for (PortId p = 0; p < num_ports_; ++p) {
@@ -1558,24 +1695,25 @@ long long Router::live_flit_count() const {
     // pop happens at flush time), so the pending entry is the one live
     // instance and the register holds its shadow.
     const Flit& s = staged_[p]->stored;
-    const auto& out = ovc(p, staged_[p]->vc);
-    const bool shadow = out.rtx && out.rtx->has_pending() &&
-                        out.rtx->front_pending().packet_id == s.packet_id &&
-                        out.rtx->front_pending().seq == s.seq;
+    const auto& rtx = orx(gid(p, staged_[p]->vc));
+    const bool shadow = rtx && rtx->has_pending() &&
+                        rtx->front_pending().packet_id == s.packet_id &&
+                        rtx->front_pending().seq == s.seq;
     if (!shadow) ++n;
   }
-  for (const auto& out : outputs_) {
-    if (out.rtx) n += out.rtx->pending_count();
+  for (const auto& rtx : out_rtx_) {
+    if (rtx) n += rtx->pending_count();
   }
   return n;
 }
 
 int Router::held_credits(PortId p, VcId v) const {
   const auto& out = ovc(p, v);
+  const auto& rtx = orx(gid(p, v));
   int n = out.credits;
-  if (out.rtx) {
-    for (int i = 0; i < out.rtx->pending_count(); ++i) {
-      if (out.rtx->pending_credit_held(i)) ++n;
+  if (rtx) {
+    for (int i = 0; i < rtx->pending_count(); ++i) {
+      if (rtx->pending_credit_held(i)) ++n;
     }
   }
   if (staged_[p] && staged_[p]->vc == v) {
@@ -1583,10 +1721,10 @@ int Router::held_credits(PortId p, VcId v) const {
     // pending entry still records the credit (counted above).
     const Flit& s = staged_[p]->stored;
     const bool counted_in_pending =
-        out.rtx && out.rtx->has_pending() &&
-        out.rtx->front_pending().packet_id == s.packet_id &&
-        out.rtx->front_pending().seq == s.seq &&
-        out.rtx->pending_credit_held(0);
+        rtx && rtx->has_pending() &&
+        rtx->front_pending().packet_id == s.packet_id &&
+        rtx->front_pending().seq == s.seq &&
+        rtx->pending_credit_held(0);
     if (!counted_in_pending) ++n;
   }
   return n;
@@ -1617,17 +1755,18 @@ std::uint64_t Router::state_digest() const {
     h.mix(out.has_waiter);
     h.mix(out.waiter_gid);
     h.mix(out.waiter_pid);
-    h.mix(out.rtx.has_value());
-    if (out.rtx) {
-      h.mix(static_cast<std::uint64_t>(out.rtx->sent_count()));
-      for (int i = 0; i < out.rtx->sent_count(); ++i) {
-        h.mix_flit(out.rtx->sent_flit(i));
-        h.mix(static_cast<std::uint64_t>(out.rtx->sent_time(i)));
+    const auto& rtx = out_rtx_[static_cast<std::size_t>(g)];
+    h.mix(rtx.has_value());
+    if (rtx) {
+      h.mix(static_cast<std::uint64_t>(rtx->sent_count()));
+      for (int i = 0; i < rtx->sent_count(); ++i) {
+        h.mix_flit(rtx->sent_flit(i));
+        h.mix(static_cast<std::uint64_t>(rtx->sent_time(i)));
       }
-      h.mix(static_cast<std::uint64_t>(out.rtx->pending_count()));
-      for (int i = 0; i < out.rtx->pending_count(); ++i) {
-        h.mix_flit(out.rtx->pending_flit(i));
-        h.mix(out.rtx->pending_credit_held(i));
+      h.mix(static_cast<std::uint64_t>(rtx->pending_count()));
+      for (int i = 0; i < rtx->pending_count(); ++i) {
+        h.mix_flit(rtx->pending_flit(i));
+        h.mix(rtx->pending_credit_held(i));
       }
     }
     h.mix(static_cast<std::uint64_t>(drop_until_[static_cast<std::size_t>(g)]));
@@ -1712,8 +1851,9 @@ std::string Router::debug_dump(Cycle now) const {
   for (PortId p = 0; p < num_ports_; ++p) {
     for (VcId v = 0; v < num_vcs_; ++v) {
       const auto& out = ovc(p, v);
+      const auto& rtx = orx(gid(p, v));
       const bool quiet = !out.allocated && !out.has_waiter &&
-                         (!out.rtx || out.rtx->occupancy() == 0);
+                         (!rtx || rtx->occupancy() == 0);
       if (quiet) continue;
       s += "  out " + std::string(to_string(static_cast<Direction>(p))) +
            "_" + std::to_string(v);
@@ -1723,9 +1863,9 @@ std::string Router::debug_dump(Cycle now) const {
       }
       if (out.has_waiter) s += " waiter=pkt" + std::to_string(out.waiter_pid);
       s += " credits=" + std::to_string(out.credits);
-      if (out.rtx) {
-        s += " rtx(sent=" + std::to_string(out.rtx->sent_count()) +
-             ",pend=" + std::to_string(out.rtx->pending_count()) + ")";
+      if (rtx) {
+        s += " rtx(sent=" + std::to_string(rtx->sent_count()) +
+             ",pend=" + std::to_string(rtx->pending_count()) + ")";
       }
       s += "\n";
     }

@@ -30,7 +30,6 @@
 
 #include "common/config.hpp"
 #include "common/inline_vec.hpp"
-#include "common/ring_queue.hpp"
 #include "common/types.hpp"
 #include "core/allocation_comparator.hpp"
 #include "core/deadlock.hpp"
@@ -41,6 +40,7 @@
 #include "core/retransmission_buffer.hpp"
 #include "noc/arbiter.hpp"
 #include "noc/channel.hpp"
+#include "noc/flit_store.hpp"
 #include "noc/router_iface.hpp"
 #include "noc/routing.hpp"
 #include "noc/stats.hpp"
@@ -111,6 +111,13 @@ class Router final : public RouterIface {
   }
   void begin_link_drain(PortId p, Cycle now) override;
 
+  // --- Event-driven scheduling (DESIGN.md §4.10) --------------------------
+  /// Wake bookkeeping of the step() that just ran: which wires were
+  /// driven, whether any retained state demands a self-tick next cycle,
+  /// and the exact own-probe GC deadline when that is the *only* thing
+  /// left. Consuming resets the wrote masks for the next step.
+  WakeInfo take_wake_info() override;
+
  private:
   // --- Per-VC state -------------------------------------------------------
   enum class VcState : std::uint8_t {
@@ -123,8 +130,16 @@ class Router final : public RouterIface {
     kDraining, ///< Unprotected-allocation casualty: discard until tail.
   };
 
+  // SoA layout (DESIGN.md §4.10): the former per-VC structs are split by
+  // role into parallel gid-indexed arrays — flit storage in one contiguous
+  // slab (`in_flit_slab_`, viewed through FlitRing), per-input-VC
+  // allocation metadata in `inputs_`, per-output-VC allocation metadata in
+  // `outputs_` (small POD, hot), and the big retransmission barrels in
+  // `out_rtx_` (cold — touched only through the out_work_ mask). The scan
+  // loops walk these arrays in ascending-gid order, which is what the
+  // golden digests pin.
   struct InputVc {
-    RingQueue<Flit> buf;  ///< Capacity fixed at vc_buffer_depth.
+    FlitRing buf;  ///< View into in_flit_slab_; capacity vc_buffer_depth.
     VcState state = VcState::kRouting;
     PortMask candidates = 0;
     PortId out_port = kInvalidPort;
@@ -132,20 +147,26 @@ class Router final : public RouterIface {
     Cycle last_advance = 0;
     Cycle stall_until = 0;   ///< Logic-error recovery penalty.
     Cycle state_since = 0;
+    /// Mirror of buf.front().arrived_cycle (valid while buf is non-empty),
+    /// kept by the push/pop sites — the SA nomination scan's same-cycle
+    /// check then stays off the flit slab.
+    Cycle front_arrived = 0;
+    void sync_front_arrived() {
+      if (!buf.empty()) front_arrived = buf.front().arrived_cycle;
+    }
   };
 
   struct OutputVc {
-    bool allocated = false;
-    std::uint16_t owner_gid = 0;
     PacketId owner_pid = 0;
-    bool tail_sent = false;
-    int credits = 0;
-    std::optional<RetransmissionBuffer> rtx;  ///< Absent on the local port.
     /// Deadlock recovery: the input VC queued to inherit this output VC
     /// when the current owner releases it (deferred VA).
-    bool has_waiter = false;
-    std::uint16_t waiter_gid = 0;
     PacketId waiter_pid = 0;
+    int credits = 0;
+    std::uint16_t owner_gid = 0;
+    std::uint16_t waiter_gid = 0;
+    bool allocated = false;
+    bool tail_sent = false;
+    bool has_waiter = false;
   };
 
   struct PendingNack {
@@ -181,6 +202,11 @@ class Router final : public RouterIface {
   OutputVc& ovc(PortId p, VcId v) { return outputs_[gid(p, v)]; }
   const OutputVc& ovc(PortId p, VcId v) const { return outputs_[gid(p, v)]; }
   int gid(PortId p, VcId v) const { return p * num_vcs_ + v; }
+  /// Retransmission barrel of output gid `og` (engaged on link ports only).
+  std::optional<RetransmissionBuffer>& orx(int og) { return out_rtx_[og]; }
+  const std::optional<RetransmissionBuffer>& orx(int og) const {
+    return out_rtx_[og];
+  }
 
   // --- Work lists --------------------------------------------------------
   // One bit per (port, VC) gid; P*V <= 30 so a 32-bit mask covers both
@@ -196,8 +222,9 @@ class Router final : public RouterIface {
   }
   void update_output_work(int og) {
     const OutputVc& out = outputs_[static_cast<std::size_t>(og)];
+    const auto& rtx = out_rtx_[static_cast<std::size_t>(og)];
     const bool busy = out.allocated || out.has_waiter ||
-                      (out.rtx && out.rtx->occupancy() > 0);
+                      (rtx && rtx->occupancy() > 0);
     out_work_ = busy ? (out_work_ | (1u << og)) : (out_work_ & ~(1u << og));
   }
 
@@ -210,8 +237,10 @@ class Router final : public RouterIface {
   bool port_allocatable(PortId p) const {
     return port_usable(p) && (draining_ & port_bit(p)) == 0;
   }
-  void accept_flit(PortId p, Flit f, Cycle now);
-  void handle_incoming_flit(PortId p, Flit f, Cycle now);
+  void accept_flit(PortId p, const Flit& f0, Cycle now);
+  /// `f` may alias the wire channel's current slot (consumed in place by
+  /// the caller after this returns); it is mutated by link-fault injection.
+  void handle_incoming_flit(PortId p, Flit& f, Cycle now);
   void handle_probe(PortId p, const ProbeSignal& probe, Cycle now);
   void handle_activation(const ActivationSignal& act, Cycle now);
   /// Sends one flit on an output link: consumes the credit (unless it is a
@@ -261,6 +290,15 @@ class Router final : public RouterIface {
   int num_ports_ = kNumDirections;
 
   FaultInjector* faults_;
+  // Per-process upset draws with rate <= 0 return false without consuming
+  // RNG state (Rng::bernoulli short-circuits), so skipping the call when
+  // the rate is zero is behaviour-preserving — these flags hoist that
+  // rate check out of the per-event hot paths.
+  bool f_rt_live_ = false;
+  bool f_va_live_ = false;
+  bool f_sa_live_ = false;
+  bool f_rtx_live_ = false;
+  bool f_hs_live_ = false;
   power::EnergyMeter* meter_;
   StatsCollector* stats_;
   EjectFn eject_;
@@ -269,10 +307,23 @@ class Router final : public RouterIface {
   // --- Wiring ---------------------------------------------------------------
   std::array<Wire*, kNumDirections> in_wires_{};
   std::array<Wire*, kNumDirections> out_wires_{};
+  /// Consumer-side wire signal summaries (Wire::kCur* bits), written by
+  /// Wire::tick through registered slots: in_sig_[p] mirrors
+  /// in_wires_[p]->cur_mask, out_sig_[p] mirrors out_wires_[p]->cur_mask.
+  /// Both padded to 8 so the quiescent check reads each as one word.
+  alignas(8) std::array<std::uint8_t, 8> in_sig_{};
+  alignas(8) std::array<std::uint8_t, 8> out_sig_{};
 
   // --- State -----------------------------------------------------------------
+  /// Gid-major contiguous flit storage for every input VC (stride
+  /// vc_buffer_depth); inputs_[g].buf is a FlitRing view into it. Sized
+  /// once in the constructor and never reallocated.
+  std::vector<Flit> in_flit_slab_;
   std::vector<InputVc> inputs_;    // P*V
-  std::vector<OutputVc> outputs_;  // P*V
+  std::vector<OutputVc> outputs_;  // P*V (hot allocation metadata)
+  /// P*V retransmission barrels, split out of OutputVc so the hot scans
+  /// walk small PODs; engaged on link-port gids only.
+  std::vector<std::optional<RetransmissionBuffer>> out_rtx_;
   std::vector<Cycle> drop_until_;  // P*V: HBH drop window per input VC.
   ErrorCheckUnit checker_;
   AllocationComparator ac_;
@@ -316,6 +367,13 @@ class Router final : public RouterIface {
   bool progress_this_cycle_ = false;
   std::uint32_t probe_ttl_ = 0;
 
+  /// Ports whose *outgoing* wire carried a forward signal this step
+  /// (flit/probe/activation) and ports whose *incoming* bundle carried a
+  /// backward signal (credit/NACK; bit kLocalPort = PE credit). Cleared by
+  /// take_wake_info().
+  std::uint8_t wrote_fwd_ = 0;
+  std::uint8_t wrote_back_ = 0;
+
   // --- Hot-path scratch and work masks -----------------------------------
   std::uint32_t in_work_ = 0;   ///< Input VCs with buffered flits or state.
   std::uint32_t out_work_ = 0;  ///< Output VCs allocated/waited/occupied.
@@ -324,8 +382,41 @@ class Router final : public RouterIface {
   std::uint32_t va_req_ogs_ = 0;  ///< Output gids with requests this cycle.
   std::uint32_t absorbed_ = 0;    ///< Output gids absorbed-into this cycle.
   int tx_occ_ = 0;  ///< Running sum of input-buffer occupancy (sampling).
+  /// Running sum of retransmission-barrel occupancy across all output VCs
+  /// (sampling). Updated at every barrel mutation; a NACK rollback moves
+  /// entries sent->pending without changing the sum.
+  int rtx_occ_ = 0;
   mutable int tx_slots_cache_ = -1;
   mutable int rtx_slots_cache_ = -1;
+
+  // --- Retransmission-barrel summary caches -------------------------------
+  // The barrels are fat objects (inline flit storage); the per-cycle scans
+  // must not touch them just to learn "empty". These mirrors are refreshed
+  // by refresh_rtx_cache() after every barrel mutation.
+  std::uint32_t rtx_sent_mask_ = 0;     ///< Output gids with sent entries.
+  std::uint32_t rtx_pending_mask_ = 0;  ///< Output gids with pending entries.
+  /// Per output gid: next_retire_at() mirror (valid while the sent bit is
+  /// set). rtx_min_retire_ is a lower-bound watermark over the set bits —
+  /// it may be stale-low (cheap extra scan), never stale-high.
+  std::vector<Cycle> rtx_retire_at_;
+  Cycle rtx_min_retire_ = 0;
+  void refresh_rtx_cache(int og) {
+    const auto& rtx = out_rtx_[static_cast<std::size_t>(og)];
+    const std::uint32_t bit = 1u << og;
+    if (rtx && rtx->sent_count() > 0) {
+      rtx_sent_mask_ |= bit;
+      const Cycle due = rtx->next_retire_at();
+      rtx_retire_at_[static_cast<std::size_t>(og)] = due;
+      if (rtx_min_retire_ > due) rtx_min_retire_ = due;
+    } else {
+      rtx_sent_mask_ &= ~bit;
+    }
+    if (rtx && rtx->has_pending()) {
+      rtx_pending_mask_ |= bit;
+    } else {
+      rtx_pending_mask_ &= ~bit;
+    }
+  }
 };
 
 }  // namespace ftnoc

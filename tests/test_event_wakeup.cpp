@@ -1,0 +1,204 @@
+// Timer-wakeup regression tests for the event-queue kernel (DESIGN.md
+// §4.10): every class of *delayed* action must schedule a router
+// self-tick at (or before) its due cycle, else an otherwise-idle router
+// sleeps through it and the event kernel diverges from the scan kernel.
+//
+// Each test locks a scan-kernel network and an event-kernel network built
+// from the same config into cycle-by-cycle state_digest() comparison.
+// Low injection rates are deliberate: wake bugs only manifest when
+// routers actually go idle between events — a saturated mesh re-ticks
+// every cycle and hides them (the PR 3 drop-window and PR 5
+// staged-replay bugs both survived saturated testing and lived exactly
+// in this seam).
+//
+// Delayed-action classes covered:
+//   1. HBH NACK send_at / drop windows      (link errors, 3- and 4-stage)
+//   2. Retransmission-barrel retire deadlines (NACK window expiry)
+//   3. Probe timeouts and own-probe GC      (deadlock recovery, the one
+//      exact WakeInfo::timer)
+//   4. Drain-then-kill completion           (runtime link escalation)
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "noc/network.hpp"
+
+namespace ftnoc {
+namespace {
+
+// Steps both kernels in lock-step and fails on the first digest mismatch.
+// A mismatch cycle is the wake bug's signature: the event kernel skipped
+// (or double-ran nothing — steps are idempotent when quiescent) a router
+// step the scan kernel performed.
+// Returns the event network's stats so each test can additionally assert
+// its delayed-action class actually fired (a scenario that arms no
+// windows proves nothing).
+const StatsCollector& expect_lockstep(Network& scan, Network& event,
+                                      Cycle cycles) {
+  for (Cycle c = 0; c < cycles; ++c) {
+    scan.step();
+    event.step();
+    EXPECT_EQ(scan.state_digest(), event.state_digest())
+        << "event kernel diverged from scan kernel at cycle "
+        << event.now() << " — a delayed action fired without a scheduled "
+        << "self-tick (timer-wakeup bug)";
+    if (scan.state_digest() != event.state_digest()) break;
+  }
+  return event.stats();
+}
+
+struct KernelPair {
+  KernelPair(SimConfig cfg) : scan_cfg(cfg), event_cfg(cfg) {
+    scan_cfg.force_scan_kernel = true;
+    event_cfg.force_scan_kernel = false;
+    scan.emplace(scan_cfg);
+    event.emplace(event_cfg);
+    // Most fault/deadlock counters only bump inside the measurement
+    // window (the Simulator opens it at the warm-up boundary); open it
+    // from cycle 0 so the scenario-has-teeth assertions below see them.
+    scan->stats().begin_measurement(0);
+    event->stats().begin_measurement(0);
+  }
+  const StatsCollector& run(Cycle cycles) {
+    return expect_lockstep(*scan, *event, cycles);
+  }
+  SimConfig scan_cfg;
+  SimConfig event_cfg;
+  std::optional<Network> scan;
+  std::optional<Network> event;
+};
+
+// Sparse traffic so routers idle between packets; every delayed action
+// then has to wake its router itself rather than riding a traffic tick.
+SimConfig sparse_base() {
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.num_vcs = 2;
+  cfg.vc_buffer_depth = 4;
+  cfg.packet_length = 4;
+  cfg.injection_rate = 0.02;
+  cfg.warmup_messages = 0;
+  cfg.total_messages = 50;
+  cfg.max_cycles = 10'000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// Class 1+2: HBH protection with real link errors. Corrupted flits arm
+// NACK send_at delays and receiver drop windows; every transmission arms
+// a retransmission-barrel retire deadline (sent_at + nack_window + 1)
+// that must fire on an otherwise-idle sender.
+TEST(EventWakeup, HbhNackAndDropWindows) {
+  SimConfig cfg = sparse_base();
+  cfg.protection = LinkProtection::kHbh;
+  cfg.faults.link_error_rate = 0.01;
+  cfg.faults.multi_bit_fraction = 0.3;  // Real NACK traffic, not just FEC.
+  KernelPair nets(cfg);
+  EXPECT_GT(nets.run(3000).nacks_sent(), 0u)
+      << "scenario armed no NACK/drop windows";
+}
+
+// Same classes through the 4-stage pipeline: the dedicated ST stage and
+// deeper barrels shift every window by a cycle, which is where the PR 3
+// drop-window bug lived.
+TEST(EventWakeup, HbhWindowsFourStage) {
+  SimConfig cfg = sparse_base();
+  cfg.protection = LinkProtection::kHbh;
+  cfg.pipeline_stages = 4;
+  cfg.retransmission_depth = 4;
+  cfg.faults.link_error_rate = 0.01;
+  cfg.faults.multi_bit_fraction = 0.3;
+  KernelPair nets(cfg);
+  EXPECT_GT(nets.run(3000).nacks_sent(), 0u)
+      << "scenario armed no NACK/drop windows";
+}
+
+// Class 3: probe timeouts. Adaptive routing with recovery enabled and a
+// low probe threshold sends real probes; the own-probe bookkeeping GC at
+// sent_at + probe_timeout + 1 is the one delayed action an otherwise
+// fully idle router performs, carried by the exact WakeInfo::timer.
+TEST(EventWakeup, ProbeTimeoutGc) {
+  SimConfig cfg = sparse_base();
+  cfg.routing = RoutingAlgorithm::kMinimalAdaptive;
+  cfg.num_vcs = 2;
+  cfg.injection_rate = 0.35;  // Enough contention to arm probes...
+  cfg.total_messages = 120;
+  cfg.deadlock.enable_recovery = true;
+  cfg.deadlock.probe_threshold = 16;  // ...and the due-cycle probe GC
+  KernelPair nets(cfg);  // GC fires on idle routers.
+  EXPECT_GT(nets.run(4000).probes_sent(), 0u) << "scenario sent no probes";
+}
+
+// Class 3, idle half: the GC must fire on a network with NO traffic left.
+// A hotspot burst arms probes, then injection stops entirely; the records
+// in own_probe_route_ are only collected at sent_at + probe_timeout + 1,
+// long after every wire has settled — if the WakeInfo::timer is dropped,
+// the event-kernel router sleeps forever with the stale record and the
+// digests stay diverged. (The saturated ProbeTimeoutGc test above cannot
+// catch that: continuous traffic re-ticks the router every cycle.)
+TEST(EventWakeup, ProbeGcAfterTrafficDrains) {
+  SimConfig cfg = sparse_base();
+  cfg.mesh_width = 2;
+  cfg.mesh_height = 2;
+  cfg.num_vcs = 1;  // Single-VC adaptive: the cyclic burst really deadlocks.
+  cfg.injection_rate = 0.0;  // Manual burst only.
+  cfg.routing = RoutingAlgorithm::kMinimalAdaptive;
+  cfg.deadlock.enable_recovery = true;
+  cfg.deadlock.probe_threshold = 24;
+  cfg.deadlock.probe_backoff = 16;
+  cfg.deadlock.probe_timeout = 256;
+  KernelPair nets(cfg);
+  // Diagonal cyclic streams (the IntegrationDeadlock pattern): a real
+  // deadlock forms, recovery breaks it, and exit_recovery() orphans the
+  // in-flight probe bookkeeping — the record that only the due-cycle GC
+  // can reclaim once the burst has drained and the mesh is silent.
+  for (int i = 0; i < 8; ++i) {
+    for (const auto& [src, dst] : {std::pair<NodeId, NodeId>{0, 3},
+                                   {1, 2}, {3, 0}, {2, 1}}) {
+      nets.scan->inject_packet(src, dst, 4);
+      nets.event->inject_packet(src, dst, 4);
+    }
+  }
+  const auto& st = nets.run(2500);
+  EXPECT_GT(st.probes_sent(), 0u) << "burst armed no probes";
+  EXPECT_GT(st.recoveries_entered(), 0u) << "burst never deadlocked";
+}
+
+// Class 4: drain-then-kill. A low escalation threshold under heavy link
+// errors triggers runtime escalation; the draining port must keep
+// re-ticking its router until the drain completes and the port goes
+// hard-dead — even after all traffic has left the neighbourhood.
+TEST(EventWakeup, DrainThenKillCompletion) {
+  SimConfig cfg = sparse_base();
+  cfg.protection = LinkProtection::kHbh;
+  cfg.routing = RoutingAlgorithm::kMinimalAdaptive;  // Survives dead links.
+  cfg.faults.link_error_rate = 0.02;
+  cfg.faults.multi_bit_fraction = 0.5;
+  cfg.faults.link_escalation_threshold = 1;
+  KernelPair nets(cfg);
+  EXPECT_GT(nets.run(4000).links_escalated(), 0u)
+      << "scenario escalated no links";
+}
+
+// Statically faulted topology: dead links and a dead router reshape the
+// wake graph (some wires never exist); the event kernel must still cover
+// every live router's delayed actions.
+TEST(EventWakeup, FaultedTopologyLockstep) {
+  SimConfig cfg = sparse_base();
+  cfg.protection = LinkProtection::kHbh;
+  cfg.routing = RoutingAlgorithm::kMinimalAdaptive;
+  cfg.faults.link_error_rate = 0.005;
+  cfg.dead_links.push_back({5, Direction::kEast});
+  cfg.dead_routers.push_back(10);
+  KernelPair nets(cfg);
+  nets.run(3000);
+}
+
+}  // namespace
+}  // namespace ftnoc

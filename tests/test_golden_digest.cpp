@@ -41,19 +41,21 @@ std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
 // default base config + scale overrides, preset axes, default engine
 // seeding (base_seed 1, per-point derivation), one JSONL line + '\n' per
 // point in point order.
-std::uint64_t preset_digest(const std::string& preset) {
+std::uint64_t preset_digest(const std::string& preset, int threads = 2,
+                            bool force_scan_kernel = false) {
   SimConfig base;
   base.total_messages = 600;
   base.warmup_messages = 150;
   base.max_cycles = 300'000;
   base.mesh_width = 4;
   base.mesh_height = 4;
+  base.force_scan_kernel = force_scan_kernel;
 
   const auto points = sweep::preset_points(preset, base);
   EXPECT_FALSE(points.empty());
 
   sweep::SweepOptions opts;
-  opts.num_threads = 2;  // Digest is thread-count-invariant by design.
+  opts.num_threads = threads;  // Digest is thread-count-invariant by design.
   std::uint64_t h = kFnvOffset;
   for (const auto& pr : sweep::SweepEngine(opts).run(points)) {
     h = fnv1a(sweep::to_jsonl(pr) + "\n", h);
@@ -91,6 +93,43 @@ TEST(GoldenDigest, PerfPresetByteIdentical) {
   EXPECT_EQ(h, 0x97fae896b7bbf52aull)
       << "perf JSONL digest moved: 0x" << std::hex << h
       << " — the simulation is no longer byte-identical to the pinned run";
+}
+
+// The fault_degradation preset is the only family that exercises the
+// permanent-fault machinery (dead links/routers, escalation, drain and
+// re-home, fault-gated JSONL columns); without a pin, a regression there
+// is invisible to the other four digests.
+TEST(GoldenDigest, FaultDegradationPresetByteIdentical) {
+  const std::uint64_t h = preset_digest("fault_degradation");
+  EXPECT_EQ(h, 0x25ea38446e16903bull)
+      << "fault_degradation JSONL digest moved: 0x" << std::hex << h
+      << " — the simulation is no longer byte-identical to the pinned run";
+}
+
+// Kernel/thread invariance: the event-queue kernel (DESIGN.md §4.10) and
+// the reference full-scan kernel must produce the same bytes, and the
+// sweep digest must not depend on how many worker threads ran the points.
+// All four (kernel × threads) combinations are pinned to the SAME value —
+// the fig05 digest above — so a divergence names the offending axis.
+TEST(GoldenDigest, KernelAndThreadCountInvariant) {
+  constexpr std::uint64_t kPinned = 0x8d2e0d339df31f1dull;
+  struct Combo {
+    int threads;
+    bool force_scan;
+    const char* what;
+  };
+  const Combo combos[] = {
+      {1, false, "event kernel, 1 thread"},
+      {1, true, "scan kernel, 1 thread"},
+      {2, true, "scan kernel, 2 threads"},
+      // {2, false} is Fig05PresetByteIdentical above.
+  };
+  for (const auto& c : combos) {
+    const std::uint64_t h = preset_digest("fig05", c.threads, c.force_scan);
+    EXPECT_EQ(h, kPinned)
+        << c.what << " produced digest 0x" << std::hex << h
+        << " — kernels/thread-counts are no longer byte-interchangeable";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Regression tests for tools/perf_gate.py (the CI perf ratchet).
+
+Covers the gate logic on synthetic ftnoc_perf JSONL: pass above the
+floor, fail below it, best-of grouping on concatenated runs, baseline
+re-pinning with --update, and the comparison artifact's contents.
+Pure stdlib; runs under ctest as a tier1 lane.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "tools", "perf_gate.py")
+spec = importlib.util.spec_from_file_location("perf_gate", TOOL)
+perf_gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(perf_gate)
+
+
+def write_jsonl(path, reps):
+    """reps: list of rep descriptors, each a list of (cycles, wall_ms)."""
+    with open(path, "w") as f:
+        for rep in reps:
+            for point, (cycles, wall_ms) in enumerate(rep):
+                f.write(json.dumps({"point": point, "cycles": cycles,
+                                    "wall_ms": wall_ms}) + "\n")
+
+
+def write_baseline(path, cps):
+    with open(path, "w") as f:
+        json.dump({"preset": "perf", "best_cycles_per_sec": cps,
+                   "machine": "test", "note": "pinned by test"}, f)
+
+
+class PerfGateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.jsonl = os.path.join(self.tmp.name, "perf.jsonl")
+        self.baseline = os.path.join(self.tmp.name, "baseline.json")
+        self.cmp = os.path.join(self.tmp.name, "cmp.json")
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def gate(self, *extra):
+        return perf_gate.main(["--jsonl", self.jsonl,
+                               "--baseline", self.baseline,
+                               "--out", self.cmp] + list(extra))
+
+    def test_pass_above_floor(self):
+        # 5000 cycles / 0.5 s = 10,000 c/s vs baseline 11,000: ratio 0.91,
+        # inside the default -20% tolerance.
+        write_jsonl(self.jsonl, [[(2500, 250.0), (2500, 250.0)]])
+        write_baseline(self.baseline, 11000.0)
+        self.assertEqual(self.gate(), 0)
+        cmp = json.load(open(self.cmp))
+        self.assertTrue(cmp["pass"])
+        self.assertAlmostEqual(cmp["measured_cycles_per_sec"], 10000.0)
+        self.assertAlmostEqual(cmp["floor_cycles_per_sec"], 8800.0)
+
+    def test_fail_below_floor(self):
+        # 10,000 c/s vs baseline 15,000: ratio 0.67 < 0.80 floor.
+        write_jsonl(self.jsonl, [[(5000, 500.0)]])
+        write_baseline(self.baseline, 15000.0)
+        self.assertEqual(self.gate(), 1)
+        cmp = json.load(open(self.cmp))
+        self.assertFalse(cmp["pass"])
+
+    def test_tolerance_override(self):
+        # Same 0.67 ratio passes with a 40% tolerance.
+        write_jsonl(self.jsonl, [[(5000, 500.0)]])
+        write_baseline(self.baseline, 15000.0)
+        self.assertEqual(self.gate("--tolerance", "0.4"), 0)
+
+    def test_best_of_concatenated_runs(self):
+        # Two concatenated runs (point index resets): the faster second
+        # run (20,000 c/s) must win over the slower first (5,000 c/s).
+        write_jsonl(self.jsonl, [[(1000, 200.0), (1000, 200.0)],
+                                 [(2000, 100.0), (2000, 100.0)]])
+        write_baseline(self.baseline, 20000.0)
+        self.assertEqual(self.gate(), 0)
+        cmp = json.load(open(self.cmp))
+        self.assertAlmostEqual(cmp["measured_cycles_per_sec"], 20000.0)
+
+    def test_update_repins_baseline(self):
+        write_jsonl(self.jsonl, [[(9000, 300.0)]])  # 30,000 c/s
+        self.assertEqual(self.gate("--update", "--note", "faster kernel"), 0)
+        base = json.load(open(self.baseline))
+        self.assertAlmostEqual(base["best_cycles_per_sec"], 30000.0)
+        self.assertEqual(base["note"], "faster kernel")
+        # The freshly pinned baseline gates its own run as a pass.
+        self.assertEqual(self.gate(), 0)
+
+    def test_empty_input_is_an_error(self):
+        open(self.jsonl, "w").close()
+        write_baseline(self.baseline, 1000.0)
+        self.assertEqual(self.gate(), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -199,10 +199,26 @@ std::vector<std::string> random_config(Rng& rng) {
   }
 }
 
+// True iff the trial run failed *the same way* as the original finding:
+// same kind (divergence vs invariant violation), same cycle and same
+// message. Accepting any failure is how fault-topology overrides
+// (dead_link / dead_router / link_escalation_threshold) used to vanish
+// from minimized repros: dropping the fault override can surface an
+// unrelated failure at a different cycle, the greedy pass keeps the
+// smaller config, and the emitted repro no longer exercises the faulted
+// mesh the fuzzer actually caught.
+bool same_failure(const RunResult& trial, const RunResult& orig) {
+  return trial.failed && trial.diverged == orig.diverged &&
+         trial.cycle == orig.cycle && trial.what == orig.what;
+}
+
 // Greedy 1-minimization: drop each override in turn (falling back to the
 // SimConfig default for that knob) and keep the smaller set whenever the
-// failure still reproduces.
-std::vector<std::string> minimize(std::vector<std::string> ov, Cycle cycles,
+// *original* failure signature still reproduces. Matching the signature
+// (not just "some failure") trades minimality for faithfulness — every
+// override the final repro keeps is one the original finding needs.
+std::vector<std::string> minimize(std::vector<std::string> ov,
+                                  const RunResult& orig, Cycle cycles,
                                   const std::string& plant,
                                   const std::chrono::steady_clock::time_point
                                       deadline) {
@@ -215,7 +231,7 @@ std::vector<std::string> minimize(std::vector<std::string> ov, Cycle cycles,
       trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
       SimConfig probe;
       if (ftnoc::apply_overrides(probe, trial) || probe.validate()) continue;
-      if (run_pair(trial, cycles, plant).failed) {
+      if (same_failure(run_pair(trial, cycles, plant), orig)) {
         ov = std::move(trial);
         shrunk = true;
         break;
@@ -223,6 +239,13 @@ std::vector<std::string> minimize(std::vector<std::string> ov, Cycle cycles,
     }
   }
   return ov;
+}
+
+// Fault-topology override keys that define the faulted mesh a finding ran
+// on; the selftest asserts minimization preserves at least one of them.
+bool is_fault_override(const std::string& o) {
+  return o.rfind("dead_link=", 0) == 0 || o.rfind("dead_router=", 0) == 0 ||
+         o.rfind("link_escalation_threshold=", 0) == 0;
 }
 
 void write_repro(const std::string& path, const std::vector<std::string>& ov,
@@ -317,16 +340,30 @@ int fuzz_main(const Options& opt) {
 
     std::printf("run %d FAILED: %s\n", i, res.what.c_str());
     const Cycle rep_cycles = res.diverged ? res.cycle + 1 : opt.cycles;
-    const auto min_ov = minimize(ov, rep_cycles, opt.plant, deadline);
+    const auto min_ov = minimize(ov, res, rep_cycles, opt.plant, deadline);
     write_repro(opt.out, min_ov, rep_cycles, opt.plant, res);
     std::printf("repro (%zu overrides) written to %s\n", min_ov.size(),
                 opt.out.c_str());
 
-    // Prove the repro replays before claiming victory.
+    // Prove the repro replays before claiming victory — and replays the
+    // same finding, not some other failure the shrinking surfaced.
     const RunResult replayed = run_pair(min_ov, rep_cycles, opt.plant);
-    if (!replayed.failed) {
-      std::printf("WARNING: minimized repro did not replay\n");
+    if (!same_failure(replayed, res)) {
+      std::printf("WARNING: minimized repro did not replay the finding\n");
       return 2;
+    }
+    if (opt.selftest && opt.plant == "route_into_dead_link") {
+      // This plant only manifests on a faulted mesh, so a faithful
+      // minimizer must keep the fault-topology override. Losing it was
+      // exactly the old any-failure acceptance bug.
+      bool kept = false;
+      for (const auto& o : min_ov) kept = kept || is_fault_override(o);
+      if (!kept) {
+        std::printf(
+            "SELFTEST FAIL: minimized repro lost its fault-topology "
+            "override\n");
+        return 2;
+      }
     }
     return opt.selftest ? 0 : 2;
   }

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Ratcheted perf gate for the CI perf-smoke job.
+
+Reads the JSONL emitted by `ftnoc_perf` (one line per preset point;
+with --repeat=K the tool already keeps only the best repetition's
+lines), recomputes the aggregate cycles/sec the same way the tool's
+stderr summary does — concatenated multi-run files are grouped at each
+point-index reset and the best group wins — and compares it against
+the checked-in baseline (`bench/perf_baseline.json`):
+
+    floor = baseline_best_cycles_per_sec * (1 - tolerance)
+
+The run FAILS (exit 1) only if the measured best falls below the floor
+— a real regression has to eat the whole tolerance margin, which keeps
+shared-runner noise from flapping the job while still catching the
+"accidentally quadratic" class of slowdown the old crash-only gate let
+through.  A before/after comparison JSON is always written for the CI
+artifact, pass or fail.
+
+Ratcheting: after a deliberate perf improvement, re-pin with
+
+    tools/perf_gate.py --jsonl perf.jsonl --baseline bench/perf_baseline.json \
+        --update --note "<what changed>"
+
+and commit the refreshed baseline.  The baseline records the machine it
+was measured on; the gate compares ratios, not absolute equality, so a
+slower runner only trips it if it is >tolerance slower than the pinned
+machine — set FTNOC_PERF_GATE_TOLERANCE (or --tolerance) in CI if the
+runner pool is known to be weaker.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+
+def parse_reps(path):
+    """Group JSONL lines into repetitions (the point index resets to 0 at
+    each new rep) and return per-rep (total_cycles, total_wall_ms)."""
+    reps = []
+    cur_cycles = 0
+    cur_wall = 0.0
+    prev_point = None
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            point = row.get("point", 0)
+            if prev_point is not None and point <= prev_point:
+                reps.append((cur_cycles, cur_wall))
+                cur_cycles, cur_wall = 0, 0.0
+            prev_point = point
+            cur_cycles += int(row["cycles"])
+            cur_wall += float(row["wall_ms"])
+    if prev_point is not None:
+        reps.append((cur_cycles, cur_wall))
+    return reps
+
+
+def best_cycles_per_sec(reps):
+    best = 0.0
+    for cycles, wall_ms in reps:
+        if wall_ms > 0:
+            best = max(best, cycles / (wall_ms / 1000.0))
+    return best
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--jsonl", required=True, help="ftnoc_perf output JSONL")
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in baseline JSON (bench/perf_baseline.json)")
+    ap.add_argument("--out", default=None,
+                    help="write the before/after comparison JSON here")
+    ap.add_argument("--tolerance", type=float,
+                    default=float(os.environ.get(
+                        "FTNOC_PERF_GATE_TOLERANCE", "0.20")),
+                    help="allowed fractional drop below baseline "
+                         "(default 0.20 = -20%% floor)")
+    ap.add_argument("--update", action="store_true",
+                    help="re-pin the baseline from this run instead of gating")
+    ap.add_argument("--note", default="",
+                    help="with --update: why the baseline moved")
+    args = ap.parse_args(argv)
+
+    reps = parse_reps(args.jsonl)
+    if not reps:
+        print(f"perf_gate: no data rows in {args.jsonl}", file=sys.stderr)
+        return 2
+    measured = best_cycles_per_sec(reps)
+    if measured <= 0:
+        print("perf_gate: zero wall time in every rep", file=sys.stderr)
+        return 2
+
+    if args.update:
+        baseline = {
+            "preset": "perf",
+            "best_cycles_per_sec": round(measured, 1),
+            "reps": len(reps),
+            "machine": platform.platform(),
+            "note": args.note,
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"perf_gate: baseline re-pinned at {measured:,.0f} cycles/sec")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    base = float(baseline["best_cycles_per_sec"])
+    floor = base * (1.0 - args.tolerance)
+    ok = measured >= floor
+
+    comparison = {
+        "baseline_cycles_per_sec": base,
+        "measured_cycles_per_sec": round(measured, 1),
+        "ratio": round(measured / base, 4),
+        "floor_cycles_per_sec": round(floor, 1),
+        "tolerance": args.tolerance,
+        "reps": len(reps),
+        "pass": ok,
+        "baseline_machine": baseline.get("machine", ""),
+        "baseline_note": baseline.get("note", ""),
+    }
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(comparison, f, indent=2)
+            f.write("\n")
+
+    verdict = "PASS" if ok else "FAIL"
+    print(f"perf_gate: {verdict}  measured={measured:,.0f} c/s  "
+          f"baseline={base:,.0f} c/s  ratio={measured / base:.2f}  "
+          f"floor={floor:,.0f} c/s (-{args.tolerance:.0%})")
+    if not ok:
+        print("perf_gate: perf regression past the tolerance floor — if the "
+              "slowdown is intentional, re-pin with --update", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

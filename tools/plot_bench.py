@@ -109,7 +109,12 @@ def main():
             {k for r in rows for k in r} - {"series", "x"})
         out = os.path.join(outdir, figure.lower() + ".csv")
         with open(out, "w", newline="") as f:
-            w = csv.DictWriter(f, fieldnames=keys)
+            # Mixed-schema inputs are normal: fault-gated counters
+            # (packets_rerouted, unreachable_drops, links_escalated, ...)
+            # only appear on records from faulted configs. A missing
+            # numeric cell means "feature off" = 0, not "unknown" — an
+            # empty cell would break numeric parsing downstream.
+            w = csv.DictWriter(f, fieldnames=keys, restval=0)
             w.writeheader()
             w.writerows(rows)
         print(f"{out}: {len(rows)} rows")
