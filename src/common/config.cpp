@@ -33,6 +33,15 @@ const char* to_string(TrafficPattern t) {
   return "?";
 }
 
+const char* to_string(BufferPolicyKind b) {
+  switch (b) {
+    case BufferPolicyKind::kPrivateVc: return "private_vc";
+    case BufferPolicyKind::kDamq: return "damq";
+    case BufferPolicyKind::kVoq: return "voq";
+  }
+  return "?";
+}
+
 namespace {
 
 // Mirrors Topology::neighbor (noc/topology.cpp) without depending on the
@@ -152,18 +161,39 @@ std::optional<std::string> SimConfig::validate() const {
     // independent of the cycle length. At equality the absorbed flits
     // exactly refill the freed slots and recovery livelocks, so refuse
     // the configuration outright instead of wedging at runtime.
+    //
+    // Under DAMQ sharing a single VC can legally occupy its reserve plus
+    // the whole shared region, so the bound must hold for that effective
+    // per-VC depth T_eff = K + V*(depth - K), not the nominal depth
+    // (DESIGN.md §4.11).
     const long long m = packet_length;
-    const long long t = vc_buffer_depth;
+    long long t = vc_buffer_depth;
+    if (buffer_policy == BufferPolicyKind::kDamq) {
+      t = damq_reserve_slots +
+          static_cast<long long>(num_vcs) *
+              (vc_buffer_depth - damq_reserve_slots);
+    }
     const long long r = retransmission_depth;
     const long long bound = m * ((t + m - 1) / m);
     if (t + r <= bound) {
       return err(
-          "deadlock recovery violates Eq. (1): vc_buffer_depth + "
+          "deadlock recovery violates Eq. (1): effective vc_buffer_depth + "
           "retransmission_depth (" +
           std::to_string(t + r) + ") must exceed packet_length * "
-          "ceil(vc_buffer_depth / packet_length) (" + std::to_string(bound) +
+          "ceil(depth / packet_length) (" + std::to_string(bound) +
           ") or recovery cannot guarantee forward progress");
     }
+  }
+  if (buffer_policy == BufferPolicyKind::kDamq &&
+      (damq_reserve_slots < 1 || damq_reserve_slots > vc_buffer_depth)) {
+    return err("damq_reserve_slots must be in [1, vc_buffer_depth]");
+  }
+  if (buffer_policy == BufferPolicyKind::kVoq &&
+      routing != RoutingAlgorithm::kXY) {
+    return err(
+        "buffer_policy=voq requires routing=xy (the VOQ class discipline "
+        "pins each packet's VC for its whole journey, which is only "
+        "deadlock-free under dimension-ordered routing)");
   }
   if (routing == RoutingAlgorithm::kAdaptiveEscape && num_vcs < 2) {
     return err("escape routing needs >= 2 VCs (VC 0 is the escape lane)");
@@ -249,6 +279,18 @@ std::optional<std::string> apply_override(SimConfig& cfg,
     if (!parse_int(val, cfg.pipeline_stages)) return bad();
   } else if (key == "retransmission_depth") {
     if (!parse_int(val, cfg.retransmission_depth)) return bad();
+  } else if (key == "buffer_policy") {
+    if (val == "private_vc" || val == "private") {
+      cfg.buffer_policy = BufferPolicyKind::kPrivateVc;
+    } else if (val == "damq") {
+      cfg.buffer_policy = BufferPolicyKind::kDamq;
+    } else if (val == "voq") {
+      cfg.buffer_policy = BufferPolicyKind::kVoq;
+    } else {
+      return bad();
+    }
+  } else if (key == "damq_reserve_slots") {
+    if (!parse_int(val, cfg.damq_reserve_slots)) return bad();
   } else if (key == "injection_rate") {
     if (!parse_double(val, cfg.injection_rate)) return bad();
   } else if (key == "packet_length") {

@@ -41,9 +41,30 @@ enum class TrafficPattern : std::uint8_t {
   kTornado,         ///< "TN": dest = (x + X/2 - 1) mod X in each dimension.
 };
 
+/// Input-buffer organization of the routers (DESIGN.md §4.11). The enum
+/// lives here with the other config enums so the common layer can parse
+/// and validate it; the buffer-policy machinery itself (the DAMQ free-slot
+/// pool, the VOQ class map) is in core/buffer_policy.{hpp,cpp}.
+enum class BufferPolicyKind : std::uint8_t {
+  /// One private `vc_buffer_depth`-flit FIFO per (port, VC) — the paper's
+  /// layout, assumed by Eq. (1) as written.
+  kPrivateVc,
+  /// Dynamically-Allocated Multi-Queue: the VCs of one link input port
+  /// share a single pool of num_vcs * vc_buffer_depth slots, with
+  /// `damq_reserve_slots` slots reserved per VC for deadlock freedom
+  /// (after Jamali & Khademzadeh, arXiv 0910.1852).
+  kDamq,
+  /// Virtual-output-queue discipline: packets travel in the VC class of
+  /// their destination column for their whole journey, removing
+  /// head-of-line blocking between destination columns (after
+  /// Papaphilippou & Chu, arXiv 2303.10526). Requires XY routing.
+  kVoq,
+};
+
 const char* to_string(RoutingAlgorithm a);
 const char* to_string(LinkProtection p);
 const char* to_string(TrafficPattern t);
+const char* to_string(BufferPolicyKind b);
 
 /// Fault process rates. All are per-opportunity Bernoulli probabilities.
 struct FaultConfig {
@@ -114,6 +135,15 @@ struct SimConfig {
   int vc_buffer_depth = 4;    ///< Flits per VC transmission buffer.
   int pipeline_stages = 3;    ///< 1..4 (paper evaluates 3-stage).
   int retransmission_depth = 3;  ///< Barrel-shifter depth (paper: 3).
+  /// Input-buffer organization (DESIGN.md §4.11). All three policies use
+  /// the same total buffer budget of num_vcs * vc_buffer_depth slots per
+  /// link input port; only the sharing discipline differs. The local
+  /// injection port always keeps private per-VC rings.
+  BufferPolicyKind buffer_policy = BufferPolicyKind::kPrivateVc;
+  /// DAMQ only: slots reserved per VC out of the shared pool (the paper's
+  /// deadlock-freedom floor). Must be in [1, vc_buffer_depth]; the shared
+  /// region is num_vcs * (vc_buffer_depth - damq_reserve_slots) slots.
+  int damq_reserve_slots = 2;
 
   // --- Traffic ---
   double injection_rate = 0.1;  ///< flits/node/cycle.

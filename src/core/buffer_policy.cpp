@@ -1,0 +1,21 @@
+#include "core/buffer_policy.hpp"
+
+namespace ftnoc {
+
+bool parse_buffer_policy(const std::string& name, BufferPolicyKind* out) {
+  if (name == "private_vc" || name == "private") {
+    *out = BufferPolicyKind::kPrivateVc;
+    return true;
+  }
+  if (name == "damq") {
+    *out = BufferPolicyKind::kDamq;
+    return true;
+  }
+  if (name == "voq") {
+    *out = BufferPolicyKind::kVoq;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ftnoc

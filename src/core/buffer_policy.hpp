@@ -1,0 +1,190 @@
+#pragma once
+// Buffer-policy subsystem (DESIGN.md §4.11): the machinery behind
+// SimConfig::buffer_policy. Three input-buffer organizations share one
+// total budget of num_vcs * vc_buffer_depth slots per link input port:
+//
+//  * private_vc — one private FIFO per (port, VC); the paper's layout.
+//    Implemented by the routers' existing storage (FlitRing slab /
+//    std::deque); nothing in this file runs on that path.
+//  * damq — the VCs of one port draw from a single free-slot pool
+//    (DamqPool below), with `damq_reserve_slots` slots reserved per VC so
+//    no VC can be starved of buffering by its neighbours (the
+//    deadlock-freedom floor of Jamali & Khademzadeh, arXiv 0910.1852).
+//  * voq — private FIFOs again, but every packet travels in the VC class
+//    of its destination column (voq_class below) for its whole journey,
+//    so packets bound for different columns never share a queue
+//    (Papaphilippou & Chu, arXiv 2303.10526). Requires XY routing.
+//
+// The sender-side credit protocol for damq (per-VC reserved credits plus a
+// per-port shared counter) lives in the routers; DESIGN.md §4.11 states
+// the contract and the conservation argument.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace ftnoc {
+
+/// Parses a buffer-policy name ("private_vc" | "damq" | "voq").
+/// Returns false on an unknown name. apply_override() has its own parser
+/// (the common layer cannot depend on core); this one serves tools that
+/// work with policy names directly.
+bool parse_buffer_policy(const std::string& name, BufferPolicyKind* out);
+
+/// The VOQ class of a destination: its mesh column folded into the VC
+/// space. Every router and the injecting PE use this same map, so a
+/// packet's VC is a pure function of its destination.
+inline int voq_class(NodeId dest, int mesh_width, int num_vcs) {
+  return (static_cast<int>(dest) % mesh_width) % num_vcs;
+}
+
+/// Fixed-capacity multi-queue over one shared slot pool: V logical FIFOs
+/// drawing from num_vcs * depth slots, linked through a per-slot next
+/// index (the classic DAMQ linked-list organization). Admission reserves
+/// `reserve` slots per VC: a VC whose occupancy is below its reserve
+/// always gets a slot, and the remaining shared region is first come
+/// first served. One allocation at reset(); push/pop never touch the
+/// heap.
+///
+/// Occupancy accounting (mirrored by the invariant monitor's shared-pool
+/// conservation predicate): shared_in_use() == sum_v max(0, size(v) -
+/// reserve) and total_occupancy() <= capacity() always hold; can_accept(v)
+/// is exactly "size(v) < reserve or shared_in_use() < shared_budget()".
+template <typename T>
+class DamqPool {
+ public:
+  /// (Re)allocates num_vcs * depth slots and empties every queue. Must be
+  /// called before the first push. `reserve` must be in [1, depth].
+  void reset(int num_vcs, int depth, int reserve) {
+    FTNOC_CHECK(num_vcs >= 1 && depth >= 1);
+    FTNOC_CHECK(reserve >= 1 && reserve <= depth);
+    num_vcs_ = num_vcs;
+    reserve_ = reserve;
+    cap_ = num_vcs * depth;
+    shared_budget_ = cap_ - num_vcs * reserve;
+    slots_.assign(static_cast<std::size_t>(cap_), T{});
+    next_.assign(static_cast<std::size_t>(cap_), -1);
+    head_.assign(static_cast<std::size_t>(num_vcs), -1);
+    tail_.assign(static_cast<std::size_t>(num_vcs), -1);
+    occ_.assign(static_cast<std::size_t>(num_vcs), 0);
+    total_ = 0;
+    shared_used_ = 0;
+    // Thread every slot onto the free list.
+    free_head_ = 0;
+    for (int i = 0; i + 1 < cap_; ++i) next_[static_cast<std::size_t>(i)] = i + 1;
+    next_[static_cast<std::size_t>(cap_ - 1)] = -1;
+  }
+
+  int capacity() const { return cap_; }
+  int reserve() const { return reserve_; }
+  int shared_budget() const { return shared_budget_; }
+  int shared_in_use() const { return shared_used_; }
+  int total_occupancy() const { return total_; }
+  int free_slots() const { return cap_ - total_; }
+
+  bool empty(int vc) const { return occ_[idx(vc)] == 0; }
+  int size(int vc) const { return occ_[idx(vc)]; }
+
+  /// Whether a push for `vc` would be admitted: below its reserve, or the
+  /// shared region still has room.
+  bool can_accept(int vc) const {
+    return occ_[idx(vc)] < reserve_ || shared_used_ < shared_budget_;
+  }
+
+  void push_back(int vc, T v) {
+    FTNOC_CHECK(can_accept(vc));
+    FTNOC_DCHECK(free_head_ >= 0);
+    const int slot = free_head_;
+    free_head_ = next_[static_cast<std::size_t>(slot)];
+    slots_[static_cast<std::size_t>(slot)] = std::move(v);
+    next_[static_cast<std::size_t>(slot)] = -1;
+    if (tail_[idx(vc)] >= 0) {
+      next_[static_cast<std::size_t>(tail_[idx(vc)])] = slot;
+    } else {
+      head_[idx(vc)] = slot;
+    }
+    tail_[idx(vc)] = slot;
+    if (occ_[idx(vc)] >= reserve_) ++shared_used_;
+    ++occ_[idx(vc)];
+    ++total_;
+  }
+
+  T& front(int vc) {
+    FTNOC_DCHECK(occ_[idx(vc)] > 0);
+    return slots_[static_cast<std::size_t>(head_[idx(vc)])];
+  }
+  const T& front(int vc) const {
+    FTNOC_DCHECK(occ_[idx(vc)] > 0);
+    return slots_[static_cast<std::size_t>(head_[idx(vc)])];
+  }
+
+  void pop_front(int vc) {
+    FTNOC_DCHECK(occ_[idx(vc)] > 0);
+    const int slot = head_[idx(vc)];
+    head_[idx(vc)] = next_[static_cast<std::size_t>(slot)];
+    if (head_[idx(vc)] < 0) tail_[idx(vc)] = -1;
+    next_[static_cast<std::size_t>(slot)] = free_head_;
+    free_head_ = slot;
+    if (occ_[idx(vc)] > reserve_) --shared_used_;
+    --occ_[idx(vc)];
+    --total_;
+  }
+
+  /// i-th element of `vc`'s FIFO counted from the front. O(i) — used by
+  /// the state digest and tests, never by the per-cycle phases.
+  const T& at(int vc, int i) const {
+    FTNOC_DCHECK(i >= 0 && i < occ_[idx(vc)]);
+    int slot = head_[idx(vc)];
+    for (int k = 0; k < i; ++k) slot = next_[static_cast<std::size_t>(slot)];
+    return slots_[static_cast<std::size_t>(slot)];
+  }
+  T& at(int vc, int i) {
+    return const_cast<T&>(static_cast<const DamqPool*>(this)->at(vc, i));
+  }
+
+  /// From-scratch recount of the derived occupancy state; false means a
+  /// counter or list desynchronized (the invariant monitor's shared-pool
+  /// walk calls this on the Flit instantiation).
+  bool consistent() const {
+    int total = 0;
+    int shared = 0;
+    int free_count = 0;
+    for (int v = 0; v < num_vcs_; ++v) {
+      int n = 0;
+      for (int s = head_[idx(v)]; s >= 0; s = next_[static_cast<std::size_t>(s)]) {
+        ++n;
+        if (n > cap_) return false;  // Cycle in a queue list.
+      }
+      if (n != occ_[idx(v)]) return false;
+      total += n;
+      shared += n > reserve_ ? n - reserve_ : 0;
+    }
+    for (int s = free_head_; s >= 0; s = next_[static_cast<std::size_t>(s)]) {
+      ++free_count;
+      if (free_count > cap_) return false;  // Cycle in the free list.
+    }
+    return total == total_ && shared == shared_used_ &&
+           free_count == cap_ - total_;
+  }
+
+ private:
+  static std::size_t idx(int vc) { return static_cast<std::size_t>(vc); }
+
+  int num_vcs_ = 0;
+  int reserve_ = 0;
+  int cap_ = 0;
+  int shared_budget_ = 0;
+  int total_ = 0;
+  int shared_used_ = 0;
+  int free_head_ = -1;
+  std::vector<T> slots_;
+  std::vector<std::int32_t> next_;  ///< Per slot: next in its queue/free list.
+  std::vector<std::int32_t> head_;  ///< Per VC: front slot, -1 if empty.
+  std::vector<std::int32_t> tail_;  ///< Per VC: back slot, -1 if empty.
+  std::vector<std::int32_t> occ_;   ///< Per VC: queue length.
+};
+
+}  // namespace ftnoc

@@ -19,6 +19,8 @@ const char* to_string(InvariantId id) {
     case InvariantId::kProbeLifecycle: return "probe-lifecycle";
     case InvariantId::kRecoveryBufferBound: return "recovery-buffer-bound";
     case InvariantId::kDeadLinkTraversal: return "dead-link-traversal";
+    case InvariantId::kSharedPoolConservation:
+      return "shared-pool-conservation";
   }
   return "?";
 }
@@ -221,9 +223,18 @@ void InvariantMonitor::on_recovery_entered(Cycle now, NodeId router,
   // Eq. (1) with the engaging router's actual buffer sizes. The static
   // validate() gate makes this unreachable for uniform configs; checking
   // it here keeps the guarantee honest if per-node sizing ever lands.
-  if (!recovery_buffer_bound_ok({tx_size}, {rtx_size}, cfg_.packet_length)) {
+  // Under DAMQ the per-VC transmission buffer is elastic — a VC can
+  // legally absorb into its reserve plus the whole shared region — so the
+  // bound is evaluated at the same effective depth T_eff = K + V*(T - K)
+  // that validate() gates on (DESIGN.md §4.11).
+  int t_eff = tx_size;
+  if (cfg_.buffer_policy == BufferPolicyKind::kDamq) {
+    t_eff = cfg_.damq_reserve_slots +
+            cfg_.num_vcs * (tx_size - cfg_.damq_reserve_slots);
+  }
+  if (!recovery_buffer_bound_ok({t_eff}, {rtx_size}, cfg_.packet_length)) {
     fail(InvariantId::kRecoveryBufferBound, now, router, -1, -1,
-         "recovery engaged with T=" + std::to_string(tx_size) + " R=" +
+         "recovery engaged with T=" + std::to_string(t_eff) + " R=" +
              std::to_string(rtx_size) + " M=" +
              std::to_string(cfg_.packet_length) +
              " violating Eq. (1): sum(T+R) > M*sum(ceil(T/M))");

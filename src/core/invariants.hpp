@@ -82,6 +82,11 @@ enum class InvariantId : std::uint8_t {
   kProbeLifecycle,
   kRecoveryBufferBound,
   kDeadLinkTraversal,
+  /// DAMQ shared-pool accounting (DESIGN.md §4.11): sender side, the
+  /// per-port shared credit counter plus all per-VC shared_held counters
+  /// must equal the shared budget; receiver side, the pool's free/used/
+  /// per-VC occupancy recount must agree with its running counters.
+  kSharedPoolConservation,
 };
 
 const char* to_string(InvariantId id);

@@ -54,15 +54,25 @@ ReferenceRouter::ReferenceRouter(NodeId id, const SimConfig& cfg,
   drop_until_.assign(static_cast<std::size_t>(pv), 0);
   va_rotation_.assign(static_cast<std::size_t>(pv), 0);
 
+  damq_ = cfg_.buffer_policy == BufferPolicyKind::kDamq;
+  voq_ = cfg_.buffer_policy == BufferPolicyKind::kVoq;
+  shared_credits_.assign(static_cast<std::size_t>(num_ports_), 0);
+  shared_held_.assign(static_cast<std::size_t>(pv), 0);
+
   const bool use_rtx =
       cfg_.protection == LinkProtection::kHbh || cfg_.deadlock.enable_recovery;
   for (PortId p = 0; p < num_ports_; ++p) {
+    if (damq_ && p != kLocalPort) {
+      shared_credits_[p] =
+          num_vcs_ * (cfg_.vc_buffer_depth - cfg_.damq_reserve_slots);
+    }
     for (VcId v = 0; v < num_vcs_; ++v) {
       auto& out = ovc(p, v);
       if (p == kLocalPort) {
         out.credits = 1 << 28;
       } else {
-        out.credits = cfg_.vc_buffer_depth;
+        out.credits =
+            damq_ ? cfg_.damq_reserve_slots : cfg_.vc_buffer_depth;
         if (use_rtx) out.rtx.emplace(cfg_.retransmission_depth);
       }
     }
@@ -179,8 +189,24 @@ void ReferenceRouter::phase_maintenance(Cycle now) {
         }
       }
       auto& out = ovc(p, c.vc);
-      ++out.credits;
-      FTNOC_CHECK(out.credits <= cfg_.vc_buffer_depth);
+      if (damq_) {
+        // Return borrowed shared slots before reserved ones; the budget
+        // K + shared_held stays conserved either way (DESIGN.md §4.11).
+        auto& held = shared_held_[static_cast<std::size_t>(gid(p, c.vc))];
+        if (held > 0) {
+          --held;
+          ++shared_credits_[p];
+          FTNOC_CHECK(shared_credits_[p] <=
+                      num_vcs_ *
+                          (cfg_.vc_buffer_depth - cfg_.damq_reserve_slots));
+        } else {
+          ++out.credits;
+          FTNOC_CHECK(out.credits <= cfg_.damq_reserve_slots);
+        }
+      } else {
+        ++out.credits;
+        FTNOC_CHECK(out.credits <= cfg_.vc_buffer_depth);
+      }
     }
     if (auto nack = w->nack.read()) {
       if (faults_ && faults_->upset_handshake()) {
@@ -312,7 +338,24 @@ void ReferenceRouter::handle_incoming_flit(PortId p, Flit f, Cycle now) {
 
 void ReferenceRouter::accept_flit(PortId p, Flit f, Cycle now) {
   auto& vc = ivc(p, f.vc);
-  FTNOC_CHECK(static_cast<int>(vc.buf.size()) < cfg_.vc_buffer_depth);
+  if (damq_ && p != kLocalPort) {
+    // DAMQ admission, computed logically from the per-VC deque sizes: a
+    // VC below its reserve always has a slot; past it the port's shared
+    // region must have room. The sender credit protocol guarantees this
+    // holds at every arrival (DESIGN.md §4.11), hence CHECK, not drop.
+    if (static_cast<int>(vc.buf.size()) >= cfg_.damq_reserve_slots) {
+      int shared_in_use = 0;
+      for (VcId v = 0; v < num_vcs_; ++v) {
+        shared_in_use +=
+            std::max(0, static_cast<int>(ivc(p, v).buf.size()) -
+                            cfg_.damq_reserve_slots);
+      }
+      FTNOC_CHECK(shared_in_use <
+                  num_vcs_ * (cfg_.vc_buffer_depth - cfg_.damq_reserve_slots));
+    }
+  } else {
+    FTNOC_CHECK(static_cast<int>(vc.buf.size()) < cfg_.vc_buffer_depth);
+  }
   f.arrived_cycle = now;
   FTNOC_INVARIANT_HOOK(if (mon_) {
     if (p == kLocalPort) mon_->on_injected();
@@ -335,7 +378,7 @@ void ReferenceRouter::phase_replay_and_switch(Cycle now) {
           out.rtx->front_pending().packet_id != out.owner_pid) {
         continue;
       }
-      if (out.rtx->front_pending_credit_held() || out.credits > 0) {
+      if (out.rtx->front_pending_credit_held() || can_consume_credit(o, v)) {
         mask |= (1u << v);
       }
     }
@@ -366,7 +409,7 @@ void ReferenceRouter::phase_replay_and_switch(Cycle now) {
         if (cfg_.pipeline_stages == 4 && staged_[o].has_value()) continue;
         auto& out = ovc(o, vc.out_vc);
         if (out.rtx && out.rtx->has_pending_for(out.owner_pid)) continue;
-        if (out.credits <= 0) continue;
+        if (!can_consume_credit(o, vc.out_vc)) continue;
       }
       mask |= (1u << v);
     }
@@ -459,8 +502,14 @@ void ReferenceRouter::transmit(PortId o, VcId v, Flit f, Cycle now,
   FTNOC_CHECK(out_wires_[o] != nullptr);
   auto& out = ovc(o, v);
   if (consume_credit) {
-    FTNOC_CHECK(out.credits > 0);
-    --out.credits;
+    if (out.credits > 0) {
+      --out.credits;
+    } else {
+      // Reserved credits exhausted: borrow from the port's shared pool.
+      FTNOC_CHECK(damq_ && shared_credits_[o] > 0);
+      --shared_credits_[o];
+      ++shared_held_[static_cast<std::size_t>(gid(o, v))];
+    }
   }
   f.vc = v;
   ++f.hops;
@@ -537,6 +586,9 @@ std::optional<std::pair<PortId, VcId>> ReferenceRouter::pick_va_request(
     xy_port = first_port(
         route(topo_, RoutingAlgorithm::kXY, id_, vc.buf.front().dest));
   }
+  // Under voq a packet only ever requests the VC class of its destination
+  // column (voq lane); escape_mode is mutually exclusive (voq => XY).
+  const int lane = vc.buf.empty() ? -1 : voq_lane(vc.buf.front());
 
   std::array<std::pair<PortId, VcId>, 32> options;
   int n = 0;
@@ -547,6 +599,7 @@ std::optional<std::pair<PortId, VcId>> ReferenceRouter::pick_va_request(
                            : port_allocatable(o);
     if (!valid) continue;
     for (VcId v = 0; v < num_vcs_; ++v) {
+      if (lane >= 0 && v != lane) continue;
       if (ovc(o, v).allocated || n >= static_cast<int>(options.size())) {
         continue;
       }
@@ -1020,8 +1073,10 @@ void ReferenceRouter::phase_deadlock(Cycle now) {
         }
       }
       if (o == kInvalidPort) continue;
+      const int lane = voq_lane(vc.buf.front());
       VcId v = kInvalidVc;
       for (VcId cv = 0; cv < num_vcs_; ++cv) {
+        if (lane >= 0 && cv != lane) continue;
         auto& cand_out = ovc(o, cv);
         if (cand_out.rtx && cand_out.allocated && !cand_out.has_waiter &&
             cand_out.rtx->free_slots() > 0) {
@@ -1052,7 +1107,7 @@ void ReferenceRouter::phase_deadlock(Cycle now) {
     if (!out.rtx) continue;
     const bool owns = out.allocated &&
                       out.owner_pid == vc.buf.front().packet_id;
-    if (owns && out.credits > 0) continue;
+    if (owns && can_consume_credit(vc.out_port, vc.out_vc)) continue;
     const int og = gid(vc.out_port, vc.out_vc);
     if (absorbed & (1u << og)) continue;
     if (out.rtx->free_slots() <= 0) continue;
@@ -1183,6 +1238,14 @@ int ReferenceRouter::held_credits(PortId p, VcId v) const {
   return n;
 }
 
+int ReferenceRouter::credit_budget(PortId p, VcId v) const {
+  if (!damq_ || p == kLocalPort) return cfg_.vc_buffer_depth;
+  // Per-VC conserved quantity under damq: the reserve plus whatever this
+  // VC currently borrows from the port's shared pool (DESIGN.md §4.11).
+  return cfg_.damq_reserve_slots +
+         shared_held_[static_cast<std::size_t>(gid(p, v))];
+}
+
 std::uint64_t ReferenceRouter::state_digest() const {
   digest::Fnv h;
   h.mix(static_cast<std::uint64_t>(id_));
@@ -1205,6 +1268,10 @@ std::uint64_t ReferenceRouter::state_digest() const {
     h.mix(out.owner_pid);
     h.mix(out.tail_sent);
     h.mix(static_cast<std::uint64_t>(out.credits));
+    if (damq_) {
+      h.mix(static_cast<std::uint64_t>(
+          shared_held_[static_cast<std::size_t>(g)]));
+    }
     h.mix(out.has_waiter);
     h.mix(out.waiter_gid);
     h.mix(out.waiter_pid);
@@ -1227,6 +1294,7 @@ std::uint64_t ReferenceRouter::state_digest() const {
     h.mix(static_cast<std::uint64_t>(va_arbs_.at(g).last_grant()));
   }
   for (PortId p = 0; p < num_ports_; ++p) {
+    if (damq_) h.mix(static_cast<std::uint64_t>(shared_credits_[p]));
     h.mix(staged_[p].has_value());
     if (staged_[p]) {
       h.mix_flit(staged_[p]->wire);

@@ -69,9 +69,30 @@ Router::Router(NodeId id, const SimConfig& cfg, const Topology& topo,
   // protection scheme is HBH or when deadlock recovery (which reuses them)
   // is enabled — mirroring the paper's observation that forgoing deadlock
   // recovery support needs only the 3-deep link-error buffers.
+  damq_ = cfg_.buffer_policy == BufferPolicyKind::kDamq;
+  voq_ = cfg_.buffer_policy == BufferPolicyKind::kVoq;
+  shared_credits_.assign(static_cast<std::size_t>(num_ports_), 0);
+  shared_held_.assign(static_cast<std::size_t>(pv), 0);
+  if (damq_) {
+    // Link input ports store through the per-port shared pool; the local
+    // injection port keeps its private slab rings (DESIGN.md §4.11).
+    for (PortId p = 0; p < num_ports_; ++p) {
+      if (p == kLocalPort) continue;
+      in_pools_[p].reset(num_vcs_, cfg_.vc_buffer_depth,
+                         cfg_.damq_reserve_slots);
+      for (VcId v = 0; v < num_vcs_; ++v) {
+        ivc(p, v).buf.use_pool(&in_pools_[p], v);
+      }
+    }
+  }
+
   const bool use_rtx =
       cfg_.protection == LinkProtection::kHbh || cfg_.deadlock.enable_recovery;
   for (PortId p = 0; p < num_ports_; ++p) {
+    if (damq_ && p != kLocalPort) {
+      shared_credits_[p] =
+          num_vcs_ * (cfg_.vc_buffer_depth - cfg_.damq_reserve_slots);
+    }
     for (VcId v = 0; v < num_vcs_; ++v) {
       auto& out = ovc(p, v);
       if (p == kLocalPort) {
@@ -79,7 +100,8 @@ Router::Router(NodeId id, const SimConfig& cfg, const Topology& topo,
         // credit and no retransmission buffer.
         out.credits = 1 << 28;
       } else {
-        out.credits = cfg_.vc_buffer_depth;
+        out.credits =
+            damq_ ? cfg_.damq_reserve_slots : cfg_.vc_buffer_depth;
         if (use_rtx) orx(gid(p, v)).emplace(cfg_.retransmission_depth);
       }
     }
@@ -296,8 +318,26 @@ void Router::phase_maintenance(Cycle now) {
         }
       }
       auto& out = ovc(p, c.vc);
-      ++out.credits;
-      FTNOC_CHECK(out.credits <= cfg_.vc_buffer_depth);
+      if (damq_) {
+        // Return borrowed shared slots before reserved ones; the budget
+        // K + shared_held stays conserved either way (DESIGN.md §4.11).
+        auto& held = shared_held_[static_cast<std::size_t>(gid(p, c.vc))];
+        if (held > 0) {
+          // Planted mutation (fuzz-harness self-test): leak the borrow —
+          // the shared credit is refunded but the per-VC held counter is
+          // not released, inflating the sender's shared accounting. The
+          // digest comparison and the shared-pool conservation walk catch
+          // it the same cycle.
+          if (cfg_.test_mutation != "damq_credit_leak") --held;
+          ++shared_credits_[p];
+        } else {
+          ++out.credits;
+          FTNOC_CHECK(out.credits <= cfg_.damq_reserve_slots);
+        }
+      } else {
+        ++out.credits;
+        FTNOC_CHECK(out.credits <= cfg_.vc_buffer_depth);
+      }
     }
     if (auto nack = w->nack.read()) {
       if (f_hs_live_ && faults_->upset_handshake()) {
@@ -481,7 +521,11 @@ void Router::handle_incoming_flit(PortId p, Flit& f, Cycle now) {
 void Router::accept_flit(PortId p, const Flit& f0, Cycle now) {
   Flit f = f0;
   auto& vc = ivc(p, f.vc);
-  FTNOC_CHECK(static_cast<int>(vc.buf.size()) < cfg_.vc_buffer_depth);
+  if (!damq_ || p == kLocalPort) {
+    FTNOC_CHECK(static_cast<int>(vc.buf.size()) < cfg_.vc_buffer_depth);
+  }
+  // (Under damq on a link port, DamqPool::push_back CHECKs admission —
+  // the sender credit protocol guarantees it never fails, §4.11.)
   const VcId v = f.vc;
   f.arrived_cycle = now;
   FTNOC_INVARIANT_HOOK(if (mon_) {
@@ -526,7 +570,8 @@ void Router::phase_replay_and_switch(Cycle now) {
           rtx->front_pending().packet_id != out.owner_pid) {
         continue;
       }
-      if (rtx->front_pending_credit_held() || out.credits > 0) {
+      if (rtx->front_pending_credit_held() ||
+          can_consume_credit(o, static_cast<VcId>(v))) {
         mask |= (1u << v);
       }
     }
@@ -570,7 +615,7 @@ void Router::phase_replay_and_switch(Cycle now) {
           const auto& rtx = orx(gid(o, vc.out_vc));
           if (rtx->has_pending_for(out.owner_pid)) continue;
         }
-        if (out.credits <= 0) continue;
+        if (!can_consume_credit(o, vc.out_vc)) continue;
       }
       mask |= (1u << v);
     }
@@ -685,8 +730,14 @@ void Router::transmit(PortId o, VcId v, Flit f, Cycle now,
   FTNOC_CHECK(out_wires_[o] != nullptr);
   auto& out = ovc(o, v);
   if (consume_credit) {
-    FTNOC_CHECK(out.credits > 0);
-    --out.credits;
+    if (out.credits > 0) {
+      --out.credits;
+    } else {
+      // Reserved credits exhausted: borrow from the port's shared pool.
+      FTNOC_CHECK(damq_ && shared_credits_[o] > 0);
+      --shared_credits_[o];
+      ++shared_held_[static_cast<std::size_t>(gid(o, v))];
+    }
   }
   f.vc = v;
   ++f.hops;
@@ -817,6 +868,9 @@ std::optional<std::pair<PortId, VcId>> Router::pick_va_request(InputVc& vc,
     xy_port = first_port(
         route(topo_, RoutingAlgorithm::kXY, id_, vc.buf.front().dest));
   }
+  // Under voq a packet only ever requests the VC class of its destination
+  // column (voq lane); escape_mode is mutually exclusive (voq => XY).
+  const int lane = vc.buf.empty() ? -1 : voq_lane(vc.buf.front());
 
   std::array<std::pair<PortId, VcId>, 32> options;
   int n = 0;
@@ -827,6 +881,7 @@ std::optional<std::pair<PortId, VcId>> Router::pick_va_request(InputVc& vc,
                            : port_allocatable(o);
     if (!valid) continue;
     for (VcId v = 0; v < num_vcs_; ++v) {
+      if (lane >= 0 && v != lane) continue;
       if (ovc(o, v).allocated || n >= static_cast<int>(options.size())) {
         continue;
       }
@@ -1430,8 +1485,10 @@ void Router::phase_deadlock(Cycle now) {
         }
       }
       if (o == kInvalidPort) continue;
+      const int lane = voq_lane(vc.buf.front());
       VcId v = kInvalidVc;
       for (VcId cv = 0; cv < num_vcs_; ++cv) {
+        if (lane >= 0 && cv != lane) continue;
         auto& cand_out = ovc(o, cv);
         const auto& cand_rtx = orx(gid(o, cv));
         if (cand_rtx && cand_out.allocated && !cand_out.has_waiter &&
@@ -1466,7 +1523,9 @@ void Router::phase_deadlock(Cycle now) {
     if (!rtx) continue;
     const bool owns = out.allocated &&
                       out.owner_pid == vc.buf.front().packet_id;
-    if (owns && out.credits > 0) continue;  // Normal progress possible.
+    if (owns && can_consume_credit(vc.out_port, vc.out_vc)) {
+      continue;  // Normal progress possible.
+    }
     const int og = gid(vc.out_port, vc.out_vc);
     if (absorbed_ & (1u << og)) continue;
     if (rtx->free_slots() <= 0) continue;
@@ -1681,6 +1740,30 @@ void Router::check_local_invariants(Cycle now) {
                "staged_count_ is " + std::to_string(staged_count_) + " but " +
                    std::to_string(staged) + " register(s) are occupied");
   }
+  if (damq_) {
+    // Shared-pool conservation (DESIGN.md §4.11): sender side, every
+    // shared credit is either free or held by exactly one output VC of
+    // its port; receiver side, the port pool's links/counters recount.
+    const int shared_budget =
+        num_vcs_ * (cfg_.vc_buffer_depth - cfg_.damq_reserve_slots);
+    for (PortId p = 0; p < num_ports_; ++p) {
+      if (p == kLocalPort) continue;
+      int held = 0;
+      for (VcId v = 0; v < num_vcs_; ++v) {
+        held += shared_held_[static_cast<std::size_t>(gid(p, v))];
+      }
+      if (shared_credits_[p] + held != shared_budget) {
+        mon_->fail(InvariantId::kSharedPoolConservation, now, id_, p, -1,
+                   "shared credits " + std::to_string(shared_credits_[p]) +
+                       " + held " + std::to_string(held) + " != pool size " +
+                       std::to_string(shared_budget));
+      }
+      if (!in_pools_[p].consistent()) {
+        mon_->fail(InvariantId::kSharedPoolConservation, now, id_, p, -1,
+                   "input DamqPool free-list/occupancy recount failed");
+      }
+    }
+  }
 #else
   (void)now;
 #endif
@@ -1730,6 +1813,12 @@ int Router::held_credits(PortId p, VcId v) const {
   return n;
 }
 
+int Router::credit_budget(PortId p, VcId v) const {
+  if (!damq_ || p == kLocalPort) return cfg_.vc_buffer_depth;
+  return cfg_.damq_reserve_slots +
+         shared_held_[static_cast<std::size_t>(gid(p, v))];
+}
+
 std::uint64_t Router::state_digest() const {
   digest::Fnv h;
   h.mix(static_cast<std::uint64_t>(id_));
@@ -1752,6 +1841,10 @@ std::uint64_t Router::state_digest() const {
     h.mix(out.owner_pid);
     h.mix(out.tail_sent);
     h.mix(static_cast<std::uint64_t>(out.credits));
+    if (damq_) {
+      h.mix(static_cast<std::uint64_t>(
+          shared_held_[static_cast<std::size_t>(g)]));
+    }
     h.mix(out.has_waiter);
     h.mix(out.waiter_gid);
     h.mix(out.waiter_pid);
@@ -1775,6 +1868,7 @@ std::uint64_t Router::state_digest() const {
     h.mix(static_cast<std::uint64_t>(va_arbs_.at(g).last_grant()));
   }
   for (PortId p = 0; p < num_ports_; ++p) {
+    if (damq_) h.mix(static_cast<std::uint64_t>(shared_credits_[p]));
     h.mix(staged_[p].has_value());
     if (staged_[p]) {
       h.mix_flit(staged_[p]->wire);

@@ -32,6 +32,7 @@
 #include "common/inline_vec.hpp"
 #include "common/types.hpp"
 #include "core/allocation_comparator.hpp"
+#include "core/buffer_policy.hpp"
 #include "core/deadlock.hpp"
 #include "core/error_check_unit.hpp"
 #include "core/fault_injector.hpp"
@@ -101,6 +102,7 @@ class Router final : public RouterIface {
   void check_local_invariants(Cycle now) override;
   long long live_flit_count() const override;
   int held_credits(PortId p, VcId v) const override;
+  int credit_budget(PortId p, VcId v) const override;
 
   // --- Permanent-fault escalation (DESIGN.md §4.9) ------------------------
   bool link_failed(PortId p) const override { return link_dead_[p]; }
@@ -139,7 +141,7 @@ class Router final : public RouterIface {
   // loops walk these arrays in ascending-gid order, which is what the
   // golden digests pin.
   struct InputVc {
-    FlitRing buf;  ///< View into in_flit_slab_; capacity vc_buffer_depth.
+    FlitBuf buf;  ///< View into in_flit_slab_ (or the port's DamQ pool).
     VcState state = VcState::kRouting;
     PortMask candidates = 0;
     PortId out_port = kInvalidPort;
@@ -237,6 +239,16 @@ class Router final : public RouterIface {
   bool port_allocatable(PortId p) const {
     return port_usable(p) && (draining_ & port_bit(p)) == 0;
   }
+  /// Under damq, whether output VC (`p`, `v`) can source a credit for one
+  /// more flit: a free reserved credit or a free slot in the port's shared
+  /// region (DESIGN.md §4.11). Under other policies, plain credits > 0.
+  bool can_consume_credit(PortId p, VcId v) const {
+    return ovc(p, v).credits > 0 || (damq_ && shared_credits_[p] > 0);
+  }
+  /// The VC class a VOQ packet is pinned to, or -1 outside voq.
+  int voq_lane(const Flit& f) const {
+    return voq_ ? voq_class(f.dest, cfg_.mesh_width, num_vcs_) : -1;
+  }
   void accept_flit(PortId p, const Flit& f0, Cycle now);
   /// `f` may alias the wire channel's current slot (consumed in place by
   /// the caller after this returns); it is mutated by link-fault injection.
@@ -321,6 +333,16 @@ class Router final : public RouterIface {
   std::vector<Flit> in_flit_slab_;
   std::vector<InputVc> inputs_;    // P*V
   std::vector<OutputVc> outputs_;  // P*V (hot allocation metadata)
+  /// DAMQ receiver-side storage: one shared pool per link input port
+  /// (engaged only under buffer_policy=damq; the local port keeps its
+  /// private slab rings). inputs_[g].buf routes into these via use_pool.
+  std::array<DamqPool<Flit>, kNumDirections> in_pools_;
+  // DAMQ sender-side shared-credit state (DESIGN.md §4.11). All-zero and
+  // untouched under other policies.
+  bool damq_ = false;
+  bool voq_ = false;
+  std::vector<int> shared_credits_;  ///< Per port: free shared credits.
+  std::vector<int> shared_held_;     ///< Per output gid: borrowed shared.
   /// P*V retransmission barrels, split out of OutputVc so the hot scans
   /// walk small PODs; engaged on link-port gids only.
   std::vector<std::optional<RetransmissionBuffer>> out_rtx_;

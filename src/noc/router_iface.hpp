@@ -166,6 +166,11 @@ class RouterIface {
   /// Sender-side credit instances for directed link (`p`, `v`): the free
   /// credit counter plus credits bound to staged or rolled-back flits.
   virtual int held_credits(PortId, VcId) const { return 0; }
+  /// The sender-side credit budget the conservation walk checks (`p`, `v`)
+  /// against: vc_buffer_depth normally, and under the DAMQ policy the VC's
+  /// reserve plus its currently borrowed shared slots (DESIGN.md §4.11).
+  /// -1 means "use the nominal depth" (the reference default).
+  virtual int credit_budget(PortId, VcId) const { return -1; }
 
   // --- Permanent-fault escalation (DESIGN.md §4.9) ------------------------
   /// True once port `p` has been marked hard-failed (static config or a

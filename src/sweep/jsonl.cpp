@@ -114,6 +114,16 @@ void append_config_fields(JsonRecord& o, const SimConfig& c) {
     o.u64("link_escalation_threshold",
           static_cast<std::uint64_t>(c.faults.link_escalation_threshold));
   }
+  // Same gating idea for the buffer-policy columns: default private_vc
+  // lines keep the pre-policy key set byte-for-byte (golden digests), and
+  // damq_reserve_slots only means anything under damq.
+  if (c.buffer_policy != BufferPolicyKind::kPrivateVc) {
+    o.str("buffer_policy", to_string(c.buffer_policy));
+    if (c.buffer_policy == BufferPolicyKind::kDamq) {
+      o.u64("damq_reserve_slots",
+            static_cast<std::uint64_t>(c.damq_reserve_slots));
+    }
+  }
 }
 
 void append_result_fields(JsonRecord& o, const SimResults& r) {

@@ -231,6 +231,55 @@ std::vector<SweepPoint> fault_degradation_points(const SimConfig& base) {
   return points;
 }
 
+std::vector<SweepPoint> buffer_ablation_points(const SimConfig& base) {
+  // Each policy runs the same two sub-grids: the Fig. 6 operating points
+  // (error-rate decades at injection 0.25, hybrid HBH) stress retransmit
+  // pressure where shared buffering should help; the Fig. 8 load sweep
+  // (DT routing, cycle-capped past saturation) reads the buffer
+  // utilization columns the policies exist to move. routing=xy throughout
+  // so the voq variant is admissible (validate() requires it).
+  static constexpr BufferPolicyKind kPolicies[] = {
+      BufferPolicyKind::kPrivateVc, BufferPolicyKind::kDamq,
+      BufferPolicyKind::kVoq};
+  std::vector<SweepPoint> points;
+  for (const BufferPolicyKind policy : kPolicies) {
+    const std::string pname = to_string(policy);
+    for (const double rate : fig_error_rates()) {
+      SweepPoint pt;
+      pt.label = "BufAbl/" + pname + "/err=" + rate_label(rate);
+      pt.config = base;
+      pt.config.buffer_policy = policy;
+      pt.config.routing = RoutingAlgorithm::kXY;
+      pt.config.injection_rate = 0.25;
+      pt.config.protection = LinkProtection::kHbh;
+      pt.config.faults.link_error_rate = rate;
+      pt.config.total_messages =
+          std::min<std::uint64_t>(pt.config.total_messages, 10'000);
+      pt.config.warmup_messages =
+          std::min<std::uint64_t>(pt.config.warmup_messages, 2'500);
+      points.push_back(std::move(pt));
+    }
+    for (int i = 1; i <= 5; ++i) {
+      const double inj = 0.2 * i;
+      SweepPoint pt;
+      pt.label = "BufAblLoad/" + pname + "/inj=" + rate_label(inj);
+      pt.config = base;
+      pt.config.buffer_policy = policy;
+      pt.config.routing = RoutingAlgorithm::kXY;
+      pt.config.injection_rate = inj;
+      pt.config.protection = LinkProtection::kHbh;
+      pt.config.faults.link_error_rate = 1e-4;
+      pt.config.total_messages =
+          std::min<std::uint64_t>(pt.config.total_messages, 10'000);
+      pt.config.warmup_messages =
+          std::min<std::uint64_t>(pt.config.warmup_messages, 2'500);
+      pt.config.max_cycles = std::min<Cycle>(base.max_cycles, 60'000);
+      points.push_back(std::move(pt));
+    }
+  }
+  return points;
+}
+
 std::vector<SweepPoint> perf_points(const SimConfig& base) {
   // One point per distinct hot path. The scale is pinned here (not taken
   // from the base config) so cycles/sec measurements compare like for
@@ -282,9 +331,20 @@ std::vector<SweepPoint> perf_points(const SimConfig& base) {
 
 const std::vector<std::string>& preset_names() {
   static const std::vector<std::string> names = {
-      "fig05", "fig06",  "fig07",  "fig08",      "fig09",
-      "fig13a", "fig13b", "abl_cthres", "fault_degradation", "perf"};
+      "fig05",      "fig06",  "fig07",
+      "fig08",      "fig09",  "fig13a",
+      "fig13b",     "abl_cthres", "buffer_ablation",
+      "fault_degradation",    "perf"};
   return names;
+}
+
+std::string preset_names_line() {
+  std::string line;
+  for (const auto& name : preset_names()) {
+    if (!line.empty()) line += ' ';
+    line += name;
+  }
+  return line;
 }
 
 std::vector<SweepPoint> preset_points(const std::string& name,
@@ -297,6 +357,7 @@ std::vector<SweepPoint> preset_points(const std::string& name,
   if (name == "fig13a") return fig13a_points(base);
   if (name == "fig13b") return fig13b_points(base);
   if (name == "abl_cthres") return abl_cthres_points(base);
+  if (name == "buffer_ablation") return buffer_ablation_points(base);
   if (name == "fault_degradation") return fault_degradation_points(base);
   if (name == "perf") return perf_points(base);
   return {};

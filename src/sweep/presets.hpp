@@ -59,6 +59,14 @@ std::vector<SweepPoint> fig13b_points(const SimConfig& base);
 /// columns (packets_rerouted / unreachable_drops).
 std::vector<SweepPoint> fault_degradation_points(const SimConfig& base);
 
+/// Buffer-policy ablation grid (DESIGN.md §4.11): the three input-buffer
+/// organizations (private_vc / damq / voq) compared on two axes — a
+/// Fig. 6-style error-rate sweep at injection 0.25 under hybrid HBH, and
+/// a Fig. 8-style offered-load sweep under deterministic routing. Both
+/// halves pin routing=xy so voq is admissible; message counts are reduced
+/// to campaign scale.
+std::vector<SweepPoint> buffer_ablation_points(const SimConfig& base);
+
 /// Performance-smoke grid for ftnoc_perf / CI: a handful of short,
 /// deterministic points spanning the simulator's distinct hot paths
 /// (each protection scheme, adaptive routing with deadlock recovery, a
@@ -69,6 +77,11 @@ std::vector<SweepPoint> perf_points(const SimConfig& base);
 /// Every preset name preset_points() accepts, in display order (for
 /// "unknown preset" diagnostics and --help text).
 const std::vector<std::string>& preset_names();
+
+/// preset_names() joined with spaces — the one shared "valid presets:"
+/// diagnostic line, so every CLI lists the same (complete) set and a new
+/// preset can't be forgotten in one tool's copy of the loop.
+std::string preset_names_line();
 
 /// Maps a preset name ("fig05" ... "fig13b", "abl_cthres") to its grid;
 /// returns an empty vector for an unknown name (callers should then list

@@ -123,6 +123,64 @@ TEST(Config, EnumToString) {
   EXPECT_STREQ(to_string(RoutingAlgorithm::kXY), "xy");
   EXPECT_STREQ(to_string(LinkProtection::kHbh), "hbh");
   EXPECT_STREQ(to_string(TrafficPattern::kTornado), "tn");
+  EXPECT_STREQ(to_string(BufferPolicyKind::kPrivateVc), "private_vc");
+  EXPECT_STREQ(to_string(BufferPolicyKind::kDamq), "damq");
+  EXPECT_STREQ(to_string(BufferPolicyKind::kVoq), "voq");
+}
+
+TEST(Config, OverrideParsesBufferPolicy) {
+  SimConfig cfg;
+  EXPECT_EQ(apply_override(cfg, "buffer_policy=damq"), std::nullopt);
+  EXPECT_EQ(cfg.buffer_policy, BufferPolicyKind::kDamq);
+  EXPECT_EQ(apply_override(cfg, "buffer_policy=voq"), std::nullopt);
+  EXPECT_EQ(cfg.buffer_policy, BufferPolicyKind::kVoq);
+  EXPECT_EQ(apply_override(cfg, "buffer_policy=private"), std::nullopt);
+  EXPECT_EQ(cfg.buffer_policy, BufferPolicyKind::kPrivateVc);
+  EXPECT_EQ(apply_override(cfg, "damq_reserve_slots=3"), std::nullopt);
+  EXPECT_EQ(cfg.damq_reserve_slots, 3);
+  EXPECT_TRUE(apply_override(cfg, "buffer_policy=shared").has_value());
+}
+
+TEST(Config, RejectsDamqReserveOutOfRange) {
+  SimConfig cfg;
+  cfg.buffer_policy = BufferPolicyKind::kDamq;
+  cfg.damq_reserve_slots = 0;
+  EXPECT_TRUE(cfg.validate().has_value());
+  cfg.damq_reserve_slots = cfg.vc_buffer_depth + 1;
+  EXPECT_TRUE(cfg.validate().has_value());
+  cfg.damq_reserve_slots = cfg.vc_buffer_depth;  // reserve==depth is legal.
+  EXPECT_EQ(cfg.validate(), std::nullopt);
+  // Outside damq the knob is inert: an out-of-range value must not fail.
+  cfg.buffer_policy = BufferPolicyKind::kPrivateVc;
+  cfg.damq_reserve_slots = 0;
+  EXPECT_EQ(cfg.validate(), std::nullopt);
+}
+
+TEST(Config, VoqRequiresXyRouting) {
+  SimConfig cfg;
+  cfg.buffer_policy = BufferPolicyKind::kVoq;
+  cfg.routing = RoutingAlgorithm::kMinimalAdaptive;
+  EXPECT_TRUE(cfg.validate().has_value());
+  cfg.routing = RoutingAlgorithm::kAdaptiveEscape;
+  EXPECT_TRUE(cfg.validate().has_value());
+  cfg.routing = RoutingAlgorithm::kXY;
+  EXPECT_EQ(cfg.validate(), std::nullopt);
+}
+
+TEST(Config, DamqRelaxesEq1ViaEffectiveDepth) {
+  // depth=2, rtx=3, packet_length=5: nominal T+R = 5 fails Eq. (1)
+  // (bound 5), but damq's effective per-VC depth K + V*(depth-K) =
+  // 1 + 4*1 = 5 lifts T+R to 8 > 5.
+  SimConfig cfg;
+  cfg.deadlock.enable_recovery = true;
+  cfg.vc_buffer_depth = 2;
+  cfg.retransmission_depth = 3;
+  cfg.packet_length = 5;
+  cfg.num_vcs = 4;
+  ASSERT_TRUE(cfg.validate().has_value());
+  cfg.buffer_policy = BufferPolicyKind::kDamq;
+  cfg.damq_reserve_slots = 1;
+  EXPECT_EQ(cfg.validate(), std::nullopt);
 }
 
 }  // namespace

@@ -42,7 +42,9 @@ std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
 // seeding (base_seed 1, per-point derivation), one JSONL line + '\n' per
 // point in point order.
 std::uint64_t preset_digest(const std::string& preset, int threads = 2,
-                            bool force_scan_kernel = false) {
+                            bool force_scan_kernel = false,
+                            BufferPolicyKind buffer_policy =
+                                BufferPolicyKind::kPrivateVc) {
   SimConfig base;
   base.total_messages = 600;
   base.warmup_messages = 150;
@@ -50,6 +52,7 @@ std::uint64_t preset_digest(const std::string& preset, int threads = 2,
   base.mesh_width = 4;
   base.mesh_height = 4;
   base.force_scan_kernel = force_scan_kernel;
+  base.buffer_policy = buffer_policy;
 
   const auto points = sweep::preset_points(preset, base);
   EXPECT_FALSE(points.empty());
@@ -130,6 +133,48 @@ TEST(GoldenDigest, KernelAndThreadCountInvariant) {
         << c.what << " produced digest 0x" << std::hex << h
         << " — kernels/thread-counts are no longer byte-interchangeable";
   }
+}
+
+// Same invariance under damq: the event-queue kernel's wake rules must
+// cover the shared-credit transitions too (a missed retick would stall or
+// reorder a shared-credit send only in the event kernel, splitting the
+// digests). The combos are compared to each other rather than to a pin —
+// byte-stability of the damq/voq paths across builds is what the
+// buffer_ablation pin below is for.
+TEST(GoldenDigest, KernelAndThreadCountInvariantUnderDamq) {
+  const std::uint64_t ref =
+      preset_digest("fig05", 1, false, BufferPolicyKind::kDamq);
+  struct Combo {
+    int threads;
+    bool force_scan;
+    const char* what;
+  };
+  const Combo combos[] = {
+      {1, true, "scan kernel, 1 thread"},
+      {2, false, "event kernel, 2 threads"},
+      {2, true, "scan kernel, 2 threads"},
+  };
+  for (const auto& c : combos) {
+    const std::uint64_t h =
+        preset_digest("fig05", c.threads, c.force_scan,
+                      BufferPolicyKind::kDamq);
+    EXPECT_EQ(h, ref)
+        << c.what << " produced digest 0x" << std::hex << h
+        << " under damq — kernels/thread-counts are no longer "
+           "byte-interchangeable";
+  }
+}
+
+// The buffer_ablation preset is the only pinned family that runs the damq
+// and voq routers; without it a byte-level regression in the shared-pool
+// or VOQ paths is invisible to the other digests (which all run the
+// default private_vc layout — that those digests did NOT move is the
+// proof the subsystem left the default path untouched).
+TEST(GoldenDigest, BufferAblationPresetByteIdentical) {
+  const std::uint64_t h = preset_digest("buffer_ablation");
+  EXPECT_EQ(h, 0x3cb870af55cd7b91ull)
+      << "buffer_ablation JSONL digest moved: 0x" << std::hex << h
+      << " — the simulation is no longer byte-identical to the pinned run";
 }
 
 }  // namespace

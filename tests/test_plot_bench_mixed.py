@@ -22,31 +22,72 @@ MIXED_JSONL = """\
 {"label":"FaultDeg/base/faults=2","avg_latency_cycles":29.5,"messages_ejected":290,"packets_rerouted":40,"unreachable_drops":9,"links_escalated":2}
 """
 
+# Two runs of the same figure under different buffer policies concatenated
+# into one file: the private_vc lines omit the policy column (it is gated
+# like the fault counters), the damq lines carry it.
+POLICY_JSONL = """\
+{"label":"Fig6/BC/err=0.001","avg_latency_cycles":21.5}
+{"label":"Fig6/BC/err=0.01","avg_latency_cycles":24.0}
+{"label":"Fig6/BC/err=0.001","avg_latency_cycles":19.0,"buffer_policy":"damq","damq_reserve_slots":2}
+{"label":"Fig6/BC/err=0.01","avg_latency_cycles":20.5,"buffer_policy":"damq","damq_reserve_slots":2}
+"""
+
+
+def convert(td, name, text):
+    src = os.path.join(td, name + ".jsonl")
+    outdir = os.path.join(td, name + "_csv")
+    with open(src, "w") as f:
+        f.write(text)
+    subprocess.run([sys.executable, PLOT_BENCH, src, outdir], check=True)
+    return outdir
+
+
+def check_fault_columns(td):
+    path = os.path.join(convert(td, "mixed", MIXED_JSONL), "faultdeg.csv")
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+
+    assert len(rows) == 3, f"expected 3 rows, got {len(rows)}"
+    by_x = {r["x"]: r for r in rows}
+    # The fault-free row gets explicit zeros for the fault-gated columns.
+    for col in ("packets_rerouted", "unreachable_drops",
+                "links_escalated"):
+        assert by_x["0"][col] == "0", (
+            f"row faults=0 column {col!r}: expected '0', "
+            f"got {by_x['0'][col]!r}")
+    # Rows that do have the counters keep their values.
+    assert by_x["1"]["packets_rerouted"] == "12"
+    assert by_x["2"]["links_escalated"] == "2"
+    assert by_x["2"]["avg_latency_cycles"] == "29.5"
+    # A single-policy file keeps its plain series names and no policy
+    # column — pre-policy CSVs must stay byte-identical.
+    assert rows[0]["series"] == "base", rows[0]["series"]
+    assert "buffer_policy" not in rows[0], sorted(rows[0])
+
+
+def check_policy_overlay(td):
+    path = os.path.join(convert(td, "policy", POLICY_JSONL), "fig6.csv")
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+
+    assert len(rows) == 4, f"expected 4 rows, got {len(rows)}"
+    series = sorted({r["series"] for r in rows})
+    # >= 2 policies in one figure: the policy is folded into the series
+    # key so identical labels from different runs stay distinct curves
+    # (the omitted column defaults to private_vc).
+    assert series == ["BC[damq]", "BC[private_vc]"], series
+    by_key = {(r["series"], r["x"]): r for r in rows}
+    assert by_key[("BC[private_vc]", "0.001")]["avg_latency_cycles"] == "21.5"
+    assert by_key[("BC[damq]", "0.001")]["avg_latency_cycles"] == "19.0"
+    # The damq-gated reserve column backfills 0 on private_vc rows.
+    assert by_key[("BC[private_vc]", "0.01")]["damq_reserve_slots"] == "0"
+    assert by_key[("BC[damq]", "0.01")]["damq_reserve_slots"] == "2"
+
 
 def main():
     with tempfile.TemporaryDirectory() as td:
-        src = os.path.join(td, "mixed.jsonl")
-        outdir = os.path.join(td, "csv")
-        with open(src, "w") as f:
-            f.write(MIXED_JSONL)
-        subprocess.run([sys.executable, PLOT_BENCH, src, outdir], check=True)
-
-        path = os.path.join(outdir, "faultdeg.csv")
-        with open(path, newline="") as f:
-            rows = list(csv.DictReader(f))
-
-        assert len(rows) == 3, f"expected 3 rows, got {len(rows)}"
-        by_x = {r["x"]: r for r in rows}
-        # The fault-free row gets explicit zeros for the fault-gated columns.
-        for col in ("packets_rerouted", "unreachable_drops",
-                    "links_escalated"):
-            assert by_x["0"][col] == "0", (
-                f"row faults=0 column {col!r}: expected '0', "
-                f"got {by_x['0'][col]!r}")
-        # Rows that do have the counters keep their values.
-        assert by_x["1"]["packets_rerouted"] == "12"
-        assert by_x["2"]["links_escalated"] == "2"
-        assert by_x["2"]["avg_latency_cycles"] == "29.5"
+        check_fault_columns(td)
+        check_policy_overlay(td)
     print("plot_bench mixed-schema: OK")
 
 

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -256,6 +257,38 @@ TEST(SweepPresets, EveryListedNameResolves) {
 
 TEST(SweepPresets, UnknownPresetIsEmpty) {
   EXPECT_TRUE(sweep::preset_points("fig99", tiny_config()).empty());
+}
+
+TEST(SweepPresets, NamesLineListsEveryPreset) {
+  // The shared "valid presets" diagnostic must stay in lockstep with the
+  // dispatch table: every listed name appears on the line, and the line
+  // contains nothing that fails to resolve.
+  const std::string line = sweep::preset_names_line();
+  for (const auto& name : sweep::preset_names()) {
+    EXPECT_NE(line.find(name), std::string::npos) << name;
+  }
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) {
+    EXPECT_FALSE(sweep::preset_points(word, tiny_config()).empty()) << word;
+  }
+}
+
+TEST(SweepPresets, BufferAblationGridShape) {
+  const auto points = sweep::buffer_ablation_points(tiny_config());
+  // 3 policies x (5 error rates + 5 load points).
+  ASSERT_EQ(points.size(), 30u);
+  EXPECT_EQ(points[0].label, "BufAbl/private_vc/err=1e-05");
+  EXPECT_EQ(points[5].label, "BufAblLoad/private_vc/inj=0.2");
+  EXPECT_EQ(points[10].label, "BufAbl/damq/err=1e-05");
+  EXPECT_EQ(points[20].label, "BufAbl/voq/err=1e-05");
+  for (const auto& pt : points) {
+    EXPECT_EQ(pt.config.validate(), std::nullopt) << pt.label;
+    EXPECT_EQ(pt.config.routing, RoutingAlgorithm::kXY) << pt.label;
+    EXPECT_EQ(pt.config.protection, LinkProtection::kHbh) << pt.label;
+  }
+  EXPECT_EQ(points[12].config.buffer_policy, BufferPolicyKind::kDamq);
+  EXPECT_EQ(points[25].config.buffer_policy, BufferPolicyKind::kVoq);
 }
 
 TEST(SweepJsonl, RecordShapeAndEscaping) {

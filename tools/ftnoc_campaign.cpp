@@ -64,11 +64,8 @@ bool flag_value(const char* arg, const char* name, std::string& out) {
 }
 
 void list_presets(std::FILE* to) {
-  std::fprintf(to, "valid presets:");
-  for (const auto& name : ftnoc::sweep::preset_names()) {
-    std::fprintf(to, " %s", name.c_str());
-  }
-  std::fprintf(to, "\n");
+  std::fprintf(to, "valid presets: %s\n",
+               ftnoc::sweep::preset_names_line().c_str());
 }
 
 }  // namespace

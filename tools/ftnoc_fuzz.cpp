@@ -19,7 +19,10 @@
 // the end-to-end proof that the oracle has teeth. The default plant is
 // "drop_window"; `--selftest --plant route_into_dead_link` instead
 // proves the permanent-fault paths are under the oracle (the optimized
-// router routes fault-blind on a topology with a dead link).
+// router routes fault-blind on a topology with a dead link), and
+// `--selftest --plant damq_credit_leak` proves the DAMQ shared-pool
+// credit accounting is (the optimized router leaks a shared_held_
+// decrement on credit return).
 
 #include <chrono>
 #include <cstdio>
@@ -146,7 +149,21 @@ std::vector<std::string> random_config(Rng& rng) {
     static const char* kProt[] = {"none", "fec", "e2e", "hbh", "hbh"};
     add("protection", kProt[rng.next_below(5)]);
     static const char* kRoute[] = {"xy", "adaptive", "escape"};
-    add("routing", kRoute[rng.next_below(3)]);
+    const char* route = kRoute[rng.next_below(3)];
+    // Buffer policies under the oracle: damq composes with everything;
+    // voq is only admissible under deterministic XY (validate() refuses
+    // other routings), so force the pairing rather than redraw.
+    static const char* kBufPol[] = {"private_vc", "private_vc", "damq",
+                                    "voq"};
+    const char* bufpol = kBufPol[rng.next_below(4)];
+    if (std::strcmp(bufpol, "voq") == 0) route = "xy";
+    add("routing", route);
+    if (std::strcmp(bufpol, "private_vc") != 0) {
+      add("buffer_policy", bufpol);
+    }
+    if (std::strcmp(bufpol, "damq") == 0) {
+      add("damq_reserve_slots", std::to_string(1 + rng.next_below(3)));
+    }
     static const char* kPat[] = {"nr", "bc", "tn"};
     add("pattern", kPat[rng.next_below(3)]);
     if (rng.bernoulli(0.6)) {
@@ -312,6 +329,23 @@ int fuzz_main(const Options& opt) {
             "protection=hbh",
             "routing=adaptive",
             "dead_link=5:E"};
+    } else if (opt.selftest && opt.plant == "damq_credit_leak") {
+      // This plant's habitat: damq shared buffering under enough load
+      // that credit returns actually take the shared path (the leak
+      // skips the shared_held_ decrement, so the sender's pool ledger
+      // drifts from the reference's within a few returns).
+      ov = {"seed=" + std::to_string(1000 + i),
+            "mesh_width=4",
+            "mesh_height=4",
+            "num_vcs=3",
+            "vc_buffer_depth=4",
+            "pipeline_stages=3",
+            "packet_length=4",
+            "injection_rate=0.3",
+            "protection=hbh",
+            "routing=xy",
+            "buffer_policy=damq",
+            "damq_reserve_slots=1"};
     } else if (opt.selftest) {
       // Bias toward the planted bug's habitat: a 4-stage HBH sender with
       // real link errors (the short drop window admits a stale third

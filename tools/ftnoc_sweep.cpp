@@ -104,12 +104,8 @@ int main(int argc, char** argv) {
     }
     points = sweep::preset_points(preset, base);
     if (points.empty()) {
-      std::fprintf(stderr, "unknown preset: %s\nvalid presets:",
-                   preset.c_str());
-      for (const auto& name : sweep::preset_names()) {
-        std::fprintf(stderr, " %s", name.c_str());
-      }
-      std::fprintf(stderr, "\n");
+      std::fprintf(stderr, "unknown preset: %s\nvalid presets: %s\n",
+                   preset.c_str(), sweep::preset_names_line().c_str());
       return 1;
     }
     for (const auto& pt : points) {
