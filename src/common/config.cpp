@@ -205,6 +205,16 @@ std::optional<std::string> SimConfig::validate() const {
   for (const NodeId node : dead_routers) {
     if (node >= num_nodes()) return err("dead_router node out of range");
   }
+  for (std::size_t i = 0; i < storm_kills.size(); ++i) {
+    const auto& k = storm_kills[i];
+    if (k.node >= num_nodes()) return err("storm_kill node out of range");
+    if (k.dir == Direction::kLocal) return err("cannot storm-kill a local link");
+    if (i > 0 && k.at < storm_kills[i - 1].at) {
+      // Both kernels consume the schedule with a single cursor; an
+      // out-of-order entry would silently never fire.
+      return err("storm_kill schedule must be sorted by cycle");
+    }
+  }
   if (faults.link_escalation_threshold < 0) {
     return err("link_escalation_threshold must be >= 0");
   }
@@ -386,6 +396,29 @@ std::optional<std::string> apply_override(SimConfig& cfg,
     cfg.dead_routers.push_back(static_cast<NodeId>(node));
   } else if (key == "link_escalation_threshold") {
     if (!parse_int(val, cfg.faults.link_escalation_threshold)) return bad();
+  } else if (key == "storm_kill") {
+    // "cycle:node:dir" with dir in {N,E,S,W}.
+    const auto c1 = val.find(':');
+    const auto c2 = c1 == std::string::npos ? std::string::npos
+                                            : val.find(':', c1 + 1);
+    if (c2 == std::string::npos || c2 + 2 != val.size()) return bad();
+    SimConfig::LinkKill k;
+    if (!parse_u64(val.substr(0, c1), k.at)) return bad();
+    int node = 0;
+    if (!parse_int(val.substr(c1 + 1, c2 - c1 - 1), node) || node < 0) {
+      return bad();
+    }
+    k.node = static_cast<NodeId>(node);
+    switch (val[c2 + 1]) {
+      case 'N': case 'n': k.dir = Direction::kNorth; break;
+      case 'E': case 'e': k.dir = Direction::kEast; break;
+      case 'S': case 's': k.dir = Direction::kSouth; break;
+      case 'W': case 'w': k.dir = Direction::kWest; break;
+      default: return bad();
+    }
+    cfg.storm_kills.push_back(k);
+  } else if (key == "adaptive_faults") {
+    if (!parse_bool(val, cfg.adaptive_faults)) return bad();
   } else if (key == "check_invariants") {
     if (!parse_bool(val, cfg.check_invariants)) return bad();
   } else if (key == "reference_router") {

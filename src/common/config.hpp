@@ -164,6 +164,25 @@ struct SimConfig {
   /// addressed to it are dropped as unreachable at their current router.
   /// Override syntax: "dead_router=5", repeatable.
   std::vector<NodeId> dead_routers;
+  /// A link kill scheduled mid-run (the fault-storm timeline): at cycle
+  /// `at` the network hard-fails the channel leaving `node` through `dir`
+  /// exactly as a runtime escalation would — partition veto, drain on both
+  /// endpoints, route-epoch bump. Vetoed kills are skipped, never retried.
+  struct LinkKill {
+    Cycle at = 0;
+    NodeId node = 0;
+    Direction dir = Direction::kEast;
+  };
+  /// Storm schedule, sorted by cycle (validate() enforces). Override
+  /// syntax: "storm_kill=CYCLE:NODE:D" with D in {N,E,S,W}, repeatable.
+  std::vector<LinkKill> storm_kills;
+  /// Self-healing routing tier (DESIGN.md §4.12): when every minimal
+  /// fault-aware candidate of a waiting head is locally unusable (dead or
+  /// draining), detour it non-minimally over the live escape ports closest
+  /// to the destination instead of parking it (non-XY) or bouncing it back
+  /// to RT (XY). Off by default; fault-free behaviour and all existing
+  /// golden digests are unaffected. Override: "adaptive_faults=1".
+  bool adaptive_faults = false;
   /// Allocation Comparator present (§4). Off = logic upsets go unprotected
   /// (ablation baseline).
   bool enable_ac = true;
@@ -218,7 +237,7 @@ struct SimConfig {
   /// JSONL columns so fault-free output stays byte-identical.
   bool has_permanent_faults() const {
     return !dead_links.empty() || !dead_routers.empty() ||
-           faults.link_escalation_threshold > 0;
+           !storm_kills.empty() || faults.link_escalation_threshold > 0;
   }
 
   /// Validates invariants (positive sizes, rates in [0,1], ...).

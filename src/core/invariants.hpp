@@ -44,6 +44,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
@@ -87,6 +88,12 @@ enum class InvariantId : std::uint8_t {
   /// must equal the shared budget; receiver side, the pool's free/used/
   /// per-VC occupancy recount must agree with its running counters.
   kSharedPoolConservation,
+  /// Non-minimal escape tier (DESIGN.md §4.12): a single packet must not
+  /// accrue more escape detours than 4 * num_nodes. Between detours the
+  /// packet routes by strict BFS-distance descent, so its total work is
+  /// bounded by (detours + 1) * diameter; a packet exceeding the bound is
+  /// livelocking on the misroute path.
+  kMisrouteBound,
 };
 
 const char* to_string(InvariantId id);
@@ -154,6 +161,12 @@ class InvariantMonitor {
                            NodeId origin, std::uint32_t probe_id,
                            int tx_size, int rtx_size);
 
+  // --- Non-minimal escape tier ---------------------------------------------
+  /// Called each time a router detours packet `pid` over the escape-port
+  /// set (adaptive_faults). Fails kMisrouteBound when one packet's detour
+  /// count exceeds 4 * num_nodes (livelock on the misroute path).
+  void on_misroute(Cycle now, NodeId router, PacketId pid);
+
  private:
   struct StreamState {
     bool open = false;
@@ -199,6 +212,12 @@ class InvariantMonitor {
   std::vector<ProbeRecord> minted_;   ///< Per origin: latest minted probe.
   std::vector<RecentIds> confirmed_;  ///< Per origin: returned probes.
   std::vector<RecentIds> relayed_;    ///< Per (relay, origin): relayed probes.
+
+  // Escape-detour counts per packet (kMisrouteBound). Entries are few —
+  // detours only happen while a candidate set is stale around a fresh
+  // fault — so a flat map keyed by packet id is plenty.
+  std::uint32_t misroute_bound_ = 0;
+  std::unordered_map<PacketId, std::uint32_t> misroutes_;
 };
 
 }  // namespace ftnoc

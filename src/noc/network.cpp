@@ -435,6 +435,43 @@ void Network::step() {
   }
 }
 
+bool Network::try_kill_link(NodeId n, Direction dir, bool storm) {
+  const auto nb = topo_.neighbor(n, dir);
+  if (!nb || !topo_.link_alive(n, dir)) return false;
+  // Partition veto: the topology already reflects every kill accepted
+  // earlier this same cycle (fail_link is applied per acceptance, below),
+  // so a batch of same-cycle requests is vetoed against the accepted set,
+  // not against the pristine pre-batch topology.
+  if (topo_.would_partition(n, dir)) return false;  // Veto: limp on.
+  topo_.fail_link(n, dir);
+  if (storm) {
+    stats_.on_storm_link_killed();
+  } else {
+    stats_.on_link_escalated();
+  }
+  routers_[n]->begin_link_drain(static_cast<PortId>(dir), now_);
+  routers_[*nb]->begin_link_drain(static_cast<PortId>(opposite(dir)), now_);
+  if (!scan_kernel_) {
+    // A granted kill puts both endpoints back on the schedule until their
+    // drains complete.
+    schedule(n, now_ + 1);
+    schedule(*nb, now_ + 1);
+  }
+  return true;
+}
+
+void Network::fire_storm_kills() {
+  // Both kernels call this unconditionally every cycle (Network::step is
+  // never skipped), so the storm timeline fires at identical cycles under
+  // scan and event execution. Vetoed kills are skipped, never retried —
+  // exactly the escalation path's limp-on behaviour.
+  while (next_storm_kill_ < cfg_.storm_kills.size() &&
+         cfg_.storm_kills[next_storm_kill_].at <= now_) {
+    const auto& k = cfg_.storm_kills[next_storm_kill_++];
+    try_kill_link(k.node, k.dir, /*storm=*/true);
+  }
+}
+
 void Network::step_scan() {
   fire_due_events();
   // Trace replay: release the records due this cycle into their source
@@ -457,6 +494,10 @@ void Network::step_scan() {
                   recovery_line_ || routers_[i]->in_recovery());
   }
   for (auto& r : routers_) r->step(now_);
+  // Fault-storm timeline (§4.12): configured kills fire before the
+  // escalation poll so a storm cycle and an organic escalation compose in
+  // a fixed order.
+  fire_storm_kills();
   // Runtime escalation (§4.9): promote links whose receivers report a
   // sustained uncorrectable-error streak to hard-dead — unless the kill
   // would partition the live mesh, in which case the link limps on (the
@@ -468,15 +509,7 @@ void Network::step_scan() {
       if (reqs == 0) continue;
       for (int d = 0; d < 4; ++d) {
         if ((reqs & (1u << d)) == 0) continue;
-        const auto dir = static_cast<Direction>(d);
-        const auto nb = topo_.neighbor(i, dir);
-        if (!nb || !topo_.link_alive(i, dir)) continue;
-        if (topo_.would_partition(i, dir)) continue;  // Veto: limp on.
-        topo_.fail_link(i, dir);
-        stats_.on_link_escalated();
-        routers_[i]->begin_link_drain(static_cast<PortId>(d), now_);
-        routers_[*nb]->begin_link_drain(
-            static_cast<PortId>(opposite(dir)), now_);
+        try_kill_link(i, static_cast<Direction>(d), /*storm=*/false);
       }
     }
   }
@@ -631,6 +664,10 @@ void Network::step_event() {
     }
   }
 
+  // Fault-storm timeline (§4.12): fires at the same pre-escalation point
+  // as in step_scan — Network::step runs every cycle under both kernels,
+  // so the schedules coincide exactly.
+  fire_storm_kills();
   // Runtime escalation (§4.9): only stepped routers can have raised a
   // request (the poll clears the set every cycle a router runs), and
   // stepped_ is ascending — the scan's visit order. A granted kill puts
@@ -641,17 +678,7 @@ void Network::step_event() {
       if (reqs == 0) continue;
       for (int d = 0; d < 4; ++d) {
         if ((reqs & (1u << d)) == 0) continue;
-        const auto dir = static_cast<Direction>(d);
-        const auto nb = topo_.neighbor(i, dir);
-        if (!nb || !topo_.link_alive(i, dir)) continue;
-        if (topo_.would_partition(i, dir)) continue;  // Veto: limp on.
-        topo_.fail_link(i, dir);
-        stats_.on_link_escalated();
-        routers_[i]->begin_link_drain(static_cast<PortId>(d), now_);
-        routers_[*nb]->begin_link_drain(
-            static_cast<PortId>(opposite(dir)), now_);
-        schedule(i, now_ + 1);
-        schedule(*nb, now_ + 1);
+        try_kill_link(i, static_cast<Direction>(d), /*storm=*/false);
       }
     }
   }

@@ -168,6 +168,18 @@ class Network {
   void schedule(NodeId n, Cycle due);
   /// Adds a wire to the tick list (dedup'd); it stays until it settles.
   void mark_wire_live(std::uint32_t wid);
+  /// Kills link (`n`, `dir`) unless the kill would partition the live
+  /// mesh: fails it in the topology (bumping the route epoch), counts it
+  /// (escalation or storm), and starts draining both endpoint routers.
+  /// Same-cycle kills compose sequentially — the topology already holds
+  /// every previously accepted kill when the next veto is evaluated, so a
+  /// batch of requests that are individually safe but jointly partitioning
+  /// is trimmed to a safe prefix (tests/test_fault_model.cpp pins this).
+  /// Returns whether the kill was accepted.
+  bool try_kill_link(NodeId n, Direction dir, bool storm);
+  /// Fires every cfg_.storm_kills entry due by now_ (single cursor; both
+  /// kernels call this every cycle, so the timelines coincide exactly).
+  void fire_storm_kills();
   std::uint32_t local_wire_id(NodeId n) const {
     return static_cast<std::uint32_t>(link_wires_.size()) +
            static_cast<std::uint32_t>(n);
@@ -216,6 +228,10 @@ class Network {
   // Trace replay: sorted records not yet injected.
   std::vector<TraceRecord> trace_;
   std::size_t trace_next_ = 0;
+
+  // Fault-storm timeline (sorted by cycle; validate() enforces): next
+  // cfg_.storm_kills entry to fire. A vetoed kill is skipped, not retried.
+  std::size_t next_storm_kill_ = 0;
 
   DeliveryListener delivery_listener_;
   /// Chip-wide wired-OR "deadlock recovery in progress" line (sampled at

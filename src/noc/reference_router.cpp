@@ -119,6 +119,45 @@ void ReferenceRouter::begin_link_drain(PortId p, Cycle now) {
       if (stats_) stats_->on_packet_rerouted();
     }
   }
+  // A registered deadlock waiter with none of its flits absorbed into the
+  // barrel is a pure reservation on the dying port: cancel it and re-home
+  // the packet, mirroring Router::begin_link_drain. (The reference model
+  // never applies test mutations, so the fix is unconditional here.)
+  for (int v = 0; v < num_vcs_; ++v) {
+    auto& out = ovc(p, static_cast<VcId>(v));
+    if (!out.has_waiter) continue;
+    if (out.rtx && out.rtx->contains_packet(out.waiter_pid)) continue;
+    const int wg = out.waiter_gid;
+    out.has_waiter = false;
+    auto& wvc = inputs_[static_cast<std::size_t>(wg)];
+    if (wvc.state == VcState::kVaReserved && wvc.out_port == p &&
+        wvc.out_vc == static_cast<VcId>(v)) {
+      wvc.state = VcState::kRouting;
+      wvc.candidates = 0;
+      wvc.out_port = kInvalidPort;
+      wvc.out_vc = kInvalidVc;
+      wvc.state_since = now;
+      if (stats_) stats_->on_packet_rerouted();
+    }
+  }
+}
+
+void ReferenceRouter::rehome_stale_routes(Cycle now) {
+  const std::uint32_t e = topo_.route_epoch();
+  if (e == route_epoch_seen_) return;
+  route_epoch_seen_ = e;
+  for (int g = 0; g < num_ports_ * num_vcs_; ++g) {
+    auto& vc = inputs_[static_cast<std::size_t>(g)];
+    if (vc.state != VcState::kVaWait || vc.buf.empty()) continue;
+    const PortMask fresh =
+        route(topo_, cfg_.routing, id_, vc.buf.front().dest);
+    if (fresh == vc.candidates) continue;
+    vc.candidates = fresh;
+    if (fresh == 0) {
+      vc.state = VcState::kRouting;
+      vc.state_since = now;
+    }
+  }
 }
 
 void ReferenceRouter::charge(power::EnergyEvent e, std::uint64_t times) {
@@ -142,6 +181,8 @@ void ReferenceRouter::step(Cycle now) {
       draining_ &= static_cast<std::uint8_t>(~port_bit(p));
     }
   }
+  // Online reconfiguration (§4.12), mirrored from the optimized kernel.
+  rehome_stale_routes(now);
   // No quiescent fast path: on an idle router every phase is a no-op, and
   // the differential comparison against the optimized kernel checks that.
   std::fill(port_busy_.begin(), port_busy_.end(), false);
@@ -640,8 +681,29 @@ void ReferenceRouter::phase_va(Cycle now) {
       }
     }
     if (!any_valid) {
-      if (dead_candidate &&
-          cfg_.routing != RoutingAlgorithm::kXY) {
+      if (cfg_.adaptive_faults && dead_candidate) {
+        // Non-minimal escape tier (DESIGN.md §4.12), mirrored from Router.
+        const PortMask esc =
+            fault_escape_ports(topo_, id_, vc.buf.front().dest);
+        if (esc == 0) {
+          vc.state = VcState::kRouting;
+          vc.candidates = 0;
+          continue;
+        }
+        PortMask usable = 0;
+        for (PortId o = 0; o < num_ports_; ++o) {
+          if (mask_has(esc, o) && o != kLocalPort && port_allocatable(o)) {
+            usable |= port_bit(o);
+          }
+        }
+        if (usable == 0) continue;
+        vc.candidates = usable;
+        if (stats_) stats_->on_hard_fault_reroute();
+        FTNOC_INVARIANT_HOOK(if (mon_) {
+          mon_->on_misroute(now, id_, vc.buf.front().packet_id);
+        });
+      } else if (dead_candidate &&
+                 cfg_.routing != RoutingAlgorithm::kXY) {
         PortMask live = 0;
         for (PortId o = 0; o < num_ports_; ++o) {
           if (o != kLocalPort && port_allocatable(o)) live |= port_bit(o);

@@ -83,6 +83,9 @@ class ReferenceRouter final : public RouterIface {
     return r;
   }
   void begin_link_drain(PortId p, Cycle now) override;
+  void request_escalation(PortId p) override {
+    escalation_requests_ |= port_bit(p);
+  }
 
  private:
   enum class VcState : std::uint8_t {
@@ -179,6 +182,8 @@ class ReferenceRouter final : public RouterIface {
   void send_credit(PortId p, VcId v);
   void release_input_after_tail(PortId p, VcId v, Cycle now);
   void maybe_release_outputs(Cycle now);
+  /// Online reconfiguration (DESIGN.md §4.12), mirrored from Router.
+  void rehome_stale_routes(Cycle now);
   bool vc_blocked(const InputVc& vc, Cycle now) const;
   std::optional<std::pair<PortId, VcId>> resolve_chain(const InputVc& vc) const;
   void run_ac_on_va(std::size_t new_entry, Cycle now);
@@ -233,6 +238,9 @@ class ReferenceRouter final : public RouterIface {
   std::uint8_t draining_ = 0;
   std::array<std::uint32_t, kNumDirections> uncorrectable_streak_{};
   std::uint8_t escalation_requests_ = 0;
+  /// Last Topology::route_epoch() reconciled (mirrors Router; not part of
+  /// state_digest for the same observability reasons).
+  std::uint32_t route_epoch_seen_ = 0;
 
   std::array<std::optional<StagedFlit>, kNumDirections> staged_;
   std::vector<PendingNack> pending_nacks_;

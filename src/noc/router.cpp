@@ -163,6 +163,65 @@ void Router::begin_link_drain(PortId p, Cycle now) {
       if (stats_) stats_->on_packet_rerouted();
     }
   }
+  // A packet already *holding* this port as a registered deadlock waiter
+  // would pin out.has_waiter — and with it out_work_ — until its owner
+  // retires, and the owner may itself be wedged behind the dying link: the
+  // drain then never completes and the packet is stranded in kVaReserved.
+  // A waiter none of whose flits have been absorbed into the barrel is a
+  // pure reservation: cancel it and re-home the packet exactly like the
+  // kVaWait case above. A waiter with absorbed flits is a committed
+  // stream; it keeps the port until replayed, like an in-flight wormhole.
+  // (The strand_waiter mutation reverts this fix for the fuzz self-test.)
+  if (cfg_.test_mutation != "strand_waiter") {
+    for (int v = 0; v < num_vcs_; ++v) {
+      const int og = gid(p, static_cast<VcId>(v));
+      auto& out = outputs_[static_cast<std::size_t>(og)];
+      if (!out.has_waiter) continue;
+      const auto& rtx = out_rtx_[static_cast<std::size_t>(og)];
+      if (rtx && rtx->contains_packet(out.waiter_pid)) continue;
+      const int wg = out.waiter_gid;
+      out.has_waiter = false;
+      update_output_work(og);
+      auto& wvc = inputs_[static_cast<std::size_t>(wg)];
+      if (wvc.state == VcState::kVaReserved && wvc.out_port == p &&
+          wvc.out_vc == static_cast<VcId>(v)) {
+        wvc.state = VcState::kRouting;
+        wvc.candidates = 0;
+        wvc.out_port = kInvalidPort;
+        wvc.out_vc = kInvalidVc;
+        wvc.state_since = now;
+        update_input_work(wg);
+        if (stats_) stats_->on_packet_rerouted();
+      }
+    }
+  }
+}
+
+void Router::rehome_stale_routes(Cycle now) {
+  const std::uint32_t e = topo_.route_epoch();
+  if (e == route_epoch_seen_) return;
+  route_epoch_seen_ = e;
+  // Every kVaWait head re-routes against the rebuilt distance tables
+  // instead of allocating on a stale candidate set. Sets that merely
+  // shift keep waiting (the VA re-filters them next cycle); a set that
+  // collapses to empty goes back to kRouting, where phase_rt drops the
+  // packet with the usual unreachable accounting. kVaWait implies the
+  // in_work_ bit, which both kernels treat as a mandatory re-tick — so
+  // scan and event runs observe every epoch at the same cycle.
+  for (std::uint32_t m = in_work_; m != 0; m &= m - 1) {
+    const int g = std::countr_zero(m);
+    auto& vc = inputs_[static_cast<std::size_t>(g)];
+    if (vc.state != VcState::kVaWait || vc.buf.empty()) continue;
+    const PortMask fresh =
+        route(topo_, cfg_.routing, id_, vc.buf.front().dest);
+    if (fresh == vc.candidates) continue;
+    vc.candidates = fresh;
+    if (fresh == 0) {
+      vc.state = VcState::kRouting;
+      vc.state_since = now;
+      update_input_work(g);
+    }
+  }
 }
 
 void Router::charge(power::EnergyEvent e, std::uint64_t times) {
@@ -235,6 +294,12 @@ void Router::step(Cycle now) {
       draining_ &= static_cast<std::uint8_t>(~port_bit(p));
     }
   }
+  // Online reconfiguration (§4.12): reconcile in-flight route decisions
+  // with the topology's current epoch before any phase allocates on them.
+  // No-op (one compare) while the epoch is unchanged. Runs before the
+  // quiescent fast path, which is safe: a quiescent router has no kVaWait
+  // VCs, so skipping the walk there changes nothing.
+  rehome_stale_routes(now);
   // Idle fast path: a quiescent router's phases are all provable no-ops —
   // no charges, no stats, no RNG draws, no arbiter advances — so skipping
   // them is behaviour-preserving (the golden byte-identity tests pin this).
@@ -933,8 +998,38 @@ void Router::phase_va(Cycle now) {
       }
     }
     if (!any_valid) {
-      if (dead_candidate &&
-          cfg_.routing != RoutingAlgorithm::kXY) {
+      if (cfg_.adaptive_faults && dead_candidate) {
+        // Non-minimal escape tier (DESIGN.md §4.12): every candidate
+        // direction crosses a hard-failed or draining link, so detour
+        // over the live ports whose neighbour still reaches the
+        // destination — chosen from the BFS table, preferring the
+        // smallest neighbour distance, so a sideways or backward hop is
+        // taken only when it provably leads somewhere. Each detour is
+        // reported to the invariant monitor's misroute-bound check.
+        const PortMask esc =
+            fault_escape_ports(topo_, id_, vc.buf.front().dest);
+        if (esc == 0) {
+          // No live neighbour reaches dest: re-route, where phase_rt
+          // drops the packet with the unreachable accounting.
+          vc.state = VcState::kRouting;
+          vc.candidates = 0;
+          continue;
+        }
+        PortMask usable = 0;
+        for (PortId o = 0; o < num_ports_; ++o) {
+          if (mask_has(esc, o) && o != kLocalPort && port_allocatable(o)) {
+            usable |= port_bit(o);
+          }
+        }
+        if (usable == 0) continue;  // Escape ports all draining; retry.
+        vc.candidates = usable;
+        if (stats_) stats_->on_hard_fault_reroute();
+        FTNOC_INVARIANT_HOOK(if (mon_) {
+          mon_->on_misroute(now, id_, vc.buf.front().packet_id);
+        });
+        // Fall through: request an output VC on the detour this cycle.
+      } else if (dead_candidate &&
+                 cfg_.routing != RoutingAlgorithm::kXY) {
         // Every minimal direction crosses a hard-failed link: detour
         // non-minimally over any live port; the next hop re-routes
         // minimally from there (the paper's "redirect blocked flits to

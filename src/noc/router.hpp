@@ -112,6 +112,9 @@ class Router final : public RouterIface {
     return r;
   }
   void begin_link_drain(PortId p, Cycle now) override;
+  void request_escalation(PortId p) override {
+    escalation_requests_ |= port_bit(p);
+  }
 
   // --- Event-driven scheduling (DESIGN.md §4.10) --------------------------
   /// Wake bookkeeping of the step() that just ran: which wires were
@@ -272,6 +275,12 @@ class Router final : public RouterIface {
   void send_credit(PortId p, VcId v);
   void release_input_after_tail(PortId p, VcId v, Cycle now);
   void maybe_release_outputs(Cycle now);
+  /// Online reconfiguration (DESIGN.md §4.12): when the topology's route
+  /// epoch has moved since this router last looked, recompute every
+  /// kVaWait candidate set against the rebuilt distance tables. A set that
+  /// collapses to empty sends the VC back to kRouting, where phase_rt
+  /// re-routes or drops it with the usual unreachable accounting.
+  void rehome_stale_routes(Cycle now);
   bool vc_blocked(const InputVc& vc, Cycle now) const;
   /// Next link of a blocked dependency chain through an input VC.
   std::optional<std::pair<PortId, VcId>> resolve_chain(const InputVc& vc) const;
@@ -369,6 +378,13 @@ class Router final : public RouterIface {
   std::array<std::uint32_t, kNumDirections> uncorrectable_streak_{};
   /// Ports whose streak crossed the threshold since the last Network poll.
   std::uint8_t escalation_requests_ = 0;
+  /// Last Topology::route_epoch() this router reconciled against. When the
+  /// topology's epoch moves (an accepted escalation or storm kill), step()
+  /// re-homes every kVaWait candidate set against the fresh distance tables
+  /// before allocating (DESIGN.md §4.12). Deliberately NOT part of
+  /// state_digest(): it is unobservable for quiescent routers, and folding
+  /// it in would make scan and event kernels diverge on who noticed first.
+  std::uint32_t route_epoch_seen_ = 0;
 
   /// 4-stage pipeline: the dedicated switch-traversal register. `wire`
   /// is what travels (possibly wrecked by an unprotected SA upset);

@@ -181,6 +181,11 @@ class RouterIface {
   /// Ports whose uncorrectable-error streak crossed the escalation
   /// threshold since the last poll, as a bitmask; clears the pending set.
   virtual std::uint8_t take_escalation_requests() { return 0; }
+  /// Test seam modelling a BIST/wearout monitor flagging port `p` as
+  /// failing: queues it for the next escalation poll exactly as a crossed
+  /// uncorrectable-error streak would. Lets tests raise several same-cycle
+  /// requests and pin the network's sequential partition-veto semantics.
+  virtual void request_escalation(PortId) {}
   /// Begins draining link port `p`: no new allocations toward it; once the
   /// port falls idle the router marks it hard-failed. Re-homes packets
   /// still waiting on it (they re-route, counted as packets_rerouted).

@@ -54,6 +54,20 @@ PortMask route(const Topology& topo, RoutingAlgorithm algo, NodeId current,
 PortMask route_fault_free(const Topology& topo, RoutingAlgorithm algo,
                           NodeId current, NodeId dest);
 
+/// Non-minimal escape tier (`adaptive_faults`, DESIGN.md §4.12): the live
+/// ports whose neighbour can still reach `dest` at all (finite live-link
+/// BFS distance), restricted to the minimum such neighbour distance. Unlike
+/// route(), the set may contain sideways or backward hops (neighbour
+/// distance == or == +1 of the local distance) — the misrouting step the
+/// paper's §3.2.2 "redirect blocked flits to another direction" calls for.
+/// Routers consult it only when every minimal candidate is locally
+/// unusable; the next hop re-routes by strict descent, so each escape hop
+/// is an isolated, bounded detour rather than a routing mode (the
+/// misroute-bound invariant enforces that packets do not livelock on it).
+/// Empty iff no live neighbour reaches `dest` — the caller drops.
+PortMask fault_escape_ports(const Topology& topo, NodeId current,
+                            NodeId dest);
+
 /// True if a flit that arrived at `current` via input port `in_port`
 /// (i.e. was sent by the neighbour in direction opposite(in_port)) is
 /// consistent with dimension-ordered XY routing from that neighbour. The

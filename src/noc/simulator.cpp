@@ -62,6 +62,7 @@ SimResults Simulator::run() {
     r.packets_rerouted = stats.packets_rerouted();
     r.unreachable_drops = stats.unreachable_drops();
     r.links_escalated = stats.links_escalated();
+    r.links_storm_killed = stats.links_storm_killed();
     return r;
   }
 
@@ -110,6 +111,7 @@ SimResults Simulator::run() {
   r.packets_rerouted = stats.packets_rerouted();
   r.unreachable_drops = stats.unreachable_drops();
   r.links_escalated = stats.links_escalated();
+  r.links_storm_killed = stats.links_storm_killed();
 
   r.probes_sent = stats.probes_sent();
   r.probes_discarded = stats.probes_discarded();

@@ -69,6 +69,8 @@ struct SimResults {
   std::uint64_t unreachable_drops = 0;
   /// Flaky links escalated to hard-dead at runtime.
   std::uint64_t links_escalated = 0;
+  /// Fault-storm timeline kills accepted past the partition veto.
+  std::uint64_t links_storm_killed = 0;
 
   // Deadlock accounting.
   std::uint64_t probes_sent = 0;

@@ -72,6 +72,9 @@ class StatsCollector {
   void on_unreachable_drop() { ++unreachable_drops_; }
   /// A flaky link crossed the escalation threshold and was declared dead.
   void on_link_escalated() { ++links_escalated_; }
+  /// A configured fault-storm kill fired (accepted past the partition
+  /// veto) — counted separately from organic escalations.
+  void on_storm_link_killed() { ++links_storm_killed_; }
 
   // --- Deadlock events -----------------------------------------------------
   void on_probe_sent() { bump(probes_sent_); }
@@ -125,6 +128,7 @@ class StatsCollector {
   std::uint64_t packets_rerouted() const { return packets_rerouted_; }
   std::uint64_t unreachable_drops() const { return unreachable_drops_; }
   std::uint64_t links_escalated() const { return links_escalated_; }
+  std::uint64_t links_storm_killed() const { return links_storm_killed_; }
 
   std::uint64_t probes_sent() const { return probes_sent_; }
   std::uint64_t probes_discarded() const { return probes_discarded_; }
@@ -175,6 +179,7 @@ class StatsCollector {
   std::uint64_t packets_rerouted_ = 0;
   std::uint64_t unreachable_drops_ = 0;
   std::uint64_t links_escalated_ = 0;
+  std::uint64_t links_storm_killed_ = 0;
 
   std::uint64_t probes_sent_ = 0;
   std::uint64_t probes_discarded_ = 0;

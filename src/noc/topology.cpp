@@ -1,5 +1,7 @@
 #include "noc/topology.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace ftnoc {
@@ -69,7 +71,7 @@ void Topology::fail_link(NodeId n, Direction d) {
         static_cast<std::uint8_t>(1u << static_cast<int>(opposite(d)));
   }
   has_faults_ = true;
-  rebuild_distances();
+  ++epoch_;
 }
 
 void Topology::fail_router(NodeId n) {
@@ -84,19 +86,24 @@ void Topology::fail_router(NodeId n) {
   }
   dead_routers_[n] = 1;
   has_faults_ = true;
-  rebuild_distances();
+  // Bumped even when every link was already dead: marking the router dead
+  // flips its own row (a dead router stops being a legal destination).
+  ++epoch_;
 }
 
-void Topology::rebuild_distances() {
+void Topology::ensure_row(NodeId dest) const {
   const std::size_t n = static_cast<std::size_t>(num_nodes());
-  dist_.assign(n * n, kUnreachable);
-  std::vector<NodeId> queue;
-  queue.reserve(n);
-  for (NodeId dest = 0; dest < num_nodes(); ++dest) {
-    if (!router_alive(dest)) continue;
-    std::uint16_t* row = dist_.data() + static_cast<std::size_t>(dest) * n;
+  if (dist_.empty()) {
+    dist_.assign(n * n, kUnreachable);
+    row_stamp_.assign(n, 0);
+  }
+  if (row_stamp_[dest] == epoch_) return;
+  std::uint16_t* row = dist_.data() + static_cast<std::size_t>(dest) * n;
+  std::fill(row, row + n, kUnreachable);
+  if (router_alive(dest)) {
     row[dest] = 0;
-    queue.clear();
+    std::vector<NodeId> queue;
+    queue.reserve(n);
     queue.push_back(dest);
     for (std::size_t head = 0; head < queue.size(); ++head) {
       const NodeId cur = queue[head];
@@ -110,6 +117,7 @@ void Topology::rebuild_distances() {
       }
     }
   }
+  row_stamp_[dest] = epoch_;
 }
 
 std::uint16_t Topology::fault_distance(NodeId from, NodeId to) const {
@@ -128,6 +136,7 @@ std::uint16_t Topology::fault_distance(NodeId from, NodeId to) const {
     }
     return static_cast<std::uint16_t>(dx + dy);
   }
+  ensure_row(to);
   return dist_[static_cast<std::size_t>(to) *
                    static_cast<std::size_t>(num_nodes()) +
                from];

@@ -44,7 +44,8 @@ class Topology {
 
   // --- Permanent-fault mask -----------------------------------------------
   /// Marks both directions of the physical channel leaving `n` through `d`
-  /// as hard-dead and rebuilds the live-link distance table.
+  /// as hard-dead and advances the route epoch; distance rows rebuild
+  /// lazily on the next query that touches them.
   void fail_link(NodeId n, Direction d);
   /// Marks router `n` dead: all four of its links fail and it stops being
   /// a legal destination (fault_distance to it becomes kUnreachable).
@@ -65,18 +66,38 @@ class Topology {
   std::uint16_t fault_distance(NodeId from, NodeId to) const;
   static constexpr std::uint16_t kUnreachable = 0xFFFF;
 
+  /// Route-table version: bumped by every fail_link()/fail_router().
+  /// Routers compare it against the epoch their in-flight routing
+  /// decisions were made under and re-home kVaWait candidate sets when it
+  /// moves (DESIGN.md §4.12) instead of steering packets into a region
+  /// that just went dark.
+  std::uint32_t route_epoch() const { return epoch_; }
+
  private:
-  void rebuild_distances();
+  /// Lazily (re)builds the single-destination BFS row for `dest` if its
+  /// stamp is older than the current epoch. Replaces the all-pairs rebuild
+  /// that used to run on *every* escalation: a fault storm of S kills on an
+  /// N-node mesh paid O(S * N^2) on the hot path; now each kill is O(1) and
+  /// only rows that routing actually consults are recomputed, at most once
+  /// per epoch each. Row values are identical to the eager build (BFS
+  /// levels are queue-order independent), which the fault_degradation
+  /// golden digest pins.
+  void ensure_row(NodeId dest) const;
   bool dead_port(NodeId n, Direction d) const;
 
   int width_;
   int height_;
   bool torus_;
   bool has_faults_ = false;
+  std::uint32_t epoch_ = 0;
   std::vector<std::uint8_t> dead_ports_;    ///< Per node, bit per direction.
   std::vector<std::uint8_t> dead_routers_;  ///< Per node.
-  /// dist_[dest * num_nodes + cur]; built lazily on the first fault.
-  std::vector<std::uint16_t> dist_;
+  /// dist_[dest * num_nodes + cur]; allocated on the first fault, each row
+  /// filled on demand. Mutable: rows are a cache of pure-function values.
+  mutable std::vector<std::uint16_t> dist_;
+  /// Epoch each dist_ row was built at; 0 = never (epoch_ >= 1 once any
+  /// fault exists, so a zero stamp is always stale).
+  mutable std::vector<std::uint32_t> row_stamp_;
 };
 
 }  // namespace ftnoc

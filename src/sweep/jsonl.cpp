@@ -124,6 +124,22 @@ void append_config_fields(JsonRecord& o, const SimConfig& c) {
             static_cast<std::uint64_t>(c.damq_reserve_slots));
     }
   }
+  // Fault-storm / adaptive-escape columns (PR 8), gated separately from
+  // the has_permanent_faults() block above so pre-existing faulted presets
+  // (fault_degradation) keep their exact key set and golden digests.
+  if (!c.storm_kills.empty()) {
+    std::string kills;
+    for (const auto& k : c.storm_kills) {
+      if (!kills.empty()) kills += ',';
+      kills += std::to_string(k.at);
+      kills += ':';
+      kills += std::to_string(k.node);
+      kills += ':';
+      kills += to_string(k.dir);
+    }
+    o.str("storm_kills", kills);
+  }
+  if (c.adaptive_faults) o.boolean("adaptive_faults", true);
 }
 
 void append_result_fields(JsonRecord& o, const SimResults& r) {
@@ -184,6 +200,11 @@ std::string to_jsonl(const PointResult& pr, bool include_timing) {
     o.u64("packets_rerouted", pr.results.packets_rerouted);
     o.u64("unreachable_drops", pr.results.unreachable_drops);
     o.u64("links_escalated", pr.results.links_escalated);
+  }
+  // Storm runs additionally report how many timeline kills were accepted
+  // (gated on the storm config itself, so nothing else gains the column).
+  if (!pr.config.storm_kills.empty()) {
+    o.u64("links_storm_killed", pr.results.links_storm_killed);
   }
 
   if (include_timing) o.real("wall_ms", pr.wall_ms);

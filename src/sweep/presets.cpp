@@ -231,6 +231,50 @@ std::vector<SweepPoint> fault_degradation_points(const SimConfig& base) {
   return points;
 }
 
+std::vector<SweepPoint> fault_storm_points(const SimConfig& base) {
+  // Self-healing under a progressive fault storm (DESIGN.md §4.12): links
+  // die on a timeline *during* the run — one kill every 250 cycles from
+  // cycle 250 — instead of being dead from the start. Point k suffers the
+  // first k kills of a shared schedule, so the delivered fraction
+  // (messages_ejected / packets_created) read across points is a
+  // degradation curve. The kill sites reuse the fault_degradation stagger
+  // (East cut at column 1 + j % (W-2), row j % H), which never partitions
+  // a W >= 4 mesh — so with the non-minimal escape tier enabled every
+  // destination stays reachable and unreachable_drops must end at 0.
+  std::vector<SweepPoint> points;
+  const int w = base.mesh_width;
+  const int h = base.mesh_height;
+  const int max_k = w >= 4 ? 4 : 0;
+  for (int k = 0; k <= max_k; ++k) {
+    SweepPoint pt;
+    pt.label = "FaultStorm/adaptive/k=" + std::to_string(k);
+    pt.config = base;
+    pt.config.routing = RoutingAlgorithm::kMinimalAdaptive;
+    pt.config.adaptive_faults = true;
+    pt.config.injection_rate = 0.2;
+    pt.config.deadlock.enable_recovery = true;
+    pt.config.deadlock.probe_threshold = 32;
+    pt.config.deadlock.probe_backoff = 17;
+    // Escalation machinery armed so storm kills and organic escalations
+    // share the drain path (no error process here, so only storms fire).
+    pt.config.total_messages =
+        std::min<std::uint64_t>(pt.config.total_messages, 20'000);
+    pt.config.warmup_messages =
+        std::min<std::uint64_t>(pt.config.warmup_messages, 5'000);
+    pt.config.max_cycles = std::min<Cycle>(pt.config.max_cycles, 400'000);
+    for (int j = 0; j < k; ++j) {
+      const int x = 1 + j % (w - 2);
+      SimConfig::LinkKill kill;
+      kill.at = 250 + static_cast<Cycle>(j) * 250;
+      kill.node = static_cast<NodeId>((j % h) * w + x);
+      kill.dir = Direction::kEast;
+      pt.config.storm_kills.push_back(kill);
+    }
+    points.push_back(std::move(pt));
+  }
+  return points;
+}
+
 std::vector<SweepPoint> buffer_ablation_points(const SimConfig& base) {
   // Each policy runs the same two sub-grids: the Fig. 6 operating points
   // (error-rate decades at injection 0.25, hybrid HBH) stress retransmit
@@ -334,7 +378,7 @@ const std::vector<std::string>& preset_names() {
       "fig05",      "fig06",  "fig07",
       "fig08",      "fig09",  "fig13a",
       "fig13b",     "abl_cthres", "buffer_ablation",
-      "fault_degradation",    "perf"};
+      "fault_degradation",    "fault_storm",    "perf"};
   return names;
 }
 
@@ -359,6 +403,7 @@ std::vector<SweepPoint> preset_points(const std::string& name,
   if (name == "abl_cthres") return abl_cthres_points(base);
   if (name == "buffer_ablation") return buffer_ablation_points(base);
   if (name == "fault_degradation") return fault_degradation_points(base);
+  if (name == "fault_storm") return fault_storm_points(base);
   if (name == "perf") return perf_points(base);
   return {};
 }

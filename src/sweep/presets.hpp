@@ -59,6 +59,13 @@ std::vector<SweepPoint> fig13b_points(const SimConfig& base);
 /// columns (packets_rerouted / unreachable_drops).
 std::vector<SweepPoint> fault_degradation_points(const SimConfig& base);
 
+/// Fault-storm scenario (DESIGN.md §4.12): point k kills the first k links
+/// of a shared timeline *mid-run* (one every 250 cycles) under adaptive
+/// routing with the non-minimal escape tier enabled. Reads the delivered
+/// fraction as a degradation curve; the kill set never partitions, so
+/// unreachable_drops must end at 0 on every point.
+std::vector<SweepPoint> fault_storm_points(const SimConfig& base);
+
 /// Buffer-policy ablation grid (DESIGN.md §4.11): the three input-buffer
 /// organizations (private_vc / damq / voq) compared on two axes — a
 /// Fig. 6-style error-rate sweep at injection 0.25 under hybrid HBH, and

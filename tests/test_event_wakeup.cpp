@@ -186,6 +186,30 @@ TEST(EventWakeup, DrainThenKillCompletion) {
       << "scenario escalated no links";
 }
 
+// Class 5: storm kills (PR 8). Links die mid-run on a config timeline —
+// the event kernel must fire each kill at the same cycle as the scan
+// kernel, schedule both endpoints' drains, and keep stepping them until
+// the drains complete; the route-epoch re-home of parked kVaWait heads
+// must also land on the same cycle in both kernels. adaptive_faults is on
+// so kills whose drains swallow a head's whole minimal set exercise the
+// non-minimal escape tier in lock-step too.
+TEST(EventWakeup, StormKillsMidRunLockstep) {
+  SimConfig cfg = sparse_base();
+  cfg.routing = RoutingAlgorithm::kMinimalAdaptive;
+  cfg.adaptive_faults = true;
+  cfg.deadlock.enable_recovery = true;
+  cfg.deadlock.probe_threshold = 32;
+  cfg.deadlock.probe_backoff = 17;
+  cfg.injection_rate = 0.15;
+  cfg.total_messages = 200;
+  cfg.storm_kills.push_back({200, 5, Direction::kEast});
+  cfg.storm_kills.push_back({500, 9, Direction::kEast});
+  cfg.storm_kills.push_back({800, 6, Direction::kNorth});
+  KernelPair nets(cfg);
+  EXPECT_EQ(nets.run(4000).links_storm_killed(), 3u)
+      << "storm timeline never fully fired";
+}
+
 // Statically faulted topology: dead links and a dead router reshape the
 // wake graph (some wires never exist); the event kernel must still cover
 // every live router's delayed actions.

@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "noc/network.hpp"
 #include "noc/routing.hpp"
 #include "noc/simulator.hpp"
 #include "noc/topology.hpp"
@@ -104,6 +106,132 @@ TEST(FaultModelProperty, RouteStrictlyDescendsOnRandomFaultedMeshes) {
   }
 }
 
+TEST(FaultModelProperty, EscapePortsMatchBfsOracleOnRandomFaultedMeshes) {
+  // The non-minimal escape tier (DESIGN.md §4.12) against the same
+  // independent oracle: on meshes faulted heavily enough to disconnect
+  // some pairs, fault_escape_ports() must be non-empty exactly for the
+  // reachable pairs, and must offer exactly the live neighbours of
+  // minimum remaining distance — the detour that keeps progress bounded.
+  Rng rng(20260808);
+  for (int trial = 0; trial < 10; ++trial) {
+    Topology topo(8, 8, false);
+    // No partition veto here, deliberately: unreachable pairs are the
+    // interesting half of the contract (escape must come back empty so
+    // phase_rt can drop the packet as unreachable instead of looping).
+    const int want = 2 + static_cast<int>(rng.next_below(10));
+    for (int att = 0; att < 200 && topo.route_epoch() <
+                                       static_cast<std::uint32_t>(want);
+         ++att) {
+      const NodeId n = static_cast<NodeId>(rng.next_below(64));
+      const auto d = static_cast<Direction>(rng.next_below(4));
+      if (!topo.link_alive(n, d)) continue;
+      topo.fail_link(n, d);
+    }
+    for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
+      const std::vector<int> oracle = oracle_distances(topo, dest);
+      for (NodeId cur = 0; cur < topo.num_nodes(); ++cur) {
+        if (cur == dest) continue;
+        // The exact set of live ports whose neighbour reaches dest at the
+        // minimum distance over all such neighbours.
+        int best = -1;
+        for (int d = 0; d < 4; ++d) {
+          const auto dir = static_cast<Direction>(d);
+          if (!topo.link_alive(cur, dir)) continue;
+          const int nd = oracle[*topo.neighbor(cur, dir)];
+          if (nd < 0) continue;
+          if (best < 0 || nd < best) best = nd;
+        }
+        PortMask expect = 0;
+        for (int d = 0; d < 4; ++d) {
+          const auto dir = static_cast<Direction>(d);
+          if (!topo.link_alive(cur, dir)) continue;
+          if (oracle[*topo.neighbor(cur, dir)] == best && best >= 0) {
+            expect |= static_cast<PortMask>(1u << d);
+          }
+        }
+        const PortMask esc = fault_escape_ports(topo, cur, dest);
+        EXPECT_EQ(esc, expect) << "escape mask at " << cur << " -> " << dest;
+        EXPECT_EQ(esc != 0, oracle[cur] >= 0)
+            << "escape mask must be non-empty iff " << cur << " can still "
+            << "reach " << dest;
+        if (esc == 0) continue;
+        // Termination: one escape hop, then the strictly-descending
+        // adaptive walk, reaches dest in exactly best more hops — the
+        // misroute detour cannot loop.
+        NodeId at = *topo.neighbor(
+            cur, static_cast<Direction>(std::countr_zero(esc)));
+        for (int left = best; left > 0; --left) {
+          const PortMask ad =
+              route(topo, RoutingAlgorithm::kMinimalAdaptive, at, dest);
+          ASSERT_NE(ad, 0) << "descending walk stuck at " << at;
+          at = *topo.neighbor(
+              at, static_cast<Direction>(std::countr_zero(ad)));
+        }
+        EXPECT_EQ(at, dest);
+      }
+    }
+  }
+}
+
+TEST(Topology, RouteEpochBumpsAndLazyRowsStayExact) {
+  // The per-destination distance rows are rebuilt lazily (PR 8): a
+  // fail_link() only bumps the route epoch, and each row re-runs its BFS
+  // on first use afterwards. Rows primed before a kill must not serve
+  // stale distances after it.
+  Topology topo(4, 4, false);
+  const std::uint32_t e0 = topo.route_epoch();
+  // Prime every row at full health, so staleness would actually show.
+  for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
+    EXPECT_EQ(static_cast<int>(topo.fault_distance(0, dest)),
+              oracle_distances(topo, dest)[0]);
+  }
+  topo.fail_link(5, Direction::kEast);
+  EXPECT_EQ(topo.route_epoch(), e0 + 1);
+  topo.fail_link(9, Direction::kNorth);
+  EXPECT_EQ(topo.route_epoch(), e0 + 2);
+  for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
+    const std::vector<int> oracle = oracle_distances(topo, dest);
+    for (NodeId cur = 0; cur < topo.num_nodes(); ++cur) {
+      EXPECT_EQ(static_cast<int>(topo.fault_distance(cur, dest)),
+                oracle[cur])
+          << cur << " -> " << dest << " after mid-run kills";
+    }
+  }
+}
+
+TEST(FaultEscalation, JointlyPartitioningRequestsTrimToSafePrefix) {
+  // Regression for the batched-veto bug (PR 8): two same-cycle escalation
+  // requests that are each safe alone but jointly isolate a node must be
+  // trimmed to a safe prefix, not both granted. On a 2x2 mesh, node 0's
+  // East and South links each leave the mesh connected — killing both
+  // cuts node 0 off entirely.
+  SimConfig cfg;
+  cfg.mesh_width = 2;
+  cfg.mesh_height = 2;
+  cfg.injection_rate = 0.0;
+  cfg.warmup_messages = 0;
+  cfg.total_messages = 1;
+  cfg.faults.link_escalation_threshold = 1;  // Arm the escalation poll.
+  for (const bool force_scan : {true, false}) {
+    cfg.force_scan_kernel = force_scan;
+    Network net(cfg);
+    net.stats().begin_measurement(0);
+    net.router_base(0).request_escalation(
+        static_cast<PortId>(Direction::kEast));
+    net.router_base(0).request_escalation(
+        static_cast<PortId>(Direction::kSouth));
+    for (int c = 0; c < 4; ++c) net.step();
+    EXPECT_EQ(net.stats().links_escalated(), 1u)
+        << "exactly one of the two jointly-partitioning kills may land "
+        << "(force_scan=" << force_scan << ")";
+    const bool east_dead = !net.topology().link_alive(0, Direction::kEast);
+    const bool south_dead = !net.topology().link_alive(0, Direction::kSouth);
+    EXPECT_NE(east_dead, south_dead);
+    EXPECT_NE(net.topology().fault_distance(0, 3), Topology::kUnreachable)
+        << "the veto let the batch partition the mesh";
+  }
+}
+
 TEST(FaultModelProperty, ValidateRejectsPartitioningFaultSets) {
   // Cutting the East link in every row of column x=1 splits a 4x4 mesh
   // into columns {0,1} and {2,3}.
@@ -170,6 +298,61 @@ TEST(FaultDegradationPreset, TinySweepDeliversEverythingAndGatesColumns) {
     const bool faulted = pr.config.has_permanent_faults();
     EXPECT_EQ(line.find("\"dead_links\"") != std::string::npos, faulted);
     EXPECT_EQ(line.find("\"packets_rerouted\"") != std::string::npos, faulted)
+        << line;
+  }
+}
+
+TEST(FaultStormPreset, GridIsValidAtPaperAndSmokeScales) {
+  for (const int mesh : {4, 8}) {
+    SimConfig base;
+    base.mesh_width = mesh;
+    base.mesh_height = mesh;
+    const auto pts = sweep::fault_storm_points(base);
+    ASSERT_EQ(pts.size(), 5u) << mesh;
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      EXPECT_EQ(pts[k].config.storm_kills.size(), k);
+      EXPECT_EQ(pts[k].config.validate(), std::nullopt)
+          << "k=" << k << " mesh=" << mesh;
+      EXPECT_EQ(pts[k].config.has_permanent_faults(), k > 0);
+      EXPECT_TRUE(pts[k].config.adaptive_faults);
+    }
+  }
+}
+
+TEST(FaultStormPreset, TinySweepNeverDropsReachableAndGatesColumns) {
+  // Run the whole storm grid at smoke scale. The kill schedule never
+  // partitions (and the runtime veto backstops it), so every destination
+  // stays reachable: the degradation curve must be pure latency/detour —
+  // unreachable_drops == 0 on every point — with every scheduled kill
+  // actually landing. The storm JSONL columns appear exactly on the
+  // points that schedule kills. The message budget is sized so every run
+  // outlives the last kill at cycle 1000 (600 messages drain in ~500
+  // cycles and would leave the tail of the timeline unfired).
+  SimConfig base;
+  base.mesh_width = 4;
+  base.mesh_height = 4;
+  base.num_vcs = 2;
+  base.warmup_messages = 400;
+  base.total_messages = 4'000;
+  base.max_cycles = 200'000;
+  const auto pts = sweep::fault_storm_points(base);
+  ASSERT_EQ(pts.size(), 5u);
+  sweep::SweepOptions opts;
+  opts.num_threads = 1;
+  const auto results = sweep::SweepEngine(opts).run(pts);
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const auto& pr = results[k];
+    EXPECT_TRUE(pr.results.completed) << pr.label;
+    EXPECT_EQ(pr.results.unreachable_drops, 0u) << pr.label;
+    EXPECT_EQ(pr.results.links_storm_killed, k)
+        << pr.label << ": a scheduled kill was vetoed or never fired";
+    const std::string line = sweep::to_jsonl(pr);
+    EXPECT_EQ(line.find("\"storm_kills\"") != std::string::npos, k > 0)
+        << line;
+    EXPECT_EQ(line.find("\"links_storm_killed\"") != std::string::npos,
+              k > 0)
+        << line;
+    EXPECT_NE(line.find("\"adaptive_faults\":true"), std::string::npos)
         << line;
   }
 }

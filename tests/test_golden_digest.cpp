@@ -109,6 +109,18 @@ TEST(GoldenDigest, FaultDegradationPresetByteIdentical) {
       << " — the simulation is no longer byte-identical to the pinned run";
 }
 
+// The fault_storm preset is the only pinned family whose faults land
+// *mid-run* (storm kills, drains, route-epoch re-homes and the
+// non-minimal escape tier all fire inside the measurement window); the
+// static fault_degradation pin above cannot see a byte-level regression
+// in any of that machinery.
+TEST(GoldenDigest, FaultStormPresetByteIdentical) {
+  const std::uint64_t h = preset_digest("fault_storm");
+  EXPECT_EQ(h, 0xefb6ac3800a9efafull)
+      << "fault_storm JSONL digest moved: 0x" << std::hex << h
+      << " — the simulation is no longer byte-identical to the pinned run";
+}
+
 // Kernel/thread invariance: the event-queue kernel (DESIGN.md §4.10) and
 // the reference full-scan kernel must produce the same bytes, and the
 // sweep digest must not depend on how many worker threads ran the points.

@@ -25,6 +25,16 @@ MIXED_JSONL = """\
 # Two runs of the same figure under different buffer policies concatenated
 # into one file: the private_vc lines omit the policy column (it is gated
 # like the fault counters), the damq lines carry it.
+# A fault_storm degradation curve: the converter derives the
+# delivered_fraction column (messages_ejected / packets_created) so the
+# CSV is directly plottable; rows without packets_created get 0, not a
+# divide-by-zero.
+STORM_JSONL = """\
+{"label":"FaultStorm/adaptive/k=0","packets_created":1000,"messages_ejected":1000}
+{"label":"FaultStorm/adaptive/k=2","packets_created":1000,"messages_ejected":950,"storm_kills":"250:1:E,500:5:E","links_storm_killed":2,"unreachable_drops":0}
+{"label":"FaultStorm/adaptive/k=4","packets_created":0,"messages_ejected":0}
+"""
+
 POLICY_JSONL = """\
 {"label":"Fig6/BC/err=0.001","avg_latency_cycles":21.5}
 {"label":"Fig6/BC/err=0.01","avg_latency_cycles":24.0}
@@ -65,6 +75,25 @@ def check_fault_columns(td):
     assert "buffer_policy" not in rows[0], sorted(rows[0])
 
 
+def check_delivered_fraction(td):
+    path = os.path.join(convert(td, "storm", STORM_JSONL), "faultstorm.csv")
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+
+    assert len(rows) == 3, f"expected 3 rows, got {len(rows)}"
+    by_x = {r["x"]: r for r in rows}
+    assert float(by_x["0"]["delivered_fraction"]) == 1.0
+    assert float(by_x["2"]["delivered_fraction"]) == 0.95
+    # packets_created == 0 (never-started point): no division, restval 0.
+    assert by_x["4"]["delivered_fraction"] == "0"
+    # The storm counter backfills 0 on storm-free rows.
+    assert by_x["0"]["links_storm_killed"] == "0"
+    assert by_x["2"]["links_storm_killed"] == "2"
+    # The storm_kills config string is non-numeric and must not leak into
+    # the CSV schema.
+    assert "storm_kills" not in rows[0], sorted(rows[0])
+
+
 def check_policy_overlay(td):
     path = os.path.join(convert(td, "policy", POLICY_JSONL), "fig6.csv")
     with open(path, newline="") as f:
@@ -87,6 +116,7 @@ def check_policy_overlay(td):
 def main():
     with tempfile.TemporaryDirectory() as td:
         check_fault_columns(td)
+        check_delivered_fraction(td)
         check_policy_overlay(td)
     print("plot_bench mixed-schema: OK")
 

@@ -19,10 +19,13 @@
 // the end-to-end proof that the oracle has teeth. The default plant is
 // "drop_window"; `--selftest --plant route_into_dead_link` instead
 // proves the permanent-fault paths are under the oracle (the optimized
-// router routes fault-blind on a topology with a dead link), and
+// router routes fault-blind on a topology with a dead link),
 // `--selftest --plant damq_credit_leak` proves the DAMQ shared-pool
 // credit accounting is (the optimized router leaks a shared_held_
-// decrement on credit return).
+// decrement on credit return), and `--selftest --plant strand_waiter`
+// proves the link-drain waiter re-home path is (the optimized router
+// reverts the PR 8 fix and strands registered deadlock waiters on a
+// draining port, wedging the drain).
 
 #include <chrono>
 #include <cstdio>
@@ -121,6 +124,15 @@ RunResult run_pair(const std::vector<std::string>& overrides, Cycle cycles,
   return res;
 }
 
+// Fault-topology override keys that define the faulted mesh a finding ran
+// on; the selftest asserts minimization preserves at least one of them.
+bool is_fault_override(const std::string& o) {
+  return o.rfind("dead_link=", 0) == 0 || o.rfind("dead_router=", 0) == 0 ||
+         o.rfind("link_escalation_threshold=", 0) == 0 ||
+         o.rfind("storm_kill=", 0) == 0 ||
+         o.rfind("adaptive_faults=", 0) == 0;
+}
+
 // Randomized configuration generation. Every knob is emitted as an
 // explicit override so the repro file is self-contained; generation
 // retries until validate() accepts the combination.
@@ -208,6 +220,33 @@ std::vector<std::string> random_config(Rng& rng) {
       add("link_escalation_threshold",
           std::to_string(1 + rng.next_below(3)));
     }
+    // Fault-storm timelines: links die mid-run, walking the online
+    // reconfiguration (route-epoch re-home) and drain paths under the
+    // oracle. Cycles ascend (validate() requires it); partition-prone
+    // draws are fine — the veto trims them at runtime identically in
+    // both implementations.
+    bool any_faults = false;
+    if (rng.bernoulli(0.2)) {
+      static const char* kDirs[] = {"N", "E", "S", "W"};
+      const int k = 1 + static_cast<int>(rng.next_below(2));
+      Cycle at = 100 + rng.next_below(300);
+      for (int j = 0; j < k; ++j) {
+        add("storm_kill",
+            std::to_string(at) + ":" +
+                std::to_string(
+                    rng.next_below(static_cast<std::uint64_t>(nodes))) +
+                ":" + kDirs[rng.next_below(4)]);
+        at += 100 + rng.next_below(300);
+      }
+      any_faults = true;
+    }
+    for (const auto& o : ov) any_faults = any_faults || is_fault_override(o);
+    // The non-minimal escape tier only acts on faulted fabrics; sample it
+    // half the time there (and occasionally elsewhere, where it must be
+    // behaviour-neutral).
+    if (rng.bernoulli(any_faults ? 0.5 : 0.05)) {
+      add("adaptive_faults", "1");
+    }
 
     SimConfig probe;
     if (ftnoc::apply_overrides(probe, ov)) continue;
@@ -256,13 +295,6 @@ std::vector<std::string> minimize(std::vector<std::string> ov,
     }
   }
   return ov;
-}
-
-// Fault-topology override keys that define the faulted mesh a finding ran
-// on; the selftest asserts minimization preserves at least one of them.
-bool is_fault_override(const std::string& o) {
-  return o.rfind("dead_link=", 0) == 0 || o.rfind("dead_router=", 0) == 0 ||
-         o.rfind("link_escalation_threshold=", 0) == 0;
 }
 
 void write_repro(const std::string& path, const std::vector<std::string>& ov,
@@ -329,6 +361,30 @@ int fuzz_main(const Options& opt) {
             "protection=hbh",
             "routing=adaptive",
             "dead_link=5:E"};
+    } else if (opt.selftest && opt.plant == "strand_waiter") {
+      // This plant's habitat: heavy adaptive traffic with aggressive
+      // deadlock probing (so output VCs carry registered waiters) and a
+      // storm timeline that drains central links mid-run. A waiter whose
+      // flits have not been absorbed must be re-homed off the draining
+      // port; the plant reverts that, so the optimized router's
+      // has_waiter/out_work state wedges while the reference re-homes.
+      ov = {"seed=" + std::to_string(1000 + i),
+            "mesh_width=4",
+            "mesh_height=4",
+            "num_vcs=2",
+            "vc_buffer_depth=4",
+            "pipeline_stages=3",
+            "packet_length=4",
+            "injection_rate=0.4",
+            "protection=hbh",
+            "routing=adaptive",
+            "deadlock_recovery=1",
+            "probe_threshold=8",
+            "probe_backoff=8",
+            "exit_block_window=256",
+            "storm_kill=200:5:E",
+            "storm_kill=400:6:E",
+            "storm_kill=600:9:E"};
     } else if (opt.selftest && opt.plant == "damq_credit_leak") {
       // This plant's habitat: damq shared buffering under enough load
       // that credit returns actually take the shared path (the leak
@@ -386,10 +442,12 @@ int fuzz_main(const Options& opt) {
       std::printf("WARNING: minimized repro did not replay the finding\n");
       return 2;
     }
-    if (opt.selftest && opt.plant == "route_into_dead_link") {
-      // This plant only manifests on a faulted mesh, so a faithful
-      // minimizer must keep the fault-topology override. Losing it was
-      // exactly the old any-failure acceptance bug.
+    if (opt.selftest && (opt.plant == "route_into_dead_link" ||
+                         opt.plant == "strand_waiter")) {
+      // These plants only manifest on a faulted (or mid-run faulting)
+      // mesh, so a faithful minimizer must keep the fault-topology
+      // override. Losing it was exactly the old any-failure acceptance
+      // bug.
       bool kept = false;
       for (const auto& o : min_ov) kept = kept || is_fault_override(o);
       if (!kept) {

@@ -89,6 +89,13 @@ def ingest_jsonl(line, figures):
             row[key] = int(val)
         elif isinstance(val, (int, float)):
             row[key] = val
+    # Derived column for degradation curves (fault_degradation,
+    # fault_storm): the fraction of created packets actually delivered.
+    # Whole-run counters, so the ratio is meaningful even on cycle-capped
+    # or incomplete points.
+    created = row.get("packets_created", 0)
+    if created:
+        row["delivered_fraction"] = row.get("messages_ejected", 0) / created
     figures[figure].append(row)
 
 
