@@ -1,0 +1,88 @@
+#include "campaign/merge.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace ftnoc::campaign {
+
+std::optional<std::string> merge_journals(
+    const std::vector<sweep::SweepPoint>& points, const CampaignOptions& opts,
+    const std::vector<std::string>& shard_paths,
+    const CampaignEngine::LineCallback& on_journal_line,
+    const CampaignEngine::AggregateCallback& on_point, MergeStats* stats) {
+  if (opts.stop.adaptive()) {
+    return "sharded campaigns run in quota mode; an adaptive stop rule "
+           "(--ci-abs/--ci-rel) cannot be merged";
+  }
+  if (shard_paths.empty()) {
+    return "no shard journals given";
+  }
+
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(points.size());
+  for (const auto& pt : points) {
+    hashes.push_back(config_hash(pt.config));
+  }
+
+  // Load every shard journal and fold it into one combined journal,
+  // flagging the first (point, replica) two shards both claim.
+  Journal combined;
+  for (const auto& path : shard_paths) {
+    const Journal shard =
+        Journal::load(path, opts.campaign_seed, hashes);
+    if (!shard.file_existed()) {
+      return "shard journal " + path + ": no such file";
+    }
+    if (!shard.mismatch().empty()) {
+      return "shard journal " + path + ": " + shard.mismatch();
+    }
+    for (const auto& [key, results] : shard.entries()) {
+      if (!combined.insert(key.first, key.second, results)) {
+        return "shard journal " + path +
+               " overlaps an earlier shard: point " +
+               std::to_string(key.first) + " replica " +
+               std::to_string(key.second) +
+               " is journaled twice (same --shard index merged twice?)";
+      }
+    }
+  }
+
+  // Coverage: the shards must reassemble the full quota-mode replica
+  // space — every (point, replica) in [0, points) x [0, max_replicas)
+  // exactly once. A gap means a shard journal is missing, was run with a
+  // different --shard=i/N split, or crashed before finishing (its torn
+  // tail truncates to a valid prefix, leaving its later pairs unwritten).
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (int r = 0; r < opts.stop.max_replicas; ++r) {
+      if (combined.find(p, r) == nullptr) {
+        return "shard journals are incomplete: point " + std::to_string(p) +
+               " replica " + std::to_string(r) +
+               " is in no journal (missing shard, or a different "
+               "--shard split?)";
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->shard_journals = shard_paths.size();
+    stats->replicas = combined.entries().size();
+  }
+
+  // Replay the combined journal through the unsharded schedule. Every
+  // replica is journaled, so nothing simulates and the emitted line
+  // sequence is byte-identical to the unsharded run's.
+  CampaignOptions replay = opts;
+  replay.num_threads = 1;  // Pure replay; a pool would only add overhead.
+  replay.shard = ShardSpec{};
+  CampaignEngine engine(replay);
+  int fresh_replicas = 0;
+  engine.run(points, &combined, on_journal_line, on_point,
+             [&](const PointAggregate&, int fresh) {
+               fresh_replicas += fresh;
+             });
+  FTNOC_CHECK(fresh_replicas == 0);  // Coverage was verified above.
+  return std::nullopt;
+}
+
+}  // namespace ftnoc::campaign

@@ -1,0 +1,58 @@
+#pragma once
+// Deterministic merge of sharded campaign journals (DESIGN.md §4.13).
+//
+// A campaign sharded with --shard=i/N writes one journal per shard
+// holding exactly the replica records that shard owns. merge_journals()
+// validates the shard set against the campaign definition — config_hash
+// agreement per point, no (point, replica) owned twice, no pair missing —
+// and then replays the combined journal through the CampaignEngine with
+// the whole-campaign shard {0, 1}. Because the engine re-derives the
+// unsharded wave schedule and finds every replica already journaled, the
+// replay simulates nothing and re-emits the exact line sequence (replica
+// records in wave order, aggregate records at retirement, PointAggregate
+// folds in wave order) an unsharded run would have written: the merged
+// journal and aggregate JSONL are byte-identical to the unsharded run's.
+//
+// Sharded campaigns must run in quota mode (a non-adaptive StopRule): the
+// wave-based CI stop decision reads a point's full replica set, which no
+// single shard has, so under sharding every point runs exactly
+// max_replicas replicas and the schedule is static. merge_journals()
+// refuses adaptive rules for the same reason.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace ftnoc::campaign {
+
+/// Merge statistics for caller diagnostics.
+struct MergeStats {
+  std::size_t shard_journals = 0;  ///< Journals read.
+  std::size_t replicas = 0;        ///< Replica records merged.
+};
+
+/// Validates `shard_paths` (each a journal written by a --shard=i/N run
+/// of the campaign defined by `points` + `opts`) and streams the merged
+/// unsharded journal lines / point aggregates through the callbacks.
+/// Returns an error description — and emits nothing — if the shard set
+/// does not reassemble the campaign:
+///   - `opts.stop` is adaptive (sharded campaigns run in quota mode);
+///   - a journal is missing, unreadable, or fails Journal::load
+///     validation (foreign campaign seed, mismatched config_hash);
+///   - two journals both hold some (point, replica) — overlapping shards
+///     (e.g. the same shard index merged twice);
+///   - some (point, replica) is in no journal — a missing shard or a
+///     shard that crashed before finishing (torn tails are truncated to
+///     the valid prefix on load, so a crashed shard surfaces as a gap).
+/// On success returns std::nullopt after all callbacks have fired.
+std::optional<std::string> merge_journals(
+    const std::vector<sweep::SweepPoint>& points, const CampaignOptions& opts,
+    const std::vector<std::string>& shard_paths,
+    const CampaignEngine::LineCallback& on_journal_line,
+    const CampaignEngine::AggregateCallback& on_point,
+    MergeStats* stats = nullptr);
+
+}  // namespace ftnoc::campaign

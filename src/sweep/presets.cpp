@@ -198,18 +198,23 @@ std::vector<SweepPoint> fig13b_points(const SimConfig& base) {
   return mechanism_points(base, "Fig13b");
 }
 
-std::vector<SweepPoint> fault_degradation_points(const SimConfig& base) {
-  // Graceful-degradation curve: k = 0..4 statically dead links under
-  // adaptive routing with deadlock recovery. The k-th fault cuts the East
-  // link at (x, y) = (1 + k % (W-2), row k), staggering the cut column
-  // row by row so every adjacent column pair keeps an intact row edge —
-  // the set never partitions any mesh with W >= 4 (validate() re-checks).
+namespace {
+
+/// Shared grid behind fault_degradation and fault_degradation_16:
+/// graceful-degradation curve, k = 0..kcap statically dead links under
+/// adaptive routing with deadlock recovery. The k-th fault cuts the East
+/// link at (x, y) = (1 + k % (W-2), row k), staggering the cut column
+/// row by row so every adjacent column pair keeps an intact row edge —
+/// the set never partitions any mesh with W >= 4 (validate() re-checks).
+std::vector<SweepPoint> fault_degradation_grid(const SimConfig& base,
+                                               const char* figure,
+                                               int kcap) {
   std::vector<SweepPoint> points;
   const int w = base.mesh_width;
-  const int max_k = w >= 4 ? std::min(4, base.mesh_height) : 0;
+  const int max_k = w >= 4 ? std::min(kcap, base.mesh_height) : 0;
   for (int k = 0; k <= max_k; ++k) {
     SweepPoint pt;
-    pt.label = "FaultDeg/k=" + std::to_string(k);
+    pt.label = std::string(figure) + "/k=" + std::to_string(k);
     pt.config = base;
     pt.config.routing = RoutingAlgorithm::kMinimalAdaptive;
     pt.config.injection_rate = 0.2;
@@ -229,6 +234,21 @@ std::vector<SweepPoint> fault_degradation_points(const SimConfig& base) {
     points.push_back(std::move(pt));
   }
   return points;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> fault_degradation_points(const SimConfig& base) {
+  return fault_degradation_grid(base, "FaultDeg", 4);
+}
+
+std::vector<SweepPoint> fault_degradation_16_points(const SimConfig& base) {
+  // The 256-router fabric absorbs more cuts before the delivered fraction
+  // moves, so the curve sweeps twice as many kills as the 8x8 grid.
+  SimConfig big = base;
+  big.mesh_width = 16;
+  big.mesh_height = 16;
+  return fault_degradation_grid(big, "FaultDeg16", 8);
 }
 
 std::vector<SweepPoint> fault_storm_points(const SimConfig& base) {
@@ -324,15 +344,16 @@ std::vector<SweepPoint> buffer_ablation_points(const SimConfig& base) {
   return points;
 }
 
-std::vector<SweepPoint> perf_points(const SimConfig& base) {
-  // One point per distinct hot path. The scale is pinned here (not taken
-  // from the base config) so cycles/sec measurements compare like for
-  // like across builds; the mesh/topology knobs still follow `base`.
-  struct Variant {
-    const char* name;
-    void (*tweak)(SimConfig&);
-  };
-  static constexpr Variant kVariants[] = {
+namespace {
+
+/// The hot-path variants shared by perf and perf_large: one point per
+/// distinct router fast path.
+struct PerfVariant {
+  const char* name;
+  void (*tweak)(SimConfig&);
+};
+
+constexpr PerfVariant kPerfVariants[] = {
       {"HBH", [](SimConfig& c) {
          c.protection = LinkProtection::kHbh;
          c.faults.link_error_rate = 1e-3;
@@ -351,25 +372,114 @@ std::vector<SweepPoint> perf_points(const SimConfig& base) {
          c.deadlock.enable_recovery = true;
          c.deadlock.probe_threshold = 64;
        }},
-      {"4-stage", [](SimConfig& c) {
-         c.protection = LinkProtection::kHbh;
-         c.pipeline_stages = 4;
-         c.retransmission_depth = 4;
-         c.faults.link_error_rate = 1e-3;
-       }},
-  };
+    {"4-stage", [](SimConfig& c) {
+       c.protection = LinkProtection::kHbh;
+       c.pipeline_stages = 4;
+       c.retransmission_depth = 4;
+       c.faults.link_error_rate = 1e-3;
+     }},
+};
+
+std::vector<SweepPoint> perf_grid(const SimConfig& base, const char* figure,
+                                  std::uint64_t total_messages,
+                                  std::uint64_t warmup_messages) {
   std::vector<SweepPoint> points;
-  for (const auto& v : kVariants) {
+  for (const auto& v : kPerfVariants) {
     SweepPoint pt;
-    pt.label = std::string("Perf/") + v.name;
+    pt.label = std::string(figure) + "/" + v.name;
     pt.config = base;
     pt.config.injection_rate = 0.25;
-    pt.config.total_messages = 2'000;
-    pt.config.warmup_messages = 500;
+    pt.config.total_messages = total_messages;
+    pt.config.warmup_messages = warmup_messages;
     pt.config.max_cycles = 300'000;
     v.tweak(pt.config);
     points.push_back(std::move(pt));
   }
+  return points;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> perf_points(const SimConfig& base) {
+  // The scale is pinned here (not taken from the base config) so
+  // cycles/sec measurements compare like for like across builds; the
+  // mesh/topology knobs still follow `base`.
+  return perf_grid(base, "Perf", 2'000, 500);
+}
+
+std::vector<SweepPoint> perf_large_points(const SimConfig& base) {
+  // The same hot paths on a pinned 16x16 mesh: 16x the routers stepped
+  // per cycle and twice the diameter, so radix- and scale-dependent
+  // regressions move this number even when the 4x4 `perf` grid is flat.
+  // The message budget is smaller per node but larger in aggregate —
+  // sized so the whole grid stays a CI-smoke-friendly few seconds.
+  SimConfig big = base;
+  big.mesh_width = 16;
+  big.mesh_height = 16;
+  return perf_grid(big, "PerfL", 4'000, 1'000);
+}
+
+std::vector<SweepPoint> large_mesh_points(const SimConfig& base) {
+  // Production-fabric grid (ROADMAP: scale-out). Mesh dimensions and
+  // scale knobs are pinned by the preset — like `perf` — so the output
+  // byte stream has a stable golden digest regardless of the caller's
+  // base scale. The points cover the hot paths whose cost or behaviour
+  // is topology-dependent: XY vs adaptive routing (diameter 30 on the
+  // mesh), torus wrap-around channels under tornado traffic, hybrid HBH
+  // retransmission at scale, and static dead links forcing detours
+  // across a large fabric. One 32x32 torus point (1024 routers) rides
+  // along with a reduced budget as the biggest-fabric smoke.
+  std::vector<SweepPoint> points;
+  const auto add = [&](const char* name, bool torus, int width,
+                       std::uint64_t messages, auto tweak) {
+    SweepPoint pt;
+    pt.label = std::string("LargeMesh/") + name;
+    pt.config = base;
+    pt.config.mesh_width = width;
+    pt.config.mesh_height = width;
+    pt.config.torus = torus;
+    pt.config.injection_rate = 0.25;
+    pt.config.total_messages = messages;
+    pt.config.warmup_messages = messages / 4;
+    pt.config.max_cycles = 200'000;
+    tweak(pt.config);
+    points.push_back(std::move(pt));
+  };
+  add("mesh16/HBH", false, 16, 4'000, [](SimConfig& c) {
+    c.protection = LinkProtection::kHbh;
+    c.faults.link_error_rate = 1e-4;
+  });
+  add("mesh16/AD-recovery", false, 16, 4'000, [](SimConfig& c) {
+    c.routing = RoutingAlgorithm::kMinimalAdaptive;
+    c.num_vcs = 2;
+    c.deadlock.enable_recovery = true;
+    c.deadlock.probe_threshold = 64;
+  });
+  add("mesh16/deadlinks", false, 16, 4'000, [](SimConfig& c) {
+    c.routing = RoutingAlgorithm::kMinimalAdaptive;
+    c.deadlock.enable_recovery = true;
+    // The fault_degradation stagger at k=4, scaled to the 16-wide mesh.
+    for (int j = 0; j < 4; ++j) {
+      const int x = 1 + j % 14;
+      c.dead_links.emplace_back(static_cast<NodeId>(j * 16 + x),
+                                Direction::kEast);
+    }
+  });
+  add("torus16/TN", true, 16, 4'000, [](SimConfig& c) {
+    c.pattern = TrafficPattern::kTornado;
+    c.protection = LinkProtection::kHbh;
+    c.faults.link_error_rate = 1e-4;
+    // Tornado loads every ring channel with k/2 upstream injectors, so a
+    // 16-ary torus sees 8x the injection rate per link: 0.05 keeps the
+    // wrap channels at 40% load (the regime the 8x8 tornado study runs
+    // in), and the cycle cap bounds the point if that ever drifts.
+    c.injection_rate = 0.05;
+    c.max_cycles = 60'000;
+  });
+  add("torus32/HBH", true, 32, 2'000, [](SimConfig& c) {
+    c.protection = LinkProtection::kHbh;
+    c.faults.link_error_rate = 1e-4;
+  });
   return points;
 }
 
@@ -378,7 +488,8 @@ const std::vector<std::string>& preset_names() {
       "fig05",      "fig06",  "fig07",
       "fig08",      "fig09",  "fig13a",
       "fig13b",     "abl_cthres", "buffer_ablation",
-      "fault_degradation",    "fault_storm",    "perf"};
+      "fault_degradation",    "fault_degradation_16",
+      "fault_storm",    "large_mesh",    "perf",    "perf_large"};
   return names;
 }
 
@@ -403,8 +514,11 @@ std::vector<SweepPoint> preset_points(const std::string& name,
   if (name == "abl_cthres") return abl_cthres_points(base);
   if (name == "buffer_ablation") return buffer_ablation_points(base);
   if (name == "fault_degradation") return fault_degradation_points(base);
+  if (name == "fault_degradation_16") return fault_degradation_16_points(base);
   if (name == "fault_storm") return fault_storm_points(base);
+  if (name == "large_mesh") return large_mesh_points(base);
   if (name == "perf") return perf_points(base);
+  if (name == "perf_large") return perf_large_points(base);
   return {};
 }
 

@@ -81,6 +81,25 @@ std::vector<SweepPoint> buffer_ablation_points(const SimConfig& base);
 /// builds' cycles/sec numbers compare like for like.
 std::vector<SweepPoint> perf_points(const SimConfig& base);
 
+/// Production-fabric grid: the simulator's hot paths on a 16x16 mesh and
+/// torus (256 routers) plus one 32x32 torus point (1024 routers) with a
+/// reduced budget. Mesh dimensions and scale knobs are pinned by the
+/// preset itself — like `perf` — so the byte stream (and its golden
+/// digest) is independent of the caller's base scale.
+std::vector<SweepPoint> large_mesh_points(const SimConfig& base);
+
+/// The graceful-degradation grid rebuilt on a 16x16 mesh: k = 0..8 dead
+/// links (twice the 8x8 grid's reach — a 256-router fabric absorbs more
+/// cuts before the curve moves) with the same staggered, never-
+/// partitioning kill sites. Scale knobs follow `base`; the mesh is pinned.
+std::vector<SweepPoint> fault_degradation_16_points(const SimConfig& base);
+
+/// The perf grid's hot-path variants re-pinned to a 16x16 mesh with a
+/// budget sized for CI: tracks how router-cycle cost scales with fabric
+/// size (the 4x4 `perf` grid can't see radix- or diameter-dependent
+/// regressions). Gated by the perf ratchet as preset "perf_large".
+std::vector<SweepPoint> perf_large_points(const SimConfig& base);
+
 /// Every preset name preset_points() accepts, in display order (for
 /// "unknown preset" diagnostics and --help text).
 const std::vector<std::string>& preset_names();

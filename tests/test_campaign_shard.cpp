@@ -1,0 +1,431 @@
+// Tests for distributed campaign sharding (DESIGN.md §4.13): the
+// --shard=i/N partition of the (point, replica) space, the byte-identity
+// of merged shard journals with an unsharded run, crash-resume of a
+// single shard, the merge tool's rejection paths, and the seed-packing
+// gate that keeps legacy campaigns byte-identical while de-aliasing
+// 32x32-scale grids.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/journal.hpp"
+#include "campaign/merge.hpp"
+#include "common/rng.hpp"
+#include "sweep/sweep.hpp"
+
+namespace ftnoc {
+namespace {
+
+/// Small-but-real base point, mirroring tests/test_campaign.cpp.
+SimConfig tiny_config() {
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.num_vcs = 2;
+  cfg.warmup_messages = 200;
+  cfg.total_messages = 1'200;
+  cfg.max_cycles = 200'000;
+  return cfg;
+}
+
+/// A fig06-style grid at test scale: two traffic patterns x an error
+/// rate, so shards cut across genuinely different points.
+std::vector<sweep::SweepPoint> tiny_grid() {
+  std::vector<sweep::SweepPoint> points;
+  for (const TrafficPattern pat :
+       {TrafficPattern::kUniformRandom, TrafficPattern::kBitComplement}) {
+    sweep::SweepPoint pt;
+    pt.label = std::string("pat=") + to_string(pat);
+    pt.config = tiny_config();
+    pt.config.injection_rate = 0.1;
+    pt.config.protection = LinkProtection::kHbh;
+    pt.config.faults.link_error_rate = 1e-3;
+    pt.config.pattern = pat;
+    points.push_back(std::move(pt));
+  }
+  return points;
+}
+
+struct CampaignOutput {
+  std::vector<std::string> lines;  ///< Journal lines, in emission order.
+  std::vector<std::string> aggs;   ///< Serialized aggregate records.
+  int fresh = 0;                   ///< Replicas actually simulated.
+};
+
+CampaignOutput run_campaign(const std::vector<sweep::SweepPoint>& points,
+                            const campaign::CampaignOptions& opts,
+                            const campaign::Journal* resume = nullptr) {
+  CampaignOutput out;
+  campaign::CampaignEngine engine(opts);
+  engine.run(
+      points, resume,
+      [&](const std::string& line) { out.lines.push_back(line); },
+      [&](const campaign::PointAggregate& agg) {
+        out.aggs.push_back(campaign::aggregate_line(agg, opts.campaign_seed));
+      },
+      [&](const campaign::PointAggregate&, int fresh) { out.fresh += fresh; });
+  return out;
+}
+
+std::vector<std::uint64_t> point_hashes(
+    const std::vector<sweep::SweepPoint>& points) {
+  std::vector<std::uint64_t> hashes;
+  for (const auto& pt : points) {
+    hashes.push_back(campaign::config_hash(pt.config));
+  }
+  return hashes;
+}
+
+void write_lines(const std::string& path,
+                 const std::vector<std::string>& lines, std::size_t count,
+                 const char* torn_tail = nullptr) {
+  std::ofstream f(path, std::ios::trunc);
+  for (std::size_t i = 0; i < count; ++i) f << lines[i] << '\n';
+  if (torn_tail != nullptr) f << torn_tail;  // No newline: a mid-write crash.
+}
+
+/// Quota-mode options shared by the sharding tests.
+campaign::CampaignOptions quota_opts(int replicas) {
+  campaign::CampaignOptions opts;
+  opts.num_threads = 2;
+  opts.campaign_seed = 7;
+  opts.stop.max_replicas = replicas;
+  opts.stop.min_replicas = replicas;
+  return opts;
+}
+
+/// Runs every shard of an N-way split, writes each journal to disk, and
+/// returns the paths (TempDir files named by `tag`).
+std::vector<std::string> run_shards(
+    const std::vector<sweep::SweepPoint>& points,
+    const campaign::CampaignOptions& base, int count, const std::string& tag) {
+  std::vector<std::string> paths;
+  for (int i = 0; i < count; ++i) {
+    campaign::CampaignOptions opts = base;
+    opts.shard = {i, count};
+    const auto out = run_campaign(points, opts);
+    const std::string path = ::testing::TempDir() + tag + "_s" +
+                             std::to_string(i) + "of" +
+                             std::to_string(count) + ".jsonl";
+    write_lines(path, out.lines, out.lines.size());
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+struct MergeOutput {
+  std::vector<std::string> lines;
+  std::vector<std::string> aggs;
+  campaign::MergeStats stats;
+  std::optional<std::string> error;
+};
+
+MergeOutput merge(const std::vector<sweep::SweepPoint>& points,
+                  const campaign::CampaignOptions& opts,
+                  const std::vector<std::string>& paths) {
+  MergeOutput out;
+  out.error = campaign::merge_journals(
+      points, opts, paths,
+      [&](const std::string& line) { out.lines.push_back(line); },
+      [&](const campaign::PointAggregate& agg) {
+        out.aggs.push_back(campaign::aggregate_line(agg, opts.campaign_seed));
+      },
+      &out.stats);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: shard + merge reproduces the unsharded bytes for K in
+// {1, 2, 3, 5} (1 = the degenerate single-shard split; 3 does not divide
+// the 10-replica space evenly; 5 exceeds the per-point replica count, so
+// some shards own less than one replica of some points).
+// ---------------------------------------------------------------------------
+
+TEST(CampaignShard, MergedShardsAreByteIdenticalToUnsharded) {
+  const auto points = tiny_grid();
+  const auto opts = quota_opts(5);
+  const auto full = run_campaign(points, opts);
+  // 2 points x 5 replicas + 2 aggregate records.
+  ASSERT_EQ(full.lines.size(), 12u);
+  ASSERT_EQ(full.aggs.size(), 2u);
+
+  for (const int count : {1, 2, 3, 5}) {
+    const auto paths =
+        run_shards(points, opts, count, "shard_eq" + std::to_string(count));
+    const auto merged = merge(points, opts, paths);
+    ASSERT_FALSE(merged.error.has_value())
+        << count << " shards: " << *merged.error;
+    EXPECT_EQ(merged.lines, full.lines) << count << " shards";
+    EXPECT_EQ(merged.aggs, full.aggs) << count << " shards";
+    EXPECT_EQ(merged.stats.shard_journals, static_cast<std::size_t>(count));
+    EXPECT_EQ(merged.stats.replicas, 10u);
+    for (const auto& path : paths) std::remove(path.c_str());
+  }
+}
+
+TEST(CampaignShard, ShardsSimulateDisjointSlicesOfTheWork) {
+  const auto points = tiny_grid();
+  const auto opts = quota_opts(4);
+  int total_fresh = 0;
+  for (int i = 0; i < 3; ++i) {
+    campaign::CampaignOptions shard = opts;
+    shard.shard = {i, 3};
+    const auto out = run_campaign(points, shard);
+    EXPECT_GT(out.fresh, 0) << "shard " << i << " owned no replicas";
+    total_fresh += out.fresh;
+    // Each shard still emits one partial aggregate per point it touched.
+    EXPECT_EQ(out.aggs.size(), 2u);
+  }
+  EXPECT_EQ(total_fresh, 8);  // 2 points x 4 replicas, each owned once.
+}
+
+// ---------------------------------------------------------------------------
+// Ownership partition property: for any split width N, every
+// (point, replica) pair is owned by exactly one shard index.
+// ---------------------------------------------------------------------------
+
+TEST(CampaignShard, EveryPairOwnedByExactlyOneShard) {
+  for (const int count : {1, 2, 3, 4, 5, 7, 8, 16, 33}) {
+    for (const int max_replicas : {1, 3, 8}) {
+      for (std::size_t point = 0; point < 40; ++point) {
+        for (int replica = 0; replica < max_replicas; ++replica) {
+          int owners = 0;
+          for (int index = 0; index < count; ++index) {
+            if (campaign::shard_owns({index, count}, point, replica,
+                                     max_replicas)) {
+              ++owners;
+            }
+          }
+          EXPECT_EQ(owners, 1)
+              << "(point " << point << ", replica " << replica << ") has "
+              << owners << " owners under a " << count << "-way split with "
+              << max_replicas << " replicas";
+        }
+      }
+    }
+  }
+}
+
+TEST(CampaignShard, InterleavedOwnershipBalancesBothAxes) {
+  // With N <= max_replicas, the modular interleave gives every shard a
+  // slice of EVERY point — no shard can end up owning (and serially
+  // simulating) all replicas of the most expensive point.
+  const int count = 4;
+  const int max_replicas = 8;
+  for (int index = 0; index < count; ++index) {
+    for (std::size_t point = 0; point < 10; ++point) {
+      int owned = 0;
+      for (int replica = 0; replica < max_replicas; ++replica) {
+        if (campaign::shard_owns({index, count}, point, replica,
+                                 max_replicas)) {
+          ++owned;
+        }
+      }
+      EXPECT_EQ(owned, max_replicas / count)
+          << "shard " << index << " point " << point;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-resume of a single shard: torn-tail truncation and byte-identical
+// continuation compose with sharding, and the merged output still equals
+// the unsharded run.
+// ---------------------------------------------------------------------------
+
+TEST(CampaignShard, CrashedShardResumesAndMergesByteIdentical) {
+  const auto points = tiny_grid();
+  const auto hashes = point_hashes(points);
+  const auto opts = quota_opts(5);
+  const auto full = run_campaign(points, opts);
+
+  const auto paths = run_shards(points, opts, 3, "shard_crash");
+  // Re-run shard 1 as if it crashed mid-wave: keep 2 of its journal
+  // lines plus a torn half-line, then resume.
+  campaign::CampaignOptions shard1 = opts;
+  shard1.shard = {1, 3};
+  const auto clean = run_campaign(points, shard1);
+  ASSERT_GT(clean.lines.size(), 3u);
+  write_lines(paths[1], clean.lines, 2, "{\"type\":\"replica\",\"campaign_se");
+
+  const auto journal =
+      campaign::Journal::load(paths[1], opts.campaign_seed, hashes);
+  ASSERT_TRUE(journal.mismatch().empty()) << journal.mismatch();
+  EXPECT_EQ(journal.valid_lines(), 2u);  // The torn tail was dropped.
+
+  const auto resumed = run_campaign(points, shard1, &journal);
+  // The resumed shard re-emits its full deterministic sequence...
+  EXPECT_EQ(resumed.lines, clean.lines);
+  // ...re-simulating only what the journal prefix did not hold.
+  EXPECT_EQ(resumed.fresh,
+            clean.fresh - static_cast<int>(journal.replica_count()));
+  write_lines(paths[1], resumed.lines, resumed.lines.size());
+
+  const auto merged = merge(points, opts, paths);
+  ASSERT_FALSE(merged.error.has_value()) << *merged.error;
+  EXPECT_EQ(merged.lines, full.lines);
+  EXPECT_EQ(merged.aggs, full.aggs);
+  for (const auto& path : paths) std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Merge rejection paths, with the exact diagnostics the CLI prints.
+// ---------------------------------------------------------------------------
+
+TEST(CampaignShard, MergeRejectsAdaptiveStopRules) {
+  const auto points = tiny_grid();
+  auto opts = quota_opts(4);
+  opts.stop.ci_rel = 0.05;
+  const auto merged = merge(points, opts, {"unused.jsonl"});
+  ASSERT_TRUE(merged.error.has_value());
+  EXPECT_EQ(*merged.error,
+            "sharded campaigns run in quota mode; an adaptive stop rule "
+            "(--ci-abs/--ci-rel) cannot be merged");
+  EXPECT_TRUE(merged.lines.empty());  // Rejections emit nothing.
+}
+
+TEST(CampaignShard, MergeRejectsEmptyShardList) {
+  const auto merged = merge(tiny_grid(), quota_opts(4), {});
+  ASSERT_TRUE(merged.error.has_value());
+  EXPECT_EQ(*merged.error, "no shard journals given");
+}
+
+TEST(CampaignShard, MergeRejectsMissingShardJournal) {
+  const std::string missing = ::testing::TempDir() + "no_such_shard.jsonl";
+  const auto merged = merge(tiny_grid(), quota_opts(4), {missing});
+  ASSERT_TRUE(merged.error.has_value());
+  EXPECT_EQ(*merged.error, "shard journal " + missing + ": no such file");
+}
+
+TEST(CampaignShard, MergeRejectsForeignCampaignJournal) {
+  const auto points = tiny_grid();
+  const auto opts = quota_opts(2);
+  const auto paths = run_shards(points, opts, 1, "shard_foreign");
+
+  // Same journal, different campaign seed: every line is foreign.
+  auto other = opts;
+  other.campaign_seed = 8;
+  const auto merged = merge(points, other, paths);
+  ASSERT_TRUE(merged.error.has_value());
+  EXPECT_EQ(*merged.error,
+            "shard journal " + paths[0] +
+                ": journal line 1 belongs to a different campaign (seed or "
+                "point range)");
+  std::remove(paths[0].c_str());
+}
+
+TEST(CampaignShard, MergeRejectsOverlappingShards) {
+  const auto points = tiny_grid();
+  const auto opts = quota_opts(3);
+  const auto paths = run_shards(points, opts, 3, "shard_overlap");
+  // Shard 0 owns global index 0 = (point 0, replica 0); merging it twice
+  // must flag that pair, not silently double-count it.
+  std::vector<std::string> twice = {paths[0], paths[0], paths[1], paths[2]};
+  const auto merged = merge(points, opts, twice);
+  ASSERT_TRUE(merged.error.has_value());
+  EXPECT_EQ(*merged.error,
+            "shard journal " + paths[0] +
+                " overlaps an earlier shard: point 0 replica 0 is journaled "
+                "twice (same --shard index merged twice?)");
+  for (const auto& path : paths) std::remove(path.c_str());
+}
+
+TEST(CampaignShard, MergeRejectsIncompleteShardSet) {
+  const auto points = tiny_grid();
+  const auto opts = quota_opts(5);
+  const auto paths = run_shards(points, opts, 3, "shard_gap");
+  // Drop shard 2. Its smallest owned pair is global index 2 =
+  // (point 0, replica 2) — the first gap the coverage walk hits.
+  const auto merged = merge(points, opts, {paths[0], paths[1]});
+  ASSERT_TRUE(merged.error.has_value());
+  EXPECT_EQ(*merged.error,
+            "shard journals are incomplete: point 0 replica 2 is in no "
+            "journal (missing shard, or a different --shard split?)");
+  for (const auto& path : paths) std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Seed packing: the legacy linear index wraps mod 2^64 once
+// point * 2^20 crosses it; the wide two-level derivation doesn't, and the
+// gate picks legacy exactly for the campaigns whose bytes are already
+// pinned.
+// ---------------------------------------------------------------------------
+
+TEST(CampaignSeeds, GateKeepsSmallCampaignsOnLegacyPacking) {
+  using campaign::SeedPacking;
+  constexpr std::uint64_t kStride = campaign::kReplicaStride;
+  // Every shipped preset is a handful of points with replica caps far
+  // below 2^20: all legacy, so existing journals and digests stay valid.
+  EXPECT_EQ(campaign::seed_packing(2, 4), SeedPacking::kLegacy);
+  EXPECT_EQ(campaign::seed_packing(15, 1024), SeedPacking::kLegacy);
+  EXPECT_EQ(campaign::seed_packing(kStride, 16), SeedPacking::kLegacy);
+  // Either axis outgrowing the stride flips the campaign to wide.
+  EXPECT_EQ(campaign::seed_packing(kStride + 1, 16), SeedPacking::kWide);
+  EXPECT_EQ(campaign::seed_packing(2, (1 << 20) + 1), SeedPacking::kWide);
+}
+
+TEST(CampaignSeeds, LegacyPackingMatchesHistoricalFormula) {
+  // The legacy path must stay bit-for-bit the PR 2 formula — it is what
+  // every existing journal's seeds were derived with.
+  for (const std::uint64_t seed : {1ull, 7ull, 0xdeadbeefull}) {
+    for (const std::size_t point : {std::size_t{0}, std::size_t{3},
+                                    std::size_t{1023}}) {
+      for (const int replica : {0, 1, 63}) {
+        EXPECT_EQ(
+            campaign::replica_seed(seed, campaign::SeedPacking::kLegacy,
+                                   point, replica),
+            Rng::derive_seed(seed, point * campaign::kReplicaStride +
+                                       static_cast<std::uint64_t>(replica)));
+      }
+    }
+  }
+}
+
+TEST(CampaignSeeds, LegacyPackingAliasesAtScaleWideDoesNot) {
+  using campaign::SeedPacking;
+  const std::uint64_t seed = 1;
+  // point * 2^20 wraps mod 2^64 at point = 2^44: the legacy index of
+  // (2^44, r) collides with (0, r) exactly — silent cross-point seed
+  // aliasing at 32x32-scale campaign sizes. (2^44 points is beyond any
+  // realistic grid, but smaller wraps alias interior points the same
+  // way; the gate routes every such campaign to the wide packing.)
+  const std::size_t wrap = std::size_t{1} << 44;
+  EXPECT_EQ(campaign::replica_seed(seed, SeedPacking::kLegacy, wrap, 3),
+            campaign::replica_seed(seed, SeedPacking::kLegacy, 0, 3));
+  EXPECT_NE(campaign::replica_seed(seed, SeedPacking::kWide, wrap, 3),
+            campaign::replica_seed(seed, SeedPacking::kWide, 0, 3));
+}
+
+TEST(CampaignSeeds, WidePackingIsCollisionFreeAcrossSample) {
+  // A (necessarily statistical) injectivity check: across a sample far
+  // wider than the legacy stride budget allows — points beyond 2^20,
+  // replica indices beyond 2^20 — every wide seed is distinct.
+  std::set<std::uint64_t> seen;
+  std::size_t pairs = 0;
+  for (const std::size_t point :
+       {std::size_t{0}, std::size_t{1}, std::size_t{1} << 20,
+        (std::size_t{1} << 20) + 1, std::size_t{1} << 44}) {
+    for (const int replica : {0, 1, 2, 1 << 20, (1 << 20) + 1}) {
+      seen.insert(campaign::replica_seed(1, campaign::SeedPacking::kWide,
+                                         point, replica));
+      ++pairs;
+    }
+  }
+  EXPECT_EQ(seen.size(), pairs);
+}
+
+TEST(CampaignShard, EngineRefusesShardedAdaptiveRuns) {
+  campaign::CampaignOptions opts = quota_opts(4);
+  opts.shard = {0, 2};
+  opts.stop.ci_abs = 0.5;
+  EXPECT_DEATH(campaign::CampaignEngine engine(opts), "FTNOC_CHECK");
+}
+
+}  // namespace
+}  // namespace ftnoc

@@ -210,6 +210,31 @@ TEST(EventWakeup, StormKillsMidRunLockstep) {
       << "storm timeline never fully fired";
 }
 
+// Production-fabric scale: a 16x16 torus (256 routers, wrap-around
+// channels) with link errors, a dead link and a dead router. Every other
+// lockstep test runs a 4x4 (or 2x2) mesh, where the event kernel's wake
+// graph is dense and near-saturated almost by accident; at 256 routers
+// under sparse traffic most of the fabric is genuinely idle most cycles,
+// so a wake rule that under-schedules (or a wrap-channel wire the wake
+// graph forgot) diverges here and nowhere else.
+TEST(EventWakeup, LargeTorusFaultedLockstep) {
+  SimConfig cfg = sparse_base();
+  cfg.mesh_width = 16;
+  cfg.mesh_height = 16;
+  cfg.torus = true;
+  cfg.protection = LinkProtection::kHbh;
+  cfg.routing = RoutingAlgorithm::kMinimalAdaptive;
+  cfg.injection_rate = 0.01;  // ~2.5 flits/cycle over 256 routers: idle-heavy.
+  cfg.total_messages = 150;
+  cfg.faults.link_error_rate = 0.005;
+  cfg.faults.multi_bit_fraction = 0.3;  // Arms NACK windows at scale.
+  cfg.dead_links.push_back({17, Direction::kEast});
+  cfg.dead_routers.push_back(200);
+  KernelPair nets(cfg);
+  EXPECT_GT(nets.run(2000).nacks_sent(), 0u)
+      << "scenario armed no NACK/drop windows at scale";
+}
+
 // Statically faulted topology: dead links and a dead router reshape the
 // wake graph (some wires never exist); the event kernel must still cover
 // every live router's delayed actions.

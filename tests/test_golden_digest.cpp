@@ -177,6 +177,30 @@ TEST(GoldenDigest, KernelAndThreadCountInvariantUnderDamq) {
   }
 }
 
+// The large_mesh preset is the only pinned family that runs production
+// fabrics: 16x16 mesh and torus (wrap-around channels under tornado
+// traffic) and a 32x32 torus. Its scale knobs and mesh dimensions are
+// pinned inside the preset, so the 4x4 base overrides below don't touch
+// it — the digest covers byte streams no other pin can see (torus
+// routing, diameter-30 paths, 1024-router construction). Pinned under
+// BOTH kernels to the same value: at 256+ routers under moderate load
+// most of the fabric is idle most cycles, exactly where the event
+// kernel's wake rules can silently diverge from the scan kernel.
+TEST(GoldenDigest, LargeMeshPresetByteIdenticalBothKernels) {
+  constexpr std::uint64_t kPinned = 0x322374cf17a9ac04ull;
+  const std::uint64_t event_h = preset_digest("large_mesh");
+  EXPECT_EQ(event_h, kPinned)
+      << "large_mesh JSONL digest moved (event kernel): 0x" << std::hex
+      << event_h
+      << " — the simulation is no longer byte-identical to the pinned run";
+  const std::uint64_t scan_h =
+      preset_digest("large_mesh", 2, /*force_scan_kernel=*/true);
+  EXPECT_EQ(scan_h, kPinned)
+      << "large_mesh JSONL digest moved (scan kernel): 0x" << std::hex
+      << scan_h << " — the kernels are no longer byte-interchangeable on "
+                   "production fabrics";
+}
+
 // The buffer_ablation preset is the only pinned family that runs the damq
 // and voq routers; without it a byte-level regression in the shared-pool
 // or VOQ paths is invisible to the other digests (which all run the

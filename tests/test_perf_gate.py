@@ -31,9 +31,19 @@ def write_jsonl(path, reps):
 
 
 def write_baseline(path, cps):
+    """Legacy flat single-entry baseline (the pre-multi-preset format)."""
     with open(path, "w") as f:
         json.dump({"preset": "perf", "best_cycles_per_sec": cps,
                    "machine": "test", "note": "pinned by test"}, f)
+
+
+def write_multi_baseline(path, entries):
+    """Multi-preset baseline: entries maps preset name -> cycles/sec."""
+    with open(path, "w") as f:
+        json.dump({"presets": {
+            name: {"preset": name, "best_cycles_per_sec": cps,
+                   "machine": "test", "note": "pinned by test"}
+            for name, cps in entries.items()}}, f)
 
 
 class PerfGateTest(unittest.TestCase):
@@ -89,7 +99,7 @@ class PerfGateTest(unittest.TestCase):
     def test_update_repins_baseline(self):
         write_jsonl(self.jsonl, [[(9000, 300.0)]])  # 30,000 c/s
         self.assertEqual(self.gate("--update", "--note", "faster kernel"), 0)
-        base = json.load(open(self.baseline))
+        base = json.load(open(self.baseline))["presets"]["perf"]
         self.assertAlmostEqual(base["best_cycles_per_sec"], 30000.0)
         self.assertEqual(base["note"], "faster kernel")
         # The freshly pinned baseline gates its own run as a pass.
@@ -99,6 +109,59 @@ class PerfGateTest(unittest.TestCase):
         open(self.jsonl, "w").close()
         write_baseline(self.baseline, 1000.0)
         self.assertEqual(self.gate(), 2)
+
+    def test_multi_preset_baseline_selects_entry(self):
+        # 10,000 c/s: passes against the perf_large pin (10,500) but is
+        # far below the perf pin (50,000) — the --preset switch must pick
+        # the right entry.
+        write_jsonl(self.jsonl, [[(5000, 500.0)]])
+        write_multi_baseline(self.baseline,
+                             {"perf": 50000.0, "perf_large": 10500.0})
+        self.assertEqual(self.gate("--preset", "perf_large"), 0)
+        cmp = json.load(open(self.cmp))
+        self.assertEqual(cmp["preset"], "perf_large")
+        self.assertAlmostEqual(cmp["baseline_cycles_per_sec"], 10500.0)
+        self.assertEqual(self.gate("--preset", "perf"), 1)
+
+    def test_missing_preset_entry_is_an_error(self):
+        write_jsonl(self.jsonl, [[(5000, 500.0)]])
+        write_multi_baseline(self.baseline, {"perf": 10000.0})
+        self.assertEqual(self.gate("--preset", "perf_large"), 2)
+
+    def test_legacy_flat_baseline_still_gates_perf(self):
+        # The pre-multi-preset flat file reads as its single entry.
+        write_jsonl(self.jsonl, [[(5000, 500.0)]])
+        write_baseline(self.baseline, 10000.0)
+        self.assertEqual(self.gate("--preset", "perf"), 0)
+        self.assertEqual(self.gate("--preset", "perf_large"), 2)
+
+    def test_update_preserves_other_preset_entries(self):
+        write_jsonl(self.jsonl, [[(9000, 300.0)]])  # 30,000 c/s
+        write_multi_baseline(self.baseline,
+                             {"perf": 50000.0, "perf_large": 10000.0})
+        self.assertEqual(
+            self.gate("--preset", "perf_large", "--update",
+                      "--note", "bigger fabric"), 0)
+        base = json.load(open(self.baseline))
+        self.assertAlmostEqual(
+            base["presets"]["perf_large"]["best_cycles_per_sec"], 30000.0)
+        self.assertEqual(base["presets"]["perf_large"]["note"],
+                         "bigger fabric")
+        # The untouched perf entry survives the re-pin verbatim.
+        self.assertAlmostEqual(
+            base["presets"]["perf"]["best_cycles_per_sec"], 50000.0)
+
+    def test_update_upgrades_legacy_flat_baseline(self):
+        # Re-pinning a new preset on top of a legacy flat file keeps the
+        # old entry and writes the nested format.
+        write_jsonl(self.jsonl, [[(9000, 300.0)]])  # 30,000 c/s
+        write_baseline(self.baseline, 12345.0)
+        self.assertEqual(self.gate("--preset", "perf_large", "--update"), 0)
+        base = json.load(open(self.baseline))
+        self.assertAlmostEqual(
+            base["presets"]["perf"]["best_cycles_per_sec"], 12345.0)
+        self.assertAlmostEqual(
+            base["presets"]["perf_large"]["best_cycles_per_sec"], 30000.0)
 
 
 if __name__ == "__main__":

@@ -65,6 +65,30 @@ TEST(SweepEngine, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(serial, parallel);
 }
 
+TEST(SweepEngine, ThreadAffinityNeverChangesOutputBytes) {
+  // pin_threads is a pure scheduling hint (round-robin CPU affinity on
+  // Linux, a no-op elsewhere); the emitted records must be byte-identical
+  // with it on or off, for both the single-worker inline path (which must
+  // never pin the caller's thread) and a real pool.
+  const auto points = tiny_grid();
+
+  auto run_with = [&](int threads, bool pin) {
+    sweep::SweepOptions opts;
+    opts.num_threads = threads;
+    opts.base_seed = 7;
+    opts.pin_threads = pin;
+    std::vector<std::string> lines;
+    for (const auto& pr : sweep::SweepEngine(opts).run(points)) {
+      lines.push_back(sweep::to_jsonl(pr));
+    }
+    return lines;
+  };
+
+  const auto unpinned = run_with(4, false);
+  EXPECT_EQ(run_with(4, true), unpinned);
+  EXPECT_EQ(run_with(1, true), unpinned);
+}
+
 TEST(SweepEngine, StreamsResultsInPointOrder) {
   const auto points = tiny_grid();
   sweep::SweepOptions opts;
@@ -271,6 +295,47 @@ TEST(SweepPresets, NamesLineListsEveryPreset) {
   std::string word;
   while (in >> word) {
     EXPECT_FALSE(sweep::preset_points(word, tiny_config()).empty()) << word;
+  }
+}
+
+TEST(SweepPresets, LargeFabricGridShapes) {
+  // The production-fabric presets pin their mesh dimensions (and, for
+  // large_mesh/perf_large, their scale knobs) inside the preset: a 4x4
+  // tiny base must not leak into the grid, or the golden digest and perf
+  // baseline would silently depend on the caller's scale.
+  const auto large = sweep::large_mesh_points(tiny_config());
+  ASSERT_EQ(large.size(), 5u);
+  EXPECT_EQ(large[0].label, "LargeMesh/mesh16/HBH");
+  EXPECT_EQ(large[4].label, "LargeMesh/torus32/HBH");
+  for (const auto& pt : large) {
+    EXPECT_EQ(pt.config.validate(), std::nullopt) << pt.label;
+    EXPECT_GE(pt.config.mesh_width, 16) << pt.label;
+    EXPECT_EQ(pt.config.mesh_width, pt.config.mesh_height) << pt.label;
+    EXPECT_GE(pt.config.total_messages, 2'000u) << pt.label;
+  }
+  EXPECT_TRUE(large[3].config.torus);
+  EXPECT_TRUE(large[4].config.torus);
+  EXPECT_EQ(large[4].config.mesh_width, 32);
+  EXPECT_FALSE(large[2].config.dead_links.empty());
+
+  const auto deg16 = sweep::fault_degradation_16_points(tiny_config());
+  ASSERT_EQ(deg16.size(), 9u);  // k = 0..8.
+  EXPECT_EQ(deg16[0].label, "FaultDeg16/k=0");
+  EXPECT_EQ(deg16[8].label, "FaultDeg16/k=8");
+  for (const auto& pt : deg16) {
+    EXPECT_EQ(pt.config.validate(), std::nullopt) << pt.label;
+    EXPECT_EQ(pt.config.mesh_width, 16) << pt.label;
+    EXPECT_EQ(pt.config.mesh_height, 16) << pt.label;
+  }
+  EXPECT_EQ(deg16[8].config.dead_links.size(), 8u);
+
+  const auto perf_large = sweep::perf_large_points(tiny_config());
+  ASSERT_EQ(perf_large.size(), 5u);  // Same hot paths as `perf`.
+  EXPECT_EQ(perf_large.size(), sweep::perf_points(tiny_config()).size());
+  EXPECT_EQ(perf_large[0].label, "PerfL/HBH");
+  for (const auto& pt : perf_large) {
+    EXPECT_EQ(pt.config.validate(), std::nullopt) << pt.label;
+    EXPECT_EQ(pt.config.mesh_width, 16) << pt.label;
   }
 }
 

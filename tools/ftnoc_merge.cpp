@@ -1,0 +1,221 @@
+// ftnoc_merge: fold sharded campaign journals back into the unsharded
+// byte stream.
+//
+//   ftnoc_merge [--flags] key=v1,v2,... shard0.journal shard1.journal ...
+//
+// The campaign definition (preset or axes, --replicas, --seed, --wave,
+// --min-replicas) must repeat the exact arguments the shards ran with —
+// the journal validates the config of every point against it
+// (config_hash), so a mismatch is caught, not silently merged. The tool
+// validates the shard set (no overlap, no gap, no foreign lines, torn
+// tails truncated on load) and then replays the combined journal through
+// the unsharded schedule: the merged journal (--journal) and aggregate
+// JSONL (--out) are byte-identical to what one unsharded run would have
+// produced.
+//
+//   ftnoc_campaign --preset=fig06 --replicas=8 --shard=0/3 --journal=s0.journal
+//   ftnoc_campaign --preset=fig06 --replicas=8 --shard=1/3 --journal=s1.journal
+//   ftnoc_campaign --preset=fig06 --replicas=8 --shard=2/3 --journal=s2.journal
+//   ftnoc_merge    --preset=fig06 --replicas=8 --journal=merged.journal
+//       --out=merged.agg.jsonl s0.journal s1.journal s2.journal
+//
+// Sharded campaigns run in quota mode (fixed --replicas per point);
+// adaptive CI stopping cannot be sharded or merged (DESIGN.md §4.13).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/merge.hpp"
+#include "common/config.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/presets.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: ftnoc_merge [options] [key=v1[,v2,...] ...] SHARD.journal ...\n"
+    "  --preset=NAME     canonical paper grid (see --preset=help)\n"
+    "  --replicas=N      per-point replica quota the shards ran (default 16)\n"
+    "  --min-replicas=N  must match the shards' value (default 4)\n"
+    "  --wave=N          must match the shards' value (default: min-replicas)\n"
+    "  --seed=S          campaign seed the shards ran (default 1)\n"
+    "  --in=FILE         shard journal (repeatable; positional arguments\n"
+    "                    without '=' are shard journals too)\n"
+    "  --shards=N        expect exactly N shard journals (optional check)\n"
+    "  --out=FILE        merged aggregate JSONL (default stdout)\n"
+    "  --journal=FILE    write the merged journal to FILE (truncates)\n"
+    "  --quiet           suppress progress on stderr\n"
+    "  --help            this text\n";
+
+bool flag_value(const char* arg, const char* name, std::string& out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  out = arg + n + 1;
+  return true;
+}
+
+void list_presets(std::FILE* to) {
+  std::fprintf(to, "valid presets: %s\n",
+               ftnoc::sweep::preset_names_line().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftnoc;
+
+  campaign::CampaignOptions opts;
+  std::string out_path;
+  std::string journal_path;
+  std::string preset;
+  int expected_shards = 0;
+  bool quiet = false;
+  std::vector<std::string> axis_specs;
+  std::vector<std::string> shard_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string v;
+    if (flag_value(arg, "--seed", v)) {
+      opts.campaign_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag_value(arg, "--replicas", v)) {
+      opts.stop.max_replicas = std::atoi(v.c_str());
+    } else if (flag_value(arg, "--min-replicas", v)) {
+      opts.stop.min_replicas = std::atoi(v.c_str());
+    } else if (flag_value(arg, "--wave", v)) {
+      opts.stop.wave = std::atoi(v.c_str());
+    } else if (flag_value(arg, "--in", v)) {
+      shard_paths.push_back(v);
+    } else if (flag_value(arg, "--shards", v)) {
+      expected_shards = std::atoi(v.c_str());
+    } else if (flag_value(arg, "--out", v)) {
+      out_path = v;
+    } else if (flag_value(arg, "--journal", v)) {
+      journal_path = v;
+    } else if (flag_value(arg, "--preset", v)) {
+      preset = v;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::fputs(kUsage, stdout);
+      list_presets(stdout);
+      return 0;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n%s", arg, kUsage);
+      return 1;
+    } else if (std::strchr(arg, '=') != nullptr) {
+      axis_specs.push_back(arg);  // key=value config override.
+    } else {
+      shard_paths.push_back(arg);  // A shard journal.
+    }
+  }
+
+  if (opts.stop.max_replicas < 1 || opts.stop.min_replicas < 1) {
+    std::fprintf(stderr, "--replicas and --min-replicas must be >= 1\n");
+    return 1;
+  }
+  if (opts.stop.min_replicas > opts.stop.max_replicas) {
+    opts.stop.min_replicas = opts.stop.max_replicas;
+  }
+  if (shard_paths.empty()) {
+    std::fprintf(stderr, "no shard journals given\n%s", kUsage);
+    return 1;
+  }
+  if (expected_shards > 0 &&
+      shard_paths.size() != static_cast<std::size_t>(expected_shards)) {
+    std::fprintf(stderr, "--shards=%d but %zu shard journal(s) given\n",
+                 expected_shards, shard_paths.size());
+    return 1;
+  }
+
+  // Rebuild the campaign's point grid exactly as ftnoc_campaign does.
+  SimConfig base;
+  base.total_messages = 30'000;
+  base.warmup_messages = 10'000;
+  base.max_cycles = 1'500'000;
+
+  std::vector<sweep::SweepPoint> points;
+  if (!preset.empty()) {
+    if (preset == "help") {
+      list_presets(stdout);
+      return 0;
+    }
+    if (auto err = apply_overrides(base, axis_specs)) {
+      std::fprintf(stderr, "config error: %s\n", err->c_str());
+      return 1;
+    }
+    points = sweep::preset_points(preset, base);
+    if (points.empty()) {
+      std::fprintf(stderr, "unknown preset: %s\n", preset.c_str());
+      list_presets(stderr);
+      return 1;
+    }
+    for (const auto& pt : points) {
+      if (auto err = pt.config.validate()) {
+        std::fprintf(stderr, "invalid point %s: %s\n", pt.label.c_str(),
+                     err->c_str());
+        return 1;
+      }
+    }
+  } else {
+    std::vector<sweep::GridAxis> axes;
+    for (const auto& spec : axis_specs) {
+      sweep::GridAxis axis;
+      if (auto err = sweep::parse_axis(spec, axis)) {
+        std::fprintf(stderr, "grid error: %s\n", err->c_str());
+        return 1;
+      }
+      axes.push_back(std::move(axis));
+    }
+    if (auto err = sweep::expand_grid(base, axes, points)) {
+      std::fprintf(stderr, "grid error: %s\n", err->c_str());
+      return 1;
+    }
+  }
+
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+  }
+  std::FILE* jf = nullptr;
+  if (!journal_path.empty()) {
+    jf = std::fopen(journal_path.c_str(), "w");
+    if (jf == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   journal_path.c_str());
+      return 1;
+    }
+  }
+
+  campaign::MergeStats stats;
+  const auto err = campaign::merge_journals(
+      points, opts, shard_paths,
+      [&](const std::string& line) {
+        if (jf != nullptr) std::fprintf(jf, "%s\n", line.c_str());
+      },
+      [&](const campaign::PointAggregate& agg) {
+        const std::string line =
+            campaign::aggregate_line(agg, opts.campaign_seed);
+        std::fprintf(out, "%s\n", line.c_str());
+      },
+      &stats);
+  if (jf != nullptr) std::fclose(jf);
+  if (out != stdout) std::fclose(out);
+  if (err.has_value()) {
+    std::fprintf(stderr, "ftnoc_merge: %s\n", err->c_str());
+    return 1;
+  }
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "ftnoc_merge: %zu shard journal(s), %zu replica(s), "
+                 "%zu point(s) merged\n",
+                 stats.shard_journals, stats.replicas, points.size());
+  }
+  return 0;
+}

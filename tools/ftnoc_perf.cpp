@@ -30,6 +30,7 @@ constexpr const char* kUsage =
     "usage: ftnoc_perf [options] [key=value ...]\n"
     "  --preset=NAME  grid to time (default: perf)\n"
     "  --threads=N    worker threads (default 1: stable timing)\n"
+    "  --pin          pin worker threads round-robin to CPUs (Linux)\n"
     "  --seed=S       base seed for per-point derivation (default 1)\n"
     "  --repeat=K     run the grid K times, report the best (default 1)\n"
     "  --out=FILE     write JSONL records to FILE (default stdout)\n"
@@ -62,6 +63,8 @@ int main(int argc, char** argv) {
       preset = v;
     } else if (flag_value(arg, "--threads", v)) {
       opts.num_threads = std::atoi(v.c_str());
+    } else if (std::strcmp(arg, "--pin") == 0) {
+      opts.pin_threads = true;
     } else if (flag_value(arg, "--seed", v)) {
       opts.base_seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag_value(arg, "--repeat", v)) {

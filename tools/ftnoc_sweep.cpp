@@ -35,6 +35,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: ftnoc_sweep [options] key=v1[,v2,...] ...\n"
     "  --threads=N    worker threads (default 0 = hardware concurrency)\n"
+    "  --pin          pin worker threads round-robin to CPUs (Linux)\n"
     "  --seed=S       base seed for per-point seed derivation (default 1)\n"
     "  --fixed-seed   use each config's own seed= instead of deriving\n"
     "  --out=FILE     write JSONL records to FILE (default stdout)\n"
@@ -67,6 +68,8 @@ int main(int argc, char** argv) {
     std::string v;
     if (flag_value(arg, "--threads", v)) {
       opts.num_threads = std::atoi(v.c_str());
+    } else if (std::strcmp(arg, "--pin") == 0) {
+      opts.pin_threads = true;
     } else if (flag_value(arg, "--seed", v)) {
       opts.base_seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (std::strcmp(arg, "--fixed-seed") == 0) {

@@ -20,13 +20,23 @@ artifact, pass or fail.
 Ratcheting: after a deliberate perf improvement, re-pin with
 
     tools/perf_gate.py --jsonl perf.jsonl --baseline bench/perf_baseline.json \
-        --update --note "<what changed>"
+        --preset perf --update --note "<what changed>"
 
 and commit the refreshed baseline.  The baseline records the machine it
 was measured on; the gate compares ratios, not absolute equality, so a
 slower runner only trips it if it is >tolerance slower than the pinned
 machine — set FTNOC_PERF_GATE_TOLERANCE (or --tolerance) in CI if the
 runner pool is known to be weaker.
+
+The baseline file carries one entry per gated preset (currently `perf`,
+the 4x4 hot-path grid, and `perf_large`, the 16x16 fabric):
+
+    {"presets": {"perf": {...}, "perf_large": {...}}}
+
+--preset selects which entry to gate or re-pin; --update rewrites only
+that entry and preserves the rest.  A legacy flat baseline (one
+top-level entry, the pre-multi-preset format) is read as its single
+preset's entry.
 """
 
 import argparse
@@ -69,11 +79,23 @@ def best_cycles_per_sec(reps):
     return best
 
 
+def load_baselines(path):
+    """The {"presets": {...}} map, upgrading a legacy flat baseline (one
+    top-level entry) to a single-preset map on the fly."""
+    with open(path) as f:
+        data = json.load(f)
+    if "presets" in data:
+        return data["presets"]
+    return {data.get("preset", "perf"): data}
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--jsonl", required=True, help="ftnoc_perf output JSONL")
     ap.add_argument("--baseline", required=True,
                     help="checked-in baseline JSON (bench/perf_baseline.json)")
+    ap.add_argument("--preset", default="perf",
+                    help="baseline entry to gate or re-pin (default: perf)")
     ap.add_argument("--out", default=None,
                     help="write the before/after comparison JSON here")
     ap.add_argument("--tolerance", type=float,
@@ -97,26 +119,36 @@ def main(argv=None):
         return 2
 
     if args.update:
-        baseline = {
-            "preset": "perf",
+        try:
+            presets = load_baselines(args.baseline)
+        except FileNotFoundError:
+            presets = {}
+        presets[args.preset] = {
+            "preset": args.preset,
             "best_cycles_per_sec": round(measured, 1),
             "reps": len(reps),
             "machine": platform.platform(),
             "note": args.note,
         }
         with open(args.baseline, "w") as f:
-            json.dump(baseline, f, indent=2)
+            json.dump({"presets": presets}, f, indent=2)
             f.write("\n")
-        print(f"perf_gate: baseline re-pinned at {measured:,.0f} cycles/sec")
+        print(f"perf_gate: {args.preset} baseline re-pinned at "
+              f"{measured:,.0f} cycles/sec")
         return 0
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    presets = load_baselines(args.baseline)
+    baseline = presets.get(args.preset)
+    if baseline is None:
+        print(f"perf_gate: no baseline entry for preset {args.preset!r} in "
+              f"{args.baseline} (pin one with --update)", file=sys.stderr)
+        return 2
     base = float(baseline["best_cycles_per_sec"])
     floor = base * (1.0 - args.tolerance)
     ok = measured >= floor
 
     comparison = {
+        "preset": args.preset,
         "baseline_cycles_per_sec": base,
         "measured_cycles_per_sec": round(measured, 1),
         "ratio": round(measured / base, 4),
@@ -133,7 +165,8 @@ def main(argv=None):
             f.write("\n")
 
     verdict = "PASS" if ok else "FAIL"
-    print(f"perf_gate: {verdict}  measured={measured:,.0f} c/s  "
+    print(f"perf_gate: [{args.preset}] {verdict}  "
+          f"measured={measured:,.0f} c/s  "
           f"baseline={base:,.0f} c/s  ratio={measured / base:.2f}  "
           f"floor={floor:,.0f} c/s (-{args.tolerance:.0%})")
     if not ok:

@@ -4,6 +4,14 @@
 Usage:
     python3 tools/plot_bench.py bench_output.txt [outdir]
     python3 tools/plot_bench.py fig05.jsonl [outdir]
+    python3 tools/plot_bench.py shard0.agg.jsonl shard1.agg.jsonl [outdir]
+
+Every argument naming an existing file is an input; a trailing argument
+that is not an existing file is the output directory (default
+bench_csv).  Multiple inputs are folded into one figure set — the
+distributed-campaign recipe (per-shard or merged aggregate JSONL files,
+README "Distributed campaigns") lands in the same CSVs as a
+single-file run.
 
 Two input flavors, auto-detected per line:
 
@@ -102,18 +110,24 @@ def ingest_jsonl(line, figures):
 def main():
     if len(sys.argv) < 2:
         sys.exit(__doc__)
-    path = sys.argv[1]
-    outdir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
+    args = sys.argv[1:]
+    # A trailing argument that is not an existing file is the outdir
+    # (keeps the historical `plot_bench.py input.jsonl outdir` calls
+    # working); everything else is an input file.
+    outdir = "bench_csv"
+    if len(args) > 1 and not os.path.isfile(args[-1]):
+        outdir = args.pop()
     os.makedirs(outdir, exist_ok=True)
 
     figures = collections.defaultdict(list)
-    with open(path) as f:
-        for line in f:
-            line = line.strip()
-            if line.startswith("{"):
-                ingest_jsonl(line, figures)
-            else:
-                ingest_bench(line, figures)
+    for path in args:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if line.startswith("{"):
+                    ingest_jsonl(line, figures)
+                else:
+                    ingest_bench(line, figures)
 
     for figure, rows in figures.items():
         # Overlay mixed buffer policies: when one figure holds records
