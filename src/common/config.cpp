@@ -140,6 +140,9 @@ std::optional<std::string> SimConfig::validate() const {
     return err("injection_rate out of range");
   }
   if (packet_length < 1) return err("packet_length must be >= 1");
+  if (!workload_file.empty() && !workload_text.empty()) {
+    return err("workload_file and workload_text are mutually exclusive");
+  }
   auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
   if (!rate_ok(faults.link_error_rate) || !rate_ok(faults.multi_bit_fraction) ||
       !rate_ok(faults.rt_error_rate) || !rate_ok(faults.va_error_rate) ||
@@ -417,6 +420,13 @@ std::optional<std::string> apply_override(SimConfig& cfg,
       default: return bad();
     }
     cfg.storm_kills.push_back(k);
+  } else if (key == "workload") {
+    if (val.empty()) return bad();
+    cfg.workload_file = val;
+  } else if (key == "link_stats") {
+    if (!parse_bool(val, cfg.link_stats)) return bad();
+  } else if (key == "run_to_drain") {
+    if (!parse_bool(val, cfg.run_to_drain)) return bad();
   } else if (key == "adaptive_faults") {
     if (!parse_bool(val, cfg.adaptive_faults)) return bad();
   } else if (key == "check_invariants") {

@@ -149,6 +149,23 @@ struct SimConfig {
   double injection_rate = 0.1;  ///< flits/node/cycle.
   int packet_length = 4;        ///< flits per packet (paper: 4).
   TrafficPattern pattern = TrafficPattern::kUniformRandom;
+  /// Application-style workload replayed on top of (or, with
+  /// injection_rate=0, instead of) the synthetic sources (DESIGN.md §4.14).
+  /// `workload_file` names a workload text file ("workload=FILE"
+  /// override); `workload_text` carries the same grammar inline (presets,
+  /// tests). At most one may be set; parsing happens in the noc layer
+  /// (Network's constructor), which aborts on a malformed workload.
+  std::string workload_file;
+  std::string workload_text;
+  /// Accumulate per-directed-link forwarded-flit and stall-cycle counters
+  /// ("link_stats=1"). Off by default: the counters are cheap but the JSONL
+  /// columns they add would break byte-identity of existing outputs.
+  bool link_stats = false;
+  /// Terminate when the loaded trace/workload is fully drained (every
+  /// released packet ejected or dropped) instead of after total_messages
+  /// ejections ("run_to_drain=1"). Ignored when no trace is loaded;
+  /// max_cycles still caps the run.
+  bool run_to_drain = false;
 
   // --- Protection / routing ---
   RoutingAlgorithm routing = RoutingAlgorithm::kXY;
@@ -231,6 +248,11 @@ struct SimConfig {
   Cycle max_cycles = 10'000'000;  ///< Hard stop (diverged/saturated runs).
 
   int num_nodes() const { return mesh_width * mesh_height; }
+
+  /// True when a workload (file or inline text) is configured.
+  bool has_workload() const {
+    return !workload_file.empty() || !workload_text.empty();
+  }
 
   /// True when the run can contain hard (permanent) faults: static dead
   /// links/routers, or runtime link escalation armed. Gates the fault-only

@@ -8,6 +8,7 @@
 #include "common/log.hpp"
 #include "noc/digest.hpp"
 #include "noc/reference_router.hpp"
+#include "noc/workload.hpp"
 
 namespace ftnoc {
 namespace {
@@ -313,6 +314,40 @@ Network::Network(const SimConfig& cfg)
     auto& slot0 = wheel_[0];
     for (NodeId i = 0; i < n; ++i) slot0[i >> 6] |= 1ull << (i & 63);
   }
+
+  // Per-link analytics (DESIGN.md §4.14). Allocated only when asked for:
+  // the default path must not touch a byte it didn't before.
+  if (cfg_.link_stats) {
+    link_fwd_.assign(link_wires_.size(), 0);
+    link_stall_.assign(link_wires_.size(), 0);
+    link_stats_nbr_.assign(link_wires_.size(), -1);
+    for (NodeId i = 0; i < n; ++i) {
+      for (int d = 0; d < 4; ++d) {
+        const auto nb = topo_.neighbor(i, static_cast<Direction>(d));
+        if (nb) {
+          link_stats_nbr_[static_cast<std::size_t>(i) * 4 +
+                          static_cast<std::size_t>(d)] =
+              static_cast<std::int32_t>(*nb);
+        }
+      }
+    }
+  }
+
+  // Workload ingestion (DESIGN.md §4.14): parse + expand into TraceRecords
+  // and hand them to the replay path. A malformed workload is a config
+  // error, caught here where the node count is known.
+  if (cfg_.has_workload()) {
+    std::string werr;
+    std::vector<TraceRecord> records =
+        cfg_.workload_file.empty()
+            ? load_workload_text(cfg_.workload_text, n, &werr)
+            : load_workload_file(cfg_.workload_file, n, &werr);
+    if (!werr.empty()) {
+      FTNOC_ERROR("invalid workload: " + werr);
+      FTNOC_CHECK(false && "invalid workload");
+    }
+    load_trace(std::move(records));
+  }
 }
 
 int Network::hop_distance(NodeId a, NodeId b) const {
@@ -353,7 +388,10 @@ void Network::on_eject(NodeId dest, const Flit& f, Cycle now) {
 
   // An incomplete message (dropped flits that were never replayed, e.g.
   // after a lost NACK) is corrupt even if every delivered flit is clean.
-  const bool packet_bad = rec.bad || rec.flits != cfg_.packet_length;
+  // The intended length is the tail's sequence number + 1, not the global
+  // packet_length knob: trace/workload packets carry their own lengths.
+  const bool packet_bad =
+      rec.bad || rec.flits != static_cast<int>(f.seq) + 1;
   state.erase(f.packet_id);
 
   if (cfg_.protection == LinkProtection::kE2e) {
@@ -472,15 +510,27 @@ void Network::fire_storm_kills() {
   }
 }
 
-void Network::step_scan() {
-  fire_due_events();
+void Network::release_due_trace() {
   // Trace replay: release the records due this cycle into their source
   // PEs' queues (injection still obeys local-port credit flow control).
   while (trace_next_ < trace_.size() &&
          trace_[trace_next_].cycle <= now_) {
     const TraceRecord& r = trace_[trace_next_++];
+    if (!topo_.router_alive(r.src)) {
+      // A hard-dead source can never drive its injection wire; queueing
+      // the packet at its PE would leak it forever (and wedge
+      // run_to_drain). Count it and move on — mirrors how packets *to* a
+      // dead router are dropped as unreachable en route.
+      stats_.on_dead_source_drop();
+      continue;
+    }
     inject_packet(r.src, r.dest, r.length);
   }
+}
+
+void Network::step_scan() {
+  fire_due_events();
+  release_due_trace();
   // "No new packets are allowed to enter the transmission buffers that are
   // involved in the deadlock recovery" (§3.2.1), enforced transitively
   // with a chip-wide wired-OR "recovery in progress" line: while ANY
@@ -536,12 +586,42 @@ void Network::step_scan() {
     if (w) w->tick();
   }
   for (auto& w : local_wires_) w->tick();
+  if (cfg_.link_stats) accumulate_link_stats();
 #if FTNOC_ENABLE_INVARIANTS
   // After the wire ticks everything in flight is visible in a channel's
   // current value, so the structural walks see a settled snapshot.
   if (monitor_) run_invariant_walks();
 #endif
   ++now_;
+}
+
+void Network::accumulate_link_stats() {
+  if (!stats_.measuring()) return;
+  // Post-tick, a wire's cur_mask reflects exactly what the consumer can
+  // read next cycle — including under the event kernel, where a settled
+  // wire recomputed cur_mask = 0 at its final tick before leaving the
+  // live list. A readable flit means the link carried traffic this cycle;
+  // an idle link whose receiver still buffers flits from it is stalled
+  // (the wormhole is blocked downstream — the congestion signal the
+  // heatmaps plot).
+  for (std::size_t wid = 0; wid < link_wires_.size(); ++wid) {
+    const Wire* w = link_wires_[wid].get();
+    if (!w) continue;
+    if (w->cur_mask & Wire::kCurFlit) {
+      ++link_fwd_[wid];
+      continue;
+    }
+    const std::int32_t nb = link_stats_nbr_[wid];
+    if (nb < 0) continue;  // No wire without a neighbor; belt and braces.
+    const auto back =
+        static_cast<PortId>(opposite(static_cast<Direction>(wid & 3)));
+    int occ = 0;
+    for (int v = 0; v < cfg_.num_vcs; ++v) {
+      occ += routers_[static_cast<std::size_t>(nb)]->input_buffer_size(
+          back, static_cast<VcId>(v));
+    }
+    if (occ > 0) ++link_stall_[wid];
+  }
 }
 
 void Network::schedule(NodeId n, Cycle due) {
@@ -575,11 +655,7 @@ void Network::mark_wire_live(std::uint32_t wid) {
 
 void Network::step_event() {
   fire_due_events();
-  while (trace_next_ < trace_.size() &&
-         trace_[trace_next_].cycle <= now_) {
-    const TraceRecord& r = trace_[trace_next_++];
-    inject_packet(r.src, r.dest, r.length);
-  }
+  release_due_trace();
   for (NodeId i = 0; i < static_cast<NodeId>(pes_.size()); ++i) {
     if (!topo_.router_alive(i)) continue;  // Dead node: PE is off.
     if (pes_[i]->step(now_, next_packet_id_,
@@ -728,6 +804,7 @@ void Network::step_event() {
     }
   }
   live_wires_.resize(keep);
+  if (cfg_.link_stats) accumulate_link_stats();
 #if FTNOC_ENABLE_INVARIANTS
   if (monitor_) run_invariant_walks();
 #endif

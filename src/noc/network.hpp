@@ -136,6 +136,20 @@ class Network {
   /// after the current cycle.
   void load_trace(std::vector<TraceRecord> records);
 
+  /// True when a trace/workload was loaded (possibly already drained).
+  bool trace_loaded() const { return !trace_.empty(); }
+  /// True when every loaded record has been released (or dropped).
+  bool trace_drained() const { return trace_next_ >= trace_.size(); }
+
+  /// Per-directed-link counters (cfg.link_stats only; empty otherwise).
+  /// Index = node * 4 + direction, matching link_wires_.
+  const std::vector<std::uint64_t>& link_fwd_counts() const {
+    return link_fwd_;
+  }
+  const std::vector<std::uint64_t>& link_stall_counts() const {
+    return link_stall_;
+  }
+
   void set_delivery_listener(DeliveryListener fn) {
     delivery_listener_ = std::move(fn);
   }
@@ -147,6 +161,17 @@ class Network {
  private:
   void on_eject(NodeId dest, const Flit& f, Cycle now);
   void fire_due_events();
+  /// Releases every trace record due this cycle into its source PE's
+  /// queue. Records whose source router is hard-dead are counted as
+  /// dead-source drops instead of being queued at a PE that can never
+  /// drain (the packet would otherwise silently wedge the drain
+  /// condition). Shared by both kernels so the schedules coincide.
+  void release_due_trace();
+  /// Accumulates the per-link forwarded/stalled counters from the settled
+  /// post-tick wire state (cfg_.link_stats only, measurement window only).
+  /// Reading architectural state that is byte-identical across kernels and
+  /// router implementations keeps the counters identical too.
+  void accumulate_link_stats();
   int hop_distance(NodeId a, NodeId b) const;
   /// End-of-cycle structural walks: per-router local checks, the
   /// network-wide flit-conservation ledger and the per-link credit sums.
@@ -228,6 +253,12 @@ class Network {
   // Trace replay: sorted records not yet injected.
   std::vector<TraceRecord> trace_;
   std::size_t trace_next_ = 0;
+
+  // Per-link analytics (cfg.link_stats): flits forwarded / stall cycles
+  // per directed wire, and the receiver node of each wire (-1 = no wire).
+  std::vector<std::uint64_t> link_fwd_;
+  std::vector<std::uint64_t> link_stall_;
+  std::vector<std::int32_t> link_stats_nbr_;
 
   // Fault-storm timeline (sorted by cycle; validate() enforces): next
   // cfg_.storm_kills entry to fire. A vetoed kill is skipped, not retried.

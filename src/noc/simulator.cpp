@@ -35,8 +35,22 @@ SimResults Simulator::run() {
     net.meter().reset();
   }
 
-  while (stats.messages_ejected() < cfg_.total_messages &&
-         net.now() < cfg_.max_cycles) {
+  // Drain mode (run_to_drain with a loaded trace/workload): run until
+  // every released packet left the network — ejected or dropped en route —
+  // instead of counting ejections against total_messages. Meant for pure
+  // trace-driven runs (injection_rate = 0); a live synthetic source keeps
+  // creating packets and the drain condition then only closes the run at
+  // max_cycles. Dead-source drops never enter packets_created, so they
+  // need no term here.
+  const bool drain_mode = cfg_.run_to_drain && net.trace_loaded();
+  auto drained = [&]() {
+    return net.trace_drained() &&
+           stats.packets_created() ==
+               stats.messages_ejected() + stats.unreachable_drops();
+  };
+  while (net.now() < cfg_.max_cycles &&
+         (drain_mode ? !drained()
+                     : stats.messages_ejected() < cfg_.total_messages)) {
     net.step();
     if (!warmed_up && stats.messages_ejected() >= cfg_.warmup_messages) {
       warmed_up = true;
@@ -46,8 +60,19 @@ SimResults Simulator::run() {
   }
 
   SimResults r;
-  r.completed = stats.messages_ejected() >= cfg_.total_messages;
+  r.completed = drain_mode ? drained()
+                           : stats.messages_ejected() >= cfg_.total_messages;
   r.cycles = net.now();
+  if (cfg_.link_stats) {
+    const auto& fwd = net.link_fwd_counts();
+    const auto& stall = net.link_stall_counts();
+    for (std::size_t wid = 0; wid < fwd.size(); ++wid) {
+      if (fwd[wid] == 0 && stall[wid] == 0) continue;
+      r.link_util.push_back({static_cast<NodeId>(wid / 4),
+                             static_cast<std::uint8_t>(wid % 4), fwd[wid],
+                             stall[wid]});
+    }
+  }
 
   if (!warmed_up) {
     // The run hit max_cycles before ejecting even the warm-up budget:
@@ -63,6 +88,7 @@ SimResults Simulator::run() {
     r.unreachable_drops = stats.unreachable_drops();
     r.links_escalated = stats.links_escalated();
     r.links_storm_killed = stats.links_storm_killed();
+    r.dead_source_drops = stats.dead_source_drops();
     return r;
   }
 
@@ -112,6 +138,7 @@ SimResults Simulator::run() {
   r.unreachable_drops = stats.unreachable_drops();
   r.links_escalated = stats.links_escalated();
   r.links_storm_killed = stats.links_storm_killed();
+  r.dead_source_drops = stats.dead_source_drops();
 
   r.probes_sent = stats.probes_sent();
   r.probes_discarded = stats.probes_discarded();

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "noc/network.hpp"
@@ -71,6 +72,22 @@ struct SimResults {
   std::uint64_t links_escalated = 0;
   /// Fault-storm timeline kills accepted past the partition veto.
   std::uint64_t links_storm_killed = 0;
+  /// Trace/workload records dropped at release because their source router
+  /// is hard-dead (whole run; never counted as created).
+  std::uint64_t dead_source_drops = 0;
+
+  /// Per-directed-link congestion rows (cfg.link_stats only; links with
+  /// zero activity are omitted). `dir` is the numeric Direction (N=0, E=1,
+  /// S=2, W=3); `fwd` counts measured cycles the link carried a flit,
+  /// `stall` measured cycles it idled while the receiver still buffered
+  /// flits from it.
+  struct LinkUtil {
+    NodeId node = 0;
+    std::uint8_t dir = 0;
+    std::uint64_t fwd = 0;
+    std::uint64_t stall = 0;
+  };
+  std::vector<LinkUtil> link_util;
 
   // Deadlock accounting.
   std::uint64_t probes_sent = 0;

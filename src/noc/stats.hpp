@@ -75,6 +75,10 @@ class StatsCollector {
   /// A configured fault-storm kill fired (accepted past the partition
   /// veto) — counted separately from organic escalations.
   void on_storm_link_killed() { ++links_storm_killed_; }
+  /// A trace/workload record whose source router is hard-dead was dropped
+  /// at release time (it was never created, so it does not count against
+  /// packets_created_).
+  void on_dead_source_drop() { ++dead_source_drops_; }
 
   // --- Deadlock events -----------------------------------------------------
   void on_probe_sent() { bump(probes_sent_); }
@@ -129,6 +133,7 @@ class StatsCollector {
   std::uint64_t unreachable_drops() const { return unreachable_drops_; }
   std::uint64_t links_escalated() const { return links_escalated_; }
   std::uint64_t links_storm_killed() const { return links_storm_killed_; }
+  std::uint64_t dead_source_drops() const { return dead_source_drops_; }
 
   std::uint64_t probes_sent() const { return probes_sent_; }
   std::uint64_t probes_discarded() const { return probes_discarded_; }
@@ -180,6 +185,7 @@ class StatsCollector {
   std::uint64_t unreachable_drops_ = 0;
   std::uint64_t links_escalated_ = 0;
   std::uint64_t links_storm_killed_ = 0;
+  std::uint64_t dead_source_drops_ = 0;
 
   std::uint64_t probes_sent_ = 0;
   std::uint64_t probes_discarded_ = 0;

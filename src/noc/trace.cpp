@@ -1,11 +1,19 @@
 #include "noc/trace.hpp"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "noc/traffic.hpp"
 
 namespace ftnoc {
+
+namespace {
+// Packet length cap: Flit::seq is 8 bits, so a wormhole longer than 256
+// flits would alias sequence numbers and corrupt reassembly accounting.
+constexpr unsigned long long kMaxTraceLength = 256;
+}  // namespace
 
 std::vector<TraceRecord> parse_trace(std::istream& in, int num_nodes,
                                      std::string* error) {
@@ -16,34 +24,58 @@ std::vector<TraceRecord> parse_trace(std::istream& in, int num_nodes,
     if (error) *error = "line " + std::to_string(lineno) + ": " + what;
     return std::vector<TraceRecord>{};
   };
+  // Tokenizing by hand (instead of `istream >> long long`) closes two
+  // historic holes: an inject_cycle past 2^63 made extraction fail and the
+  // whole line was silently skipped as "blank", and a length of exactly
+  // 2^32 truncated to 0 through the int cast after passing the `< 1`
+  // check. Numeric fields are now parsed as exact decimal u64s with
+  // explicit range checks and per-field error messages.
   while (std::getline(in, line)) {
     ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream ls(line);
-    TraceRecord r;
-    long long cycle = 0, src = 0, dest = 0, length = 0;
-    if (!(ls >> cycle)) continue;  // Blank / comment-only line.
-    if (!(ls >> src >> dest >> length)) return fail("expected 4 fields");
+    std::string tok[4];
+    if (!(ls >> tok[0])) continue;  // Blank / comment-only line.
+    if (!(ls >> tok[1] >> tok[2] >> tok[3])) return fail("expected 4 fields");
     std::string extra;
     if (ls >> extra) return fail("trailing junk: " + extra);
-    if (cycle < 0 || src < 0 || dest < 0 || length < 1) {
-      return fail("field out of range");
+    unsigned long long v[4];
+    for (int i = 0; i < 4; ++i) {
+      if (tok[i].find_first_not_of("0123456789") != std::string::npos) {
+        return fail("field out of range");
+      }
+      errno = 0;
+      char* end = nullptr;
+      v[i] = std::strtoull(tok[i].c_str(), &end, 10);
+      if (end != tok[i].c_str() + tok[i].size() ||
+          (errno == ERANGE && i != 0)) {
+        return fail("field out of range");
+      }
+      if (i == 0 && errno == ERANGE) {
+        return fail("inject_cycle overflows 64 bits: " + tok[0]);
+      }
     }
-    if (num_nodes > 0 && (src >= num_nodes || dest >= num_nodes)) {
+    if (v[3] < 1 || v[3] > kMaxTraceLength) {
+      return fail("packet length must be in [1, " +
+                  std::to_string(kMaxTraceLength) + "], got " + tok[3]);
+    }
+    if (num_nodes > 0 && (v[1] >= static_cast<unsigned long long>(num_nodes) ||
+                          v[2] >= static_cast<unsigned long long>(num_nodes))) {
       return fail("node id out of range");
     }
-    if (src == dest) return fail("src == dest");
-    if (!records.empty() &&
-        static_cast<Cycle>(cycle) < records.back().cycle) {
-      return fail("non-monotonic timestamp: cycle " + std::to_string(cycle) +
+    if (v[1] > 0xFFFF || v[2] > 0xFFFF) return fail("node id out of range");
+    if (v[1] == v[2]) return fail("src == dest");
+    if (!records.empty() && v[0] < records.back().cycle) {
+      return fail("non-monotonic timestamp: cycle " + tok[0] +
                   " follows cycle " + std::to_string(records.back().cycle) +
                   " (records must be sorted by cycle)");
     }
-    r.cycle = static_cast<Cycle>(cycle);
-    r.src = static_cast<NodeId>(src);
-    r.dest = static_cast<NodeId>(dest);
-    r.length = static_cast<int>(length);
+    TraceRecord r;
+    r.cycle = static_cast<Cycle>(v[0]);
+    r.src = static_cast<NodeId>(v[1]);
+    r.dest = static_cast<NodeId>(v[2]);
+    r.length = static_cast<int>(v[3]);
     records.push_back(r);
   }
   if (error) error->clear();
@@ -88,6 +120,12 @@ std::vector<TraceRecord> synthesize_trace(const Topology& topo,
       rec.src = n;
       rec.dest = pick_destination(topo, pattern, n, r);
       rec.length = packet_length;
+      // Burn the per-flit payload draws the live source makes in
+      // build_packet. Without this, each node's stream drifts one
+      // packet_length worth of draws per generated packet and every
+      // later destination pick diverges from the live run — the trace
+      // is then *not* the schedule the Bernoulli source would produce.
+      for (int i = 0; i < packet_length; ++i) r.next_u64();
       records.push_back(rec);
     }
   }

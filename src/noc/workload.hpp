@@ -1,0 +1,79 @@
+#pragma once
+// Application-style workloads: named transfers with source/destination/size
+// on a cycle timeline, expanded into the TraceRecord replay path
+// (DESIGN.md §4.14). The model follows tt-npe's workload ingestion: a
+// workload names *what* moves (transfers in bytes or flits), the expansion
+// decides *how* it moves (segmentation into wormhole packets), and the
+// simulator replays the result like any packet trace.
+//
+// Line-based text format, '#' starts a comment:
+//
+//     packet_flits <n>
+//     transfer    <name> start=<c> src=<a> dest=<b> {flits=<f>|bytes=<B>}
+//                 [count=<k>] [period=<p>]
+//     many_to_one <name> start=<c> dest=<b> {flits=|bytes=}
+//                 [count=] [period=] [stagger=<s>]
+//     all_to_all  <name> start=<c> {flits=|bytes=} [stagger=<s>]
+//
+// `packet_flits` sets the segmentation size for everything after it
+// (default 4, max 256 — the flit sequence number is 8 bits). A transfer of
+// F flits becomes ceil(F / packet_flits) packets released at the same
+// start cycle (they serialize through the source PE's injection port).
+// `bytes` converts at 8 bytes/flit (the 64-bit flit payload), minimum one
+// flit. `count`/`period` repeat a transfer as a burst: count copies, one
+// every `period` cycles. `many_to_one` makes every other node send to
+// `dest`, in ascending node order, the i-th sender offset by i*stagger
+// cycles; `all_to_all` emits every ordered (src, dest) pair, the block of
+// source s offset by s*stagger.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/trace.hpp"
+
+namespace ftnoc {
+
+/// One expanded point-to-point transfer (bursts and group directives are
+/// already flattened by the parser).
+struct WorkloadTransfer {
+  std::string name;  ///< The directive's name (shared by a burst/group).
+  Cycle start = 0;   ///< Release cycle of the transfer's first packet.
+  NodeId src = 0;
+  NodeId dest = 0;
+  int flits = 0;     ///< Total payload flits of this transfer.
+
+  friend bool operator==(const WorkloadTransfer&,
+                         const WorkloadTransfer&) = default;
+};
+
+struct Workload {
+  int packet_flits = 4;  ///< Segmentation size of the *last* directive seen.
+  std::vector<WorkloadTransfer> transfers;  ///< Flattened, in file order.
+  /// Segmentation size each transfer was parsed under (parallel to
+  /// `transfers`; `packet_flits` directives apply from their line down).
+  std::vector<int> transfer_packet_flits;
+};
+
+/// Parses a workload from a stream. On malformed input, `*error` gets a
+/// "line N: ..." message and the result is empty. `num_nodes` bounds node
+/// ids; pass 0 to skip the range check.
+Workload parse_workload(std::istream& in, int num_nodes, std::string* error);
+
+/// Segments every transfer into TraceRecords (ceil(flits / packet_flits)
+/// packets at the transfer's start cycle, remainder in the last packet)
+/// and sorts them by cycle, stably — equal-cycle records keep file order.
+std::vector<TraceRecord> expand_workload(const Workload& wl);
+
+/// parse + expand from an in-memory workload text.
+std::vector<TraceRecord> load_workload_text(const std::string& text,
+                                            int num_nodes,
+                                            std::string* error);
+
+/// parse + expand from a workload file.
+std::vector<TraceRecord> load_workload_file(const std::string& path,
+                                            int num_nodes,
+                                            std::string* error);
+
+}  // namespace ftnoc

@@ -140,6 +140,27 @@ void append_config_fields(JsonRecord& o, const SimConfig& c) {
     o.str("storm_kills", kills);
   }
   if (c.adaptive_faults) o.boolean("adaptive_faults", true);
+  // Workload / analytics columns (DESIGN.md §4.14): gated on their own
+  // flags so every pre-existing output keeps its exact key set. An inline
+  // workload is identified by a content hash — embedding the full text
+  // would bloat every row, but the identity must still pin the run.
+  if (c.has_workload()) {
+    if (!c.workload_file.empty()) {
+      o.str("workload", c.workload_file);
+    } else {
+      std::uint64_t h = 0xcbf29ce484222325ull;
+      for (const char ch : c.workload_text) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 0x100000001b3ull;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "inline:%016llx",
+                    static_cast<unsigned long long>(h));
+      o.str("workload", buf);
+    }
+  }
+  if (c.run_to_drain) o.boolean("run_to_drain", true);
+  if (c.link_stats) o.boolean("link_stats", true);
 }
 
 void append_result_fields(JsonRecord& o, const SimResults& r) {
@@ -205,6 +226,26 @@ std::string to_jsonl(const PointResult& pr, bool include_timing) {
   // (gated on the storm config itself, so nothing else gains the column).
   if (!pr.config.storm_kills.empty()) {
     o.u64("links_storm_killed", pr.results.links_storm_killed);
+  }
+  // Workload runs report drops at dead sources; link_stats runs carry the
+  // per-link heatmap rows, packed "node:DIR=fwd/stall" so one JSONL line
+  // stays one row for the CSV/plot layer to explode.
+  if (pr.config.has_workload()) {
+    o.u64("dead_source_drops", pr.results.dead_source_drops);
+  }
+  if (pr.config.link_stats) {
+    std::string rows;
+    for (const auto& lu : pr.results.link_util) {
+      if (!rows.empty()) rows += ',';
+      rows += std::to_string(lu.node);
+      rows += ':';
+      rows += to_string(static_cast<Direction>(lu.dir));
+      rows += '=';
+      rows += std::to_string(lu.fwd);
+      rows += '/';
+      rows += std::to_string(lu.stall);
+    }
+    o.str("link_util", rows);
   }
 
   if (include_timing) o.real("wall_ms", pr.wall_ms);

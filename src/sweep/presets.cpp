@@ -483,13 +483,73 @@ std::vector<SweepPoint> large_mesh_points(const SimConfig& base) {
   return points;
 }
 
+namespace {
+
+/// The shared workload behind workload_hotspot, generated for the base
+/// mesh: a memory-controller hotspot (every node streams bursts at the
+/// central "controller" node) over a background all-to-all collective.
+/// packet_flits matches the default packet_length so Eq. (1)'s recovery
+/// guarantee applies unchanged.
+std::string hotspot_workload_text(int w, int h) {
+  const int dest = (h / 2) * w + w / 2;
+  std::string t;
+  t += "packet_flits 4\n";
+  t += "many_to_one memstream start=0 dest=" + std::to_string(dest) +
+       " flits=32 count=6 period=200 stagger=7\n";
+  t += "all_to_all exchange start=300 flits=4 stagger=3\n";
+  return t;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> workload_hotspot_points(const SimConfig& base) {
+  // Fault-under-real-load (DESIGN.md §4.14): the same workload replayed
+  // against k = 0..4 statically dead links (the fault_degradation stagger,
+  // which never partitions a W >= 4 mesh), pure trace-driven
+  // (injection_rate = 0) and run to drain. link_stats is on, so each point
+  // carries the per-link heatmap row showing how the hotspot's congestion
+  // ridge shifts as links die. Scale knobs are pinned by the preset — the
+  // workload fixes the offered traffic, so the byte stream has a stable
+  // golden digest regardless of the caller's base scale; the mesh still
+  // follows `base` like fault_degradation.
+  std::vector<SweepPoint> points;
+  const int w = base.mesh_width;
+  const int h = base.mesh_height;
+  const int max_k = w >= 4 ? std::min(4, h) : 0;
+  for (int k = 0; k <= max_k; ++k) {
+    SweepPoint pt;
+    pt.label = "WorkloadHotspot/memhot/k=" + std::to_string(k);
+    pt.config = base;
+    pt.config.workload_text = hotspot_workload_text(w, h);
+    pt.config.injection_rate = 0.0;
+    pt.config.link_stats = true;
+    pt.config.run_to_drain = true;
+    pt.config.routing = RoutingAlgorithm::kMinimalAdaptive;
+    pt.config.adaptive_faults = true;
+    pt.config.deadlock.enable_recovery = true;
+    pt.config.deadlock.probe_threshold = 32;
+    pt.config.deadlock.probe_backoff = 17;
+    pt.config.warmup_messages = 0;
+    pt.config.total_messages = 10'000;
+    pt.config.max_cycles = 200'000;
+    for (int j = 0; j < k; ++j) {
+      const int x = 1 + j % (w - 2);
+      pt.config.dead_links.emplace_back(static_cast<NodeId>(j * w + x),
+                                        Direction::kEast);
+    }
+    points.push_back(std::move(pt));
+  }
+  return points;
+}
+
 const std::vector<std::string>& preset_names() {
   static const std::vector<std::string> names = {
       "fig05",      "fig06",  "fig07",
       "fig08",      "fig09",  "fig13a",
       "fig13b",     "abl_cthres", "buffer_ablation",
       "fault_degradation",    "fault_degradation_16",
-      "fault_storm",    "large_mesh",    "perf",    "perf_large"};
+      "fault_storm",    "large_mesh",    "perf",    "perf_large",
+      "workload_hotspot"};
   return names;
 }
 
@@ -519,6 +579,7 @@ std::vector<SweepPoint> preset_points(const std::string& name,
   if (name == "large_mesh") return large_mesh_points(base);
   if (name == "perf") return perf_points(base);
   if (name == "perf_large") return perf_large_points(base);
+  if (name == "workload_hotspot") return workload_hotspot_points(base);
   return {};
 }
 

@@ -100,6 +100,13 @@ std::vector<SweepPoint> fault_degradation_16_points(const SimConfig& base);
 /// regressions). Gated by the perf ratchet as preset "perf_large".
 std::vector<SweepPoint> perf_large_points(const SimConfig& base);
 
+/// Fault-under-real-load grid (DESIGN.md §4.14): a memory-controller
+/// hotspot workload (many-to-one bursts over a background all-to-all),
+/// pure trace-driven and run to drain, replayed against k = 0..4 dead
+/// links with per-link heatmap accounting on. Scale knobs are pinned by
+/// the preset; the mesh follows `base`.
+std::vector<SweepPoint> workload_hotspot_points(const SimConfig& base);
+
 /// Every preset name preset_points() accepts, in display order (for
 /// "unknown preset" diagnostics and --help text).
 const std::vector<std::string>& preset_names();

@@ -235,6 +235,37 @@ TEST(EventWakeup, LargeTorusFaultedLockstep) {
       << "scenario armed no NACK/drop windows at scale";
 }
 
+// Workload replay on a faulted mesh with per-link accounting on: trace
+// release is pure timer-driven injection (no Bernoulli ticks to ride), so
+// every burst's release cycle must wake its source PE in the event kernel
+// by itself — and the link_stats accumulators read architectural state
+// after the wire ticks, so they must come out byte-identical across
+// kernels too. A sender block rides through a dead source router to pin
+// the dead-source drop path into the same lockstep.
+TEST(EventWakeup, WorkloadReplayFaultedLockstep) {
+  SimConfig cfg = sparse_base();
+  cfg.injection_rate = 0.0;  // Pure workload-driven.
+  cfg.routing = RoutingAlgorithm::kMinimalAdaptive;
+  cfg.adaptive_faults = true;
+  cfg.link_stats = true;
+  cfg.dead_links.push_back({5, Direction::kEast});
+  cfg.dead_routers.push_back(10);
+  cfg.workload_text =
+      "packet_flits 4\n"
+      "many_to_one sink start=0 dest=0 flits=8 count=2 period=400 "
+      "stagger=13\n"
+      "transfer echo start=900 src=0 dest=15 flits=12\n";
+  KernelPair nets(cfg);
+  const auto& st = nets.run(3000);
+  EXPECT_GT(st.messages_ejected(), 0u) << "workload delivered nothing";
+  // Sender 10 is dead: its 2 bursts x 2 packets drop at release, in both
+  // kernels.
+  EXPECT_EQ(st.dead_source_drops(), 4u);
+  EXPECT_EQ(nets.scan->stats().dead_source_drops(), 4u);
+  EXPECT_EQ(nets.scan->link_fwd_counts(), nets.event->link_fwd_counts());
+  EXPECT_EQ(nets.scan->link_stall_counts(), nets.event->link_stall_counts());
+}
+
 // Statically faulted topology: dead links and a dead router reshape the
 // wake graph (some wires never exist); the event kernel must still cover
 // every live router's delayed actions.

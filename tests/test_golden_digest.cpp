@@ -213,5 +213,28 @@ TEST(GoldenDigest, BufferAblationPresetByteIdentical) {
       << " — the simulation is no longer byte-identical to the pinned run";
 }
 
+// The workload_hotspot preset is the only pinned family that runs the
+// workload/replay machinery end to end: text-workload expansion,
+// timer-driven trace release, run-to-drain termination, dead-source
+// drops and the per-link utilization columns (the one pinned stream
+// where link_stats is ON — proving the accounting itself is
+// deterministic, while the unchanged digests above prove that default
+// runs don't carry the columns). Pinned under BOTH kernels: trace
+// release is pure timer wake-up, the event kernel's hardest case.
+TEST(GoldenDigest, WorkloadHotspotPresetByteIdenticalBothKernels) {
+  constexpr std::uint64_t kPinned = 0x1b441584b6c33f91ull;
+  const std::uint64_t event_h = preset_digest("workload_hotspot");
+  EXPECT_EQ(event_h, kPinned)
+      << "workload_hotspot JSONL digest moved (event kernel): 0x" << std::hex
+      << event_h
+      << " — the simulation is no longer byte-identical to the pinned run";
+  const std::uint64_t scan_h =
+      preset_digest("workload_hotspot", 2, /*force_scan_kernel=*/true);
+  EXPECT_EQ(scan_h, kPinned)
+      << "workload_hotspot JSONL digest moved (scan kernel): 0x" << std::hex
+      << scan_h << " — the kernels are no longer byte-interchangeable on "
+                   "workload replay";
+}
+
 }  // namespace
 }  // namespace ftnoc

@@ -7,6 +7,7 @@
 
 #include "noc/simulator.hpp"
 #include "noc/trace.hpp"
+#include "noc/traffic.hpp"
 
 namespace ftnoc {
 namespace {
@@ -61,6 +62,49 @@ TEST(TraceFormat, RejectsMalformedInput) {
   }
 }
 
+TEST(TraceFormat, LengthTruncationCannotSmuggleZero) {
+  // Regression: a length of exactly 2^32 used to truncate to 0 through
+  // the int cast *after* passing the `< 1` check, producing a zero-length
+  // packet the replay path asserts on. The field is now parsed as an
+  // exact u64 and range-checked before any narrowing.
+  std::istringstream in("3 0 1 4294967296\n");
+  std::string err;
+  EXPECT_TRUE(parse_trace(in, 16, &err).empty());
+  ASSERT_FALSE(err.empty());
+  EXPECT_NE(err.find("packet length must be in [1, 256]"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("4294967296"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, ZeroLengthErrorIsExplicit) {
+  std::istringstream in("3 0 1 0\n");
+  std::string err;
+  EXPECT_TRUE(parse_trace(in, 16, &err).empty());
+  EXPECT_NE(err.find("packet length must be in [1, 256]"), std::string::npos)
+      << err;
+}
+
+TEST(TraceFormat, HugeInjectCycleIsAnErrorNotASkip) {
+  // Regression: a cycle past 2^64 made `istream >> uint64` extraction
+  // fail and the whole line was silently skipped as if it were blank —
+  // the trace "parsed" minus one record. It must be a hard error that
+  // names the offending value.
+  std::istringstream in("0 0 1 4\n99999999999999999999 0 1 4\n");
+  std::string err;
+  EXPECT_TRUE(parse_trace(in, 16, &err).empty());
+  ASSERT_FALSE(err.empty());
+  EXPECT_NE(err.find("inject_cycle overflows 64 bits"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, TrailingJunkErrorNamesTheToken) {
+  std::istringstream in("3 0 1 4 junk\n");
+  std::string err;
+  EXPECT_TRUE(parse_trace(in, 16, &err).empty());
+  EXPECT_NE(err.find("trailing junk: junk"), std::string::npos) << err;
+}
+
 TEST(TraceFormat, NonMonotonicErrorNamesBothCycles) {
   // A sorted-order violation should tell the user exactly which pair of
   // records is out of order, not just that "something" was unsorted.
@@ -94,6 +138,41 @@ TEST(TraceSynthesis, MatchesRequestedRate) {
     ASSERT_GE(recs[i].cycle, recs[i - 1].cycle);
     ASSERT_NE(recs[i].src, recs[i].dest);
   }
+}
+
+TEST(TraceSynthesis, MatchesLiveBernoulliSourcesExactly) {
+  // Regression: synthesize_trace forked per-node RNG streams like the
+  // live TrafficSources but never burned the per-flit payload draws
+  // build_packet makes, so after the first generated packet every node's
+  // stream drifted and the "same-seed" trace was a different schedule.
+  // The pin: drive real TrafficSources (constructed exactly as the
+  // Network builds its PEs — one fork per node, in node order) and
+  // require record-for-record equality.
+  Topology topo(4, 4, false);
+  const double rate = 0.1;
+  const int len = 4;
+  const Cycle cycles = 5'000;
+
+  Rng root(42);
+  std::vector<TrafficSource> sources;
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    sources.emplace_back(topo, n, TrafficPattern::kUniformRandom, rate, len,
+                         root.fork());
+  }
+  std::vector<TraceRecord> live;
+  PacketId pid = 0;
+  for (Cycle c = 0; c < cycles; ++c) {
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+      if (const auto flits = sources[n].maybe_generate(c, pid)) {
+        live.push_back({c, n, flits->front().dest, len});
+      }
+    }
+  }
+  ASSERT_GT(live.size(), 100u) << "scenario generated almost no packets";
+
+  const auto synth = synthesize_trace(topo, TrafficPattern::kUniformRandom,
+                                      rate, len, cycles, Rng(42));
+  EXPECT_EQ(synth, live);
 }
 
 TEST(TraceReplay, DeliversEveryTracedPacket) {
@@ -165,6 +244,44 @@ TEST(TraceReplay, TraceOnTopOfSyntheticTraffic) {
   sim.network().load_trace({{10, 0, 15, 4}, {20, 15, 0, 4}});
   const SimResults r = sim.run();
   EXPECT_TRUE(r.completed);
+}
+
+SimConfig dead_source_config(bool reference) {
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.injection_rate = 0.0;
+  cfg.warmup_messages = 0;
+  cfg.total_messages = 2;
+  cfg.max_cycles = 20'000;
+  cfg.run_to_drain = true;
+  cfg.routing = RoutingAlgorithm::kMinimalAdaptive;
+  cfg.adaptive_faults = true;
+  cfg.dead_routers.push_back(5);
+  cfg.use_reference_router = reference;
+  return cfg;
+}
+
+TEST(TraceReplay, DeadSourceRecordsAreCountedDrops) {
+  // Regression: trace records whose source router is dead used to be
+  // injected into a PE that is never stepped — the packets sat in the
+  // injection queue forever and a run_to_drain replay looked "complete"
+  // while silently losing them. They are now dropped at release time and
+  // counted, so the ledger stays honest.
+  for (const bool reference : {false, true}) {
+    SimConfig cfg = dead_source_config(reference);
+    Simulator sim(cfg);
+    sim.network().load_trace({{0, 5, 6, 4},    // Source router 5 is dead.
+                              {10, 0, 3, 4},   // Normal delivery.
+                              {20, 5, 10, 4},  // Dead again.
+                              {30, 1, 2, 4}});
+    const SimResults r = sim.run();
+    EXPECT_TRUE(r.completed) << (reference ? "reference" : "production");
+    EXPECT_EQ(r.dead_source_drops, 2u)
+        << (reference ? "reference" : "production");
+    EXPECT_EQ(r.messages_ejected, 2u)
+        << (reference ? "reference" : "production");
+  }
 }
 
 TEST(TraceReplayDeath, RejectsPastCycles) {

@@ -69,7 +69,33 @@ def ingest_bench(line, figures):
     figures[m.group(1)].append(row)
 
 
-def ingest_jsonl(line, figures):
+LINK = re.compile(r"(\d+):([NESW])=(\d+)/(\d+)")
+
+
+def ingest_link_util(rec, figure, series, x, heatmaps):
+    """Explodes a packed link_util string ("node:DIR=fwd/stall,...") into
+    per-link heatmap rows: one row per directed link, with mesh
+    coordinates so a plotting tool can place them without re-deriving the
+    node layout."""
+    width = rec.get("mesh_width", 0) or 0
+    cycles = rec.get("cycles", 0) or 0
+    for node, dir_, fwd, stall in LINK.findall(rec["link_util"]):
+        node, fwd, stall = int(node), int(fwd), int(stall)
+        heatmaps[figure].append({
+            "series": series,
+            "x": x,
+            "node": node,
+            "node_x": node % width if width else 0,
+            "node_y": node // width if width else 0,
+            "dir": dir_,
+            "fwd": fwd,
+            "stall": stall,
+            "fwd_frac": fwd / cycles if cycles else 0.0,
+            "stall_frac": stall / cycles if cycles else 0.0,
+        })
+
+
+def ingest_jsonl(line, figures, heatmaps):
     try:
         rec = json.loads(line)
     except json.JSONDecodeError:
@@ -85,6 +111,8 @@ def ingest_jsonl(line, figures):
     else:
         # Ad-hoc grids ("inj=0.05") have no figure prefix; group them all.
         figure, series, x = "points", rec["label"], ""
+    if isinstance(rec.get("link_util"), str):
+        ingest_link_util(rec, figure, series, x, heatmaps)
     row = {"series": series, "x": x}
     # The buffer_policy column is gated like the fault counters: default
     # private_vc records omit it. Fill the default in so every row carries
@@ -120,12 +148,13 @@ def main():
     os.makedirs(outdir, exist_ok=True)
 
     figures = collections.defaultdict(list)
+    heatmaps = collections.defaultdict(list)
     for path in args:
         with open(path) as f:
             for line in f:
                 line = line.strip()
                 if line.startswith("{"):
-                    ingest_jsonl(line, figures)
+                    ingest_jsonl(line, figures, heatmaps)
                 else:
                     ingest_bench(line, figures)
 
@@ -156,6 +185,20 @@ def main():
             w.writeheader()
             w.writerows(rows)
         print(f"{out}: {len(rows)} rows")
+
+    # Per-link congestion heatmaps (records with a link_util column):
+    # a long-format CSV per figure — (series, x, node_x, node_y, dir) ->
+    # fwd/stall counts and per-cycle fractions — ready to pivot into a
+    # mesh heatmap.
+    for figure, rows in heatmaps.items():
+        keys = ["series", "x", "node", "node_x", "node_y", "dir",
+                "fwd", "stall", "fwd_frac", "stall_frac"]
+        out = os.path.join(outdir, figure.lower() + "_heatmap.csv")
+        with open(out, "w", newline="") as f:
+            w = csv.DictWriter(f, fieldnames=keys, restval=0)
+            w.writeheader()
+            w.writerows(rows)
+        print(f"{out}: {len(rows)} link rows")
 
 
 if __name__ == "__main__":

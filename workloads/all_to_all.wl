@@ -1,0 +1,8 @@
+# All-to-all collective on the default 8x8 mesh (64 nodes).
+#
+# Every ordered (src, dest) pair exchanges one 256-byte message (32 flits
+# at 8 bytes/flit), as in an allreduce/alltoall exchange phase. Source
+# blocks are staggered 11 cycles apart so injection ramps across the mesh
+# instead of releasing 4032 transfers on one cycle.
+packet_flits 4
+all_to_all exchange start=0 bytes=256 stagger=11

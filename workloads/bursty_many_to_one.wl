@@ -1,0 +1,12 @@
+# Bursty many-to-one on the default 8x8 mesh (64 nodes): periodic
+# convergecast waves onto a corner sink (node 0), the worst-case ejection
+# hotspot — plus a thin reverse broadcast of 1-flit control packets from
+# the sink's neighbour so the return direction is not silent.
+#
+# Each wave: every node sends 16 flits to node 0; 8 waves, 500 cycles
+# apart, senders staggered 3 cycles. Between waves the fabric drains,
+# which is exactly the bursty profile that stresses VC backpressure near
+# the sink.
+packet_flits 4
+many_to_one wave start=0 dest=0 flits=16 count=8 period=500 stagger=3
+transfer ctrl start=250 src=1 dest=63 flits=1 count=8 period=500

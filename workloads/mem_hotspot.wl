@@ -1,0 +1,12 @@
+# Memory-controller hotspot for the default 8x8 mesh (64 nodes).
+#
+# Node 36 (the central column of the lower half, where a memory controller
+# tile usually sits) receives read-response-sized streams from every other
+# node: 6 bursts of 32 flits each, one burst every 200 cycles, senders
+# staggered 7 cycles apart so the ramp-up is gradual rather than a wall.
+#
+# Run it with:
+#   ftnoc_sweep workload=workloads/mem_hotspot.wl injection_rate=0 \
+#       link_stats=1 run_to_drain=1
+packet_flits 4
+many_to_one memstream start=0 dest=36 flits=32 count=6 period=200 stagger=7
